@@ -1,0 +1,124 @@
+// Command overlapchar runs one characterization experiment from the
+// command line and prints the full metric set: kernel times, compute
+// slowdown (Eq. 1), overlap ratio (Eq. 2), the three end-to-end latencies
+// (Eq. 3–5), and per-GPU power telemetry.
+//
+// Example:
+//
+//	overlapchar -gpu H100 -n 4 -model "GPT-3 13B" -parallelism fsdp \
+//	    -batch 16 -format fp16 -powercap 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlapchar: ")
+
+	var (
+		gpuName  = flag.String("gpu", "H100", "GPU model: A100, H100, MI210, MI250")
+		n        = flag.Int("n", 4, "number of GPUs in the node")
+		modelNm  = flag.String("model", "GPT-3 XL", `workload: "GPT-3 XL", "GPT-3 2.7B", "GPT-3 6.7B", "GPT-3 13B", "LLaMA2 13B"`)
+		par      = flag.String("parallelism", "fsdp", "distribution strategy: fsdp or pp")
+		batch    = flag.Int("batch", 8, "global batch size")
+		micro    = flag.Int("micro", 0, "pipeline microbatch size (0 = default)")
+		format   = flag.String("format", "fp16", "numeric format: fp32, tf32, fp16, bf16")
+		vector   = flag.Bool("vector-only", false, "disable Tensor/Matrix cores (general datapath)")
+		noCkpt   = flag.Bool("no-checkpoint", false, "disable activation checkpointing")
+		iters    = flag.Int("iters", 2, "measured iterations")
+		powerCap = flag.Float64("powercap", 0, "per-GPU power cap in watts (0 = uncapped)")
+		freqCap  = flag.Float64("freqcap", 0, "frequency cap factor in (0,1] (0 = uncapped)")
+	)
+	flag.Parse()
+
+	g := hw.ByName(*gpuName)
+	if g == nil {
+		log.Fatalf("unknown GPU %q (have A100, H100, MI210, MI250)", *gpuName)
+	}
+	m, err := model.ByName(*modelNm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var f precision.Format
+	switch strings.ToLower(*format) {
+	case "fp32":
+		f = precision.FP32
+	case "tf32":
+		f = precision.TF32
+	case "fp16":
+		f = precision.FP16
+	case "bf16":
+		f = precision.BF16
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	var p core.Parallelism
+	switch strings.ToLower(*par) {
+	case "fsdp":
+		p = core.FSDP
+	case "pp", "pipeline":
+		p = core.Pipeline
+	default:
+		log.Fatalf("unknown parallelism %q", *par)
+	}
+
+	cfg := core.Config{
+		System:       hw.NewSystem(g, *n),
+		Model:        m,
+		Parallelism:  p,
+		Batch:        *batch,
+		MicroBatch:   *micro,
+		Format:       f,
+		MatrixUnits:  !*vector,
+		NoCheckpoint: *noCkpt,
+		Iterations:   *iters,
+		Caps:         power.Caps{PowerW: *powerCap, FreqFactor: *freqCap},
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func printResult(res *core.Result) {
+	c := res.Char
+	fmt.Printf("experiment        : %s\n", res.Config.Label())
+	fmt.Printf("params            : %.2fB exact (%.1fB nominal)\n",
+		res.Config.Model.TotalParams()/1e9, res.Config.Model.NominalParams/1e9)
+	fmt.Println()
+	fmt.Printf("%-34s %12s %12s\n", "", "sequential", "overlapped")
+	fmt.Printf("%-34s %10.2fms %10.2fms\n", "compute kernel time (all GPUs)",
+		c.Sequential.ComputeKernelTime*1e3, c.Overlapped.ComputeKernelTime*1e3)
+	fmt.Printf("%-34s %10.2fms %10.2fms\n", "comm kernel time (all GPUs)",
+		c.Sequential.CommKernelTime*1e3, c.Overlapped.CommKernelTime*1e3)
+	fmt.Printf("%-34s %10.2fms %10.2fms\n", "E2E iteration",
+		res.Sequential.Mean.E2E*1e3, res.Overlapped.Mean.E2E*1e3)
+	fmt.Printf("%-34s %10.2fxT %10.2fxT\n", "avg power (TDP)",
+		res.Sequential.AvgTDP, res.Overlapped.AvgTDP)
+	fmt.Printf("%-34s %10.2fxT %10.2fxT\n", "peak power (TDP)",
+		res.Sequential.PeakTDP, res.Overlapped.PeakTDP)
+	fmt.Println()
+	fmt.Printf("compute slowdown (Eq.1)       : %7.2f %%\n", c.ComputeSlowdown*100)
+	fmt.Printf("overlap ratio (Eq.2)          : %7.2f %%\n", c.OverlapRatio*100)
+	fmt.Printf("E2E ideal (Eq.4)              : %9.2f ms\n", c.E2EIdeal*1e3)
+	fmt.Printf("E2E sequential derived (Eq.5) : %9.2f ms\n", c.E2ESeqDerived*1e3)
+	fmt.Printf("sequential penalty vs overlap : %7.2f %%\n", c.SeqPenalty*100)
+	fmt.Printf("overlap gap vs ideal          : %7.2f %%\n", c.IdealGap*100)
+	fmt.Printf("energy per iteration          : %9.2f kJ (overlapped), %.2f kJ (sequential)\n",
+		res.Overlapped.EnergyJ/1e3, res.Sequential.EnergyJ/1e3)
+}

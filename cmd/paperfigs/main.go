@@ -1,0 +1,240 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section on the simulator and prints them as text tables.
+// Use -only to restrict to one artifact (e.g. -only fig4), and -out to
+// also write CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/exec"
+	"overlapsim/internal/power"
+	"overlapsim/internal/report"
+	"overlapsim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperfigs: ")
+	only := flag.String("only", "", "restrict to one artifact: table1, table2, fig1a, fig1b, fig4, fig5, fig6, fig7, fig9, fig10, fig11, headline")
+	outDir := flag.String("out", "", "directory to write CSV series into (optional)")
+	flag.Parse()
+
+	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
+	w := os.Stdout
+
+	if want("table1") {
+		section(w, "Table I — evaluated GPUs")
+		check(report.Table1(w))
+	}
+	if want("table2") {
+		section(w, "Table II — workloads")
+		check(report.Table2(w))
+	}
+
+	var mainPts []workload.Point
+	needMain := want("fig4") || want("fig5") || want("fig6") || want("headline")
+	if needMain {
+		log.Println("running main evaluation grid (Figures 4-6)...")
+		mainPts = workload.RunGrid(workload.MainGrid())
+		reportErrors(mainPts)
+	}
+
+	if want("fig1a") {
+		section(w, "Figure 1(a) — overlapped computation, FSDP on H100x8")
+		pts := workload.RunGrid(workload.Figure1a())
+		reportErrors(pts)
+		check(report.OverlapFigure(w, pts))
+		writeCSV(*outDir, "fig1a.csv", pts)
+	}
+	if want("fig1b") {
+		section(w, "Figure 1(b) — overlapped computation, PP GPT-3 2.7B on A100x4")
+		pts := workload.RunGrid(workload.Figure1b())
+		reportErrors(pts)
+		check(report.OverlapFigure(w, pts))
+		writeCSV(*outDir, "fig1b.csv", pts)
+	}
+	if want("fig4") {
+		section(w, "Figure 4 — computation slowdowns across GPUs")
+		check(report.SlowdownFigure(w, mainPts))
+		writeCSV(*outDir, "fig4.csv", mainPts)
+	}
+	if want("fig5") {
+		section(w, "Figure 5 — end-to-end training iteration latency")
+		check(report.E2EFigure(w, mainPts))
+	}
+	if want("fig6") {
+		section(w, "Figure 6 — power consumption across GPUs")
+		check(report.PowerFigure(w, mainPts))
+	}
+	if want("fig7") {
+		section(w, "Figure 7 — MI250 power trace, LLaMA2 13B (1ms sampling)")
+		runFig7(w, *outDir)
+	}
+	if want("fig9") {
+		section(w, "Figure 9 — impact of power capping (A100x4)")
+		pts := workload.RunGrid(workload.Figure9())
+		reportErrors(pts)
+		check(report.PowerCapFigure(w, pts))
+	}
+	if want("fig10") {
+		section(w, "Figure 10 — numeric precision (FP32 vs FP16), H100x4")
+		pts := workload.RunGrid(workload.Figure10())
+		reportErrors(pts)
+		check(report.AblationFigure(w, pts, func(p workload.Point) string {
+			return p.Cfg.Format.String()
+		}))
+	}
+	if want("fig11") {
+		section(w, "Figure 11 — Tensor Core utilization (FP32 vs TF32), H100x4")
+		pts := workload.RunGrid(workload.Figure11())
+		reportErrors(pts)
+		check(report.AblationFigure(w, pts, func(p workload.Point) string {
+			if p.Cfg.MatrixUnits {
+				return "TF32 tensor core"
+			}
+			return "FP32 general"
+		}))
+	}
+	if want("headline") {
+		section(w, "Headline aggregates (abstract / §V)")
+		check(report.Headline(w, mainPts))
+	}
+}
+
+func runFig7(w *os.File, outDir string) {
+	res, err := core.RunMode(workload.Figure7(), exec.Overlapped)
+	if err != nil {
+		log.Printf("fig7: %v", err)
+		return
+	}
+	if len(res.Traces) == 0 {
+		log.Printf("fig7: no trace recorded")
+		return
+	}
+	tr := res.Traces[0]
+	g := workload.Figure7().System.GPU
+	fmt.Fprintf(w, "samples=%d interval=%.0fms gpu0; normalized power (TDP=%gW):\n",
+		len(tr), power.TraceInterval*1e3, g.TDPW)
+	// Print a coarse sparkline-style summary: min/mean/max per decile of
+	// the run.
+	printTraceSummary(w, tr, g.TDPW)
+	if outDir != "" {
+		path := filepath.Join(outDir, "fig7_trace.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("fig7: %v", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "t_s,watts,tdp_frac")
+		for _, s := range tr {
+			fmt.Fprintf(f, "%.6f,%.1f,%.4f\n", s.T, s.Watts, s.Watts/g.TDPW)
+		}
+		log.Printf("fig7: wrote %s", path)
+	}
+}
+
+func printTraceSummary(w *os.File, tr []power.Sample, tdp float64) {
+	if len(tr) == 0 {
+		return
+	}
+	const buckets = 20
+	per := (len(tr) + buckets - 1) / buckets
+	headers := []string{"phase", "min(TDP)", "mean(TDP)", "max(TDP)"}
+	var rows [][]string
+	for b := 0; b < buckets && b*per < len(tr); b++ {
+		lo := b * per
+		hi := lo + per
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		mn, mx, sum := tr[lo].Watts, tr[lo].Watts, 0.0
+		for _, s := range tr[lo:hi] {
+			if s.Watts < mn {
+				mn = s.Watts
+			}
+			if s.Watts > mx {
+				mx = s.Watts
+			}
+			sum += s.Watts
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%2d/%d", b+1, buckets),
+			report.TDP(mn / tdp),
+			report.TDP(sum / float64(hi-lo) / tdp),
+			report.TDP(mx / tdp),
+		})
+	}
+	check(report.Table(w, headers, rows))
+}
+
+func writeCSV(dir, name string, pts []workload.Point) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("%s: %v", name, err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("%s: %v", name, err)
+		return
+	}
+	defer f.Close()
+	headers := []string{"system", "parallelism", "model", "batch", "format",
+		"overlap_ratio", "compute_slowdown", "e2e_ideal_ms", "e2e_overlap_ms", "e2e_seq_ms",
+		"avg_tdp", "peak_tdp", "status"}
+	var rows [][]string
+	for _, p := range pts {
+		row := []string{p.Cfg.System.Name, p.Cfg.Parallelism.String(), p.Cfg.Model.Name,
+			fmt.Sprintf("%d", p.Cfg.Batch), p.Cfg.Format.String()}
+		if p.Res != nil {
+			row = append(row,
+				fmt.Sprintf("%.4f", p.Res.Char.OverlapRatio),
+				fmt.Sprintf("%.4f", p.Res.Char.ComputeSlowdown),
+				report.Ms(p.Res.Char.E2EIdeal),
+				report.Ms(p.Res.Overlapped.Mean.E2E),
+				report.Ms(p.Res.Sequential.Mean.E2E),
+				fmt.Sprintf("%.3f", p.Res.Overlapped.AvgTDP),
+				fmt.Sprintf("%.3f", p.Res.Overlapped.PeakTDP),
+				"ok")
+		} else if p.Skipped() {
+			row = append(row, "", "", "", "", "", "", "", "oom")
+		} else {
+			row = append(row, "", "", "", "", "", "", "", "error")
+		}
+		rows = append(rows, row)
+	}
+	if err := report.CSV(f, headers, rows); err != nil {
+		log.Printf("%s: %v", name, err)
+		return
+	}
+	log.Printf("wrote %s", path)
+}
+
+func reportErrors(pts []workload.Point) {
+	for _, p := range pts {
+		if p.Err != nil {
+			log.Printf("error: %v", p.Err)
+		}
+	}
+}
+
+func section(w *os.File, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

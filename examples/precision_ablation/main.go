@@ -1,0 +1,67 @@
+// Command precision_ablation reproduces the Fig. 10 and Fig. 11
+// ablations on a 4×H100 node: FP32 on the general vector datapath versus
+// FP16 and TF32 on the Tensor Cores, showing that reduced precision and
+// specialized datapaths cut power on small models but raise the overlap
+// ratio, contention and power on larger workloads (Takeaway 7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	type variant struct {
+		name   string
+		format precision.Format
+		matrix bool
+	}
+	variants := []variant{
+		{"FP32 vector", precision.FP32, false},
+		{"TF32 tensor-core", precision.FP32, true},
+		{"FP16 tensor-core", precision.FP16, true},
+	}
+
+	headers := []string{"Model", "Batch", "Variant", "Slowdown", "Overlap",
+		"Avg(TDP)", "Peak(TDP)", "E2E(ms)"}
+	var rows [][]string
+	for _, m := range []model.Config{model.GPT3XL(), model.GPT3_6_7B()} {
+		for _, bs := range []int{8, 16} {
+			for _, v := range variants {
+				res, err := core.Run(core.Config{
+					System:      hw.SystemH100x4(),
+					Model:       m,
+					Parallelism: core.FSDP,
+					Batch:       bs,
+					Format:      v.format,
+					MatrixUnits: v.matrix,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				rows = append(rows, []string{
+					m.Name, fmt.Sprintf("%d", bs), v.name,
+					report.Pct(res.Char.ComputeSlowdown),
+					report.Pct(res.Char.OverlapRatio),
+					report.TDP(res.Overlapped.AvgTDP),
+					report.TDP(res.Overlapped.PeakTDP),
+					report.Ms(res.Overlapped.Mean.E2E),
+				})
+			}
+		}
+	}
+	fmt.Println("Precision & Tensor-Core ablation — FSDP on H100x4 (Figs. 10-11 setup)")
+	fmt.Println()
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		log.Fatal(err)
+	}
+}

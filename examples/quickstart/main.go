@@ -1,0 +1,50 @@
+// Command quickstart runs a single characterization experiment — GPT-3 XL
+// trained with FSDP on a simulated 4×H100 node in FP16 — and prints the
+// paper's headline metrics for it: compute slowdown under overlap (Eq. 1),
+// the overlap ratio (Eq. 2), the three end-to-end latencies (Eq. 3–5) and
+// the power summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+func main() {
+	cfg := core.Config{
+		System:      hw.SystemH100x4(),
+		Model:       model.GPT3XL(),
+		Parallelism: core.FSDP,
+		Batch:       8,
+		Format:      precision.FP16,
+		MatrixUnits: true,
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	fmt.Printf("experiment: %s\n\n", cfg.Label())
+	fmt.Printf("compute kernel time (sequential) : %8.2f ms\n", res.Char.Sequential.ComputeKernelTime*1e3)
+	fmt.Printf("compute kernel time (overlapped) : %8.2f ms\n", res.Char.Overlapped.ComputeKernelTime*1e3)
+	fmt.Printf("compute slowdown (Eq.1)          : %8.2f %%\n", res.Char.ComputeSlowdown*100)
+	fmt.Printf("overlap ratio (Eq.2)             : %8.2f %%\n", res.Char.OverlapRatio*100)
+	fmt.Println()
+	fmt.Printf("E2E overlapped                   : %8.2f ms\n", res.Overlapped.Mean.E2E*1e3)
+	fmt.Printf("E2E sequential (measured)        : %8.2f ms\n", res.Sequential.Mean.E2E*1e3)
+	fmt.Printf("E2E ideal (Eq.4)                 : %8.2f ms\n", res.Char.E2EIdeal*1e3)
+	fmt.Printf("E2E sequential (Eq.5 derived)    : %8.2f ms\n", res.Char.E2ESeqDerived*1e3)
+	fmt.Printf("sequential penalty vs overlapped : %8.2f %%\n", res.Char.SeqPenalty*100)
+	fmt.Printf("overlap gap vs ideal             : %8.2f %%\n", res.Char.IdealGap*100)
+	fmt.Println()
+	fmt.Printf("power overlapped: avg %.2fx TDP, peak %.2fx TDP, energy %.1f kJ\n",
+		res.Overlapped.AvgTDP, res.Overlapped.PeakTDP, res.Overlapped.EnergyJ/1e3)
+	fmt.Printf("power sequential: avg %.2fx TDP, peak %.2fx TDP, energy %.1f kJ\n",
+		res.Sequential.AvgTDP, res.Sequential.PeakTDP, res.Sequential.EnergyJ/1e3)
+}

@@ -1,0 +1,97 @@
+package collective
+
+import "overlapsim/internal/topo"
+
+// Algo selects the collective algorithm. The zero value (Ring) matches
+// what NCCL/RCCL use for the large, bandwidth-bound payloads of the
+// paper's workloads; Tree is the latency-optimized variant NCCL switches
+// to for small payloads; Auto picks the faster of the two, mirroring
+// NCCL's tuning tables.
+type Algo int
+
+// Algorithms.
+const (
+	// Ring is the bandwidth-optimal ring algorithm.
+	Ring Algo = iota
+	// Tree is the latency-optimal binary-tree algorithm (all-reduce and
+	// broadcast only).
+	Tree
+	// Auto selects the faster algorithm for the payload and topology.
+	Auto
+)
+
+// String returns the algorithm name.
+func (a Algo) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case Tree:
+		return "tree"
+	case Auto:
+		return "auto"
+	default:
+		return "algo?"
+	}
+}
+
+// treeSupported reports whether the operation has a tree variant.
+func treeSupported(op Op) bool {
+	return op == AllReduce || op == Broadcast
+}
+
+// treeDepth returns ⌈log2 n⌉.
+func treeDepth(n int) int {
+	d := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		d++
+	}
+	return d
+}
+
+// TreeWireBytesPerRank returns the per-rank wire traffic of the tree
+// algorithm: an interior node forwards the full payload up and down for
+// all-reduce (2S), and once for broadcast (S).
+func TreeWireBytesPerRank(d Desc) float64 {
+	if d.Op == AllReduce {
+		return 2 * d.Bytes
+	}
+	return d.Bytes
+}
+
+// TreeSteps returns the latency-bound step count of the tree algorithm.
+func TreeSteps(d Desc) int {
+	depth := treeDepth(d.N)
+	if d.Op == AllReduce {
+		return 2 * depth
+	}
+	return depth
+}
+
+// TimeWith returns the completion time of the collective under the given
+// algorithm. Auto picks the faster supported variant.
+func TimeWith(d Desc, t *topo.Topology, a Algo) float64 {
+	ring := Time(d, t)
+	if a == Ring || !treeSupported(d.Op) {
+		return ring
+	}
+	bw := BW(d, t)
+	tree := TreeWireBytesPerRank(d)/bw + float64(TreeSteps(d))*t.HopLatency()
+	if a == Tree {
+		return tree
+	}
+	if tree < ring {
+		return tree
+	}
+	return ring
+}
+
+// BestAlgo returns the algorithm Auto would choose for the collective.
+func BestAlgo(d Desc, t *topo.Topology) Algo {
+	if !treeSupported(d.Op) {
+		return Ring
+	}
+	if TimeWith(d, t, Tree) < TimeWith(d, t, Ring) {
+		return Tree
+	}
+	return Ring
+}

@@ -1,0 +1,69 @@
+package collective
+
+import (
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/topo"
+)
+
+func TestTreeBeatsRingForSmallPayloads(t *testing.T) {
+	tp := topo.ForSystem(hw.NewSystem(hw.H100(), 8))
+	small := Desc{Op: AllReduce, Bytes: 4 << 10, N: 8}
+	if BestAlgo(small, tp) != Tree {
+		t.Errorf("4KiB all-reduce over 8 ranks should pick tree (ring %g vs tree %g)",
+			TimeWith(small, tp, Ring), TimeWith(small, tp, Tree))
+	}
+	big := Desc{Op: AllReduce, Bytes: 1 << 30, N: 8}
+	if BestAlgo(big, tp) != Ring {
+		t.Error("1GiB all-reduce should pick ring")
+	}
+}
+
+func TestAutoNeverSlower(t *testing.T) {
+	tp := topo.ForSystem(hw.NewSystem(hw.MI250(), 4))
+	for _, bytes := range []float64{1 << 10, 1 << 16, 1 << 22, 1 << 28} {
+		d := Desc{Op: AllReduce, Bytes: bytes, N: 4}
+		auto := TimeWith(d, tp, Auto)
+		if auto > TimeWith(d, tp, Ring)+1e-15 || auto > TimeWith(d, tp, Tree)+1e-15 {
+			t.Errorf("auto slower than a fixed algorithm at %g bytes", bytes)
+		}
+	}
+}
+
+func TestTreeUnsupportedFallsBack(t *testing.T) {
+	tp := topo.ForSystem(hw.NewSystem(hw.H100(), 4))
+	d := Desc{Op: ReduceScatter, Bytes: 1 << 10, N: 4}
+	if TimeWith(d, tp, Tree) != Time(d, tp) {
+		t.Error("reduce-scatter has no tree variant; must fall back to ring")
+	}
+	if BestAlgo(d, tp) != Ring {
+		t.Error("unsupported op must report ring")
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for n, want := range cases {
+		if got := treeDepth(n); got != want {
+			t.Errorf("treeDepth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTreeSteps(t *testing.T) {
+	ar := Desc{Op: AllReduce, Bytes: 1, N: 8}
+	if TreeSteps(ar) != 6 {
+		t.Errorf("tree all-reduce over 8 ranks: %d steps, want 6", TreeSteps(ar))
+	}
+	bc := Desc{Op: Broadcast, Bytes: 1, N: 8}
+	if TreeSteps(bc) != 3 {
+		t.Errorf("tree broadcast: %d steps, want 3", TreeSteps(bc))
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if Ring.String() != "ring" || Tree.String() != "tree" || Auto.String() != "auto" {
+		t.Error("algo names")
+	}
+}

@@ -1,0 +1,240 @@
+// Package collective implements cost models for the GPU collective
+// communication operations used in distributed training — the NCCL/RCCL
+// operations of §II-B: all-reduce, all-gather, reduce-scatter, broadcast,
+// all-to-all and point-to-point send/receive.
+//
+// Collectives follow the standard ring algorithm α-β cost model: an
+// operation over payload S on N ranks moves a well-defined number of wire
+// bytes per rank in a fixed number of latency-bound steps. On top of pure
+// transfer time the package exposes the on-GPU resources a resident
+// collective kernel consumes — SM/CU occupancy and HBM bandwidth — which is
+// what couples communication to compute slowdown in the device model.
+package collective
+
+import (
+	"fmt"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/topo"
+)
+
+// Op is a collective operation type.
+type Op int
+
+// Collective operations.
+const (
+	// AllReduce combines gradients across ranks (ring: reduce-scatter +
+	// all-gather).
+	AllReduce Op = iota
+	// AllGather materializes a sharded tensor on every rank (FSDP
+	// parameter gathering).
+	AllGather
+	// ReduceScatter reduces and shards a tensor across ranks (FSDP
+	// gradient synchronization).
+	ReduceScatter
+	// Broadcast sends one rank's tensor to all ranks.
+	Broadcast
+	// AllToAll exchanges distinct shards between every pair of ranks
+	// (mixture-of-experts routing).
+	AllToAll
+	// SendRecv is a point-to-point transfer between two ranks (pipeline
+	// activations and gradients).
+	SendRecv
+)
+
+// String returns the conventional name of the operation.
+func (o Op) String() string {
+	switch o {
+	case AllReduce:
+		return "all-reduce"
+	case AllGather:
+		return "all-gather"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case Broadcast:
+		return "broadcast"
+	case AllToAll:
+		return "all-to-all"
+	case SendRecv:
+		return "send-recv"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Reducing reports whether the operation performs arithmetic reduction on
+// the GPU (these occupy more SMs and generate more HBM traffic per wire
+// byte — the "complex communication collectives" of Takeaway 1).
+func (o Op) Reducing() bool {
+	return o == AllReduce || o == ReduceScatter
+}
+
+// Gate abstracts a producer whose completion releases a posted
+// communication kernel (satisfied by *sim.Task).
+type Gate interface {
+	// Done reports whether the producer has finished.
+	Done() bool
+}
+
+// Desc describes one collective invocation.
+type Desc struct {
+	// Name is a diagnostic label.
+	Name string
+	// Op is the operation.
+	Op Op
+	// Bytes is the logical payload: the full (unsharded) tensor size for
+	// AllReduce/AllGather/ReduceScatter/Broadcast, the per-rank buffer for
+	// AllToAll, and the message size for SendRecv.
+	Bytes float64
+	// N is the number of participating ranks (2 for SendRecv).
+	N int
+	// Src and Dst identify the endpoints of a SendRecv.
+	Src, Dst int
+	// Gate, when non-nil, marks the operation as posted early: the kernel
+	// becomes resident (occupying SMs and serializing issue, as NCCL/RCCL
+	// spin-wait kernels do) as soon as its queue slot opens, but moves no
+	// data until the gate completes. Pipeline receives use this — it is
+	// how communication kernel time comes to overlap computation in the
+	// profiles the paper analyzes.
+	Gate Gate
+}
+
+// Waiting reports whether the operation is posted but still blocked on its
+// producer.
+func (d Desc) Waiting() bool {
+	return d.Gate != nil && !d.Gate.Done()
+}
+
+// Validate reports whether the descriptor is well formed.
+func (d Desc) Validate() error {
+	if d.Bytes < 0 {
+		return fmt.Errorf("collective: %q has negative bytes %g", d.Name, d.Bytes)
+	}
+	min := 2
+	if d.N < min {
+		return fmt.Errorf("collective: %q has %d ranks, need at least %d", d.Name, d.N, min)
+	}
+	if d.Op == SendRecv && d.Src == d.Dst {
+		return fmt.Errorf("collective: %q sends to itself (rank %d)", d.Name, d.Src)
+	}
+	return nil
+}
+
+// WireBytesPerRank returns the bytes each rank transmits on the wire under
+// the ring algorithm.
+func (d Desc) WireBytesPerRank() float64 {
+	n := float64(d.N)
+	switch d.Op {
+	case AllReduce:
+		return 2 * d.Bytes * (n - 1) / n
+	case AllGather, ReduceScatter:
+		return d.Bytes * (n - 1) / n
+	case Broadcast:
+		return d.Bytes
+	case AllToAll:
+		return d.Bytes * (n - 1) / n
+	case SendRecv:
+		return d.Bytes
+	default:
+		panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
+	}
+}
+
+// Steps returns the number of latency-bound algorithm steps.
+func (d Desc) Steps() int {
+	switch d.Op {
+	case AllReduce:
+		return 2 * (d.N - 1)
+	case AllGather, ReduceScatter, Broadcast:
+		return d.N - 1
+	case AllToAll:
+		return d.N - 1
+	case SendRecv:
+		return 1
+	default:
+		panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
+	}
+}
+
+// BW returns the wire bandwidth in bytes/s the operation sustains per rank
+// on the given topology.
+func BW(d Desc, t *topo.Topology) float64 {
+	if d.Op == SendRecv {
+		return t.P2PBW(d.Src, d.Dst)
+	}
+	return t.RingBW()
+}
+
+// Time returns the contention-free completion time of the collective on
+// the topology: transfer of the per-rank wire bytes plus per-step hop
+// latencies.
+func Time(d Desc, t *topo.Topology) float64 {
+	bw := BW(d, t)
+	if bw <= 0 {
+		panic(fmt.Sprintf("collective: zero bandwidth for %q", d.Name))
+	}
+	return d.WireBytesPerRank()/bw + float64(d.Steps())*t.HopLatency()
+}
+
+// EffWireBytes returns the latency-adjusted wire bytes the simulator uses
+// as the task's work: the per-rank wire bytes plus the byte-equivalent of
+// the step latencies at the operation's bandwidth. Executing this work at
+// BW reproduces Time exactly, letting a collective be one fluid task.
+func EffWireBytes(d Desc, t *topo.Topology) float64 {
+	return d.WireBytesPerRank() + float64(d.Steps())*t.HopLatency()*BW(d, t)
+}
+
+// BusBW returns the nccl-tests style "bus bandwidth" implied by a measured
+// completion time: the algorithm-normalized bandwidth that lets different
+// collectives be compared against link speed.
+func BusBW(d Desc, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	n := float64(d.N)
+	algBytes := d.Bytes / seconds
+	switch d.Op {
+	case AllReduce:
+		return algBytes * 2 * (n - 1) / n
+	case AllGather, ReduceScatter, AllToAll:
+		return algBytes * (n - 1) / n
+	default:
+		return algBytes
+	}
+}
+
+// SMOccupancy returns the SMs/CUs a resident kernel of this collective
+// occupies on GPU g.
+func SMOccupancy(d Desc, g *hw.GPUSpec) int {
+	if d.Op.Reducing() {
+		return g.Contention.CollSMsReduce
+	}
+	return g.Contention.CollSMsCopy
+}
+
+// HBMDraw returns the HBM bandwidth in bytes/s the collective consumes on
+// each participant while its wire transfer proceeds at wireRate bytes/s.
+func HBMDraw(d Desc, g *hw.GPUSpec, wireRate float64) float64 {
+	if wireRate <= 0 {
+		return 0
+	}
+	k := g.Contention.HBMPerWireByte
+	if !d.Op.Reducing() {
+		// Copy collectives skip the reduction read stream.
+		k *= 0.75
+	}
+	return k * wireRate
+}
+
+// Participants returns the rank indices the collective occupies. For
+// SendRecv these are the two endpoints; otherwise ranks 0..N-1.
+func (d Desc) Participants() []int {
+	if d.Op == SendRecv {
+		return []int{d.Src, d.Dst}
+	}
+	ranks := make([]int, d.N)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return ranks
+}

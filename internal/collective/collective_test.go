@@ -1,0 +1,195 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/topo"
+)
+
+func topo4() *topo.Topology {
+	return topo.ForSystem(hw.NewSystem(hw.H100(), 4))
+}
+
+func TestWireBytesFormulas(t *testing.T) {
+	const S = 1 << 20
+	cases := []struct {
+		op   Op
+		n    int
+		want float64
+	}{
+		{AllReduce, 4, 2 * S * 3.0 / 4.0},
+		{AllGather, 4, S * 3.0 / 4.0},
+		{ReduceScatter, 4, S * 3.0 / 4.0},
+		{Broadcast, 4, S},
+		{AllToAll, 4, S * 3.0 / 4.0},
+		{SendRecv, 2, S},
+	}
+	for _, c := range cases {
+		d := Desc{Name: c.op.String(), Op: c.op, Bytes: S, N: c.n, Dst: 1}
+		if got := d.WireBytesPerRank(); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%v wire bytes = %g, want %g", c.op, got, c.want)
+		}
+	}
+}
+
+func TestAllReduceEqualsGatherPlusScatter(t *testing.T) {
+	// Ring identity: all-reduce = reduce-scatter + all-gather, in both
+	// wire bytes and steps.
+	f := func(bytes uint32, n uint8) bool {
+		ranks := int(n%7) + 2
+		s := float64(bytes) + 1
+		ar := Desc{Op: AllReduce, Bytes: s, N: ranks}
+		ag := Desc{Op: AllGather, Bytes: s, N: ranks}
+		rs := Desc{Op: ReduceScatter, Bytes: s, N: ranks}
+		wires := math.Abs(ar.WireBytesPerRank()-(ag.WireBytesPerRank()+rs.WireBytesPerRank())) < 1e-6
+		steps := ar.Steps() == ag.Steps()+rs.Steps()
+		return wires && steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	d := Desc{Op: AllReduce, Bytes: 1, N: 8}
+	if d.Steps() != 14 {
+		t.Errorf("allreduce over 8 ranks: %d steps, want 14", d.Steps())
+	}
+	p2p := Desc{Op: SendRecv, Bytes: 1, N: 2, Dst: 1}
+	if p2p.Steps() != 1 {
+		t.Errorf("send-recv steps = %d, want 1", p2p.Steps())
+	}
+}
+
+func TestTimeMonotonicInBytes(t *testing.T) {
+	tp := topo4()
+	f := func(a, b uint32) bool {
+		sa, sb := float64(a)+1, float64(b)+1
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		da := Desc{Op: AllReduce, Bytes: sa, N: 4}
+		db := Desc{Op: AllReduce, Bytes: sb, N: 4}
+		return Time(da, tp) <= Time(db, tp)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffWireBytesReproducesTime(t *testing.T) {
+	tp := topo4()
+	for _, op := range []Op{AllReduce, AllGather, ReduceScatter, Broadcast, AllToAll} {
+		d := Desc{Name: op.String(), Op: op, Bytes: 256 << 20, N: 4}
+		want := Time(d, tp)
+		got := EffWireBytes(d, tp) / BW(d, tp)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("%v: EffWireBytes/BW = %g, Time = %g", op, got, want)
+		}
+	}
+}
+
+func TestBusBWBelowLink(t *testing.T) {
+	tp := topo4()
+	d := Desc{Op: AllReduce, Bytes: 1 << 30, N: 4}
+	bus := BusBW(d, Time(d, tp))
+	if bus <= 0 || bus > tp.RingBW()*1.01 {
+		t.Errorf("bus bandwidth %g outside (0, %g]", bus, tp.RingBW())
+	}
+}
+
+func TestBusBWZeroTime(t *testing.T) {
+	d := Desc{Op: AllReduce, Bytes: 1, N: 4}
+	if BusBW(d, 0) != 0 {
+		t.Error("zero time should yield zero bus bandwidth")
+	}
+}
+
+func TestReducing(t *testing.T) {
+	if !AllReduce.Reducing() || !ReduceScatter.Reducing() {
+		t.Error("all-reduce and reduce-scatter reduce")
+	}
+	if AllGather.Reducing() || SendRecv.Reducing() || Broadcast.Reducing() {
+		t.Error("copy collectives must not be classified as reducing")
+	}
+}
+
+func TestSMOccupancyByClass(t *testing.T) {
+	g := hw.MI250()
+	red := Desc{Op: ReduceScatter, Bytes: 1, N: 4}
+	cp := Desc{Op: AllGather, Bytes: 1, N: 4}
+	if SMOccupancy(red, g) <= SMOccupancy(cp, g) {
+		t.Error("reducing collectives must occupy more CUs than copies")
+	}
+}
+
+func TestHBMDraw(t *testing.T) {
+	g := hw.H100()
+	red := Desc{Op: AllReduce, Bytes: 1, N: 4}
+	cp := Desc{Op: AllGather, Bytes: 1, N: 4}
+	if HBMDraw(red, g, 1e9) <= HBMDraw(cp, g, 1e9) {
+		t.Error("reducing collectives must draw more HBM per wire byte")
+	}
+	if HBMDraw(red, g, 0) != 0 {
+		t.Error("no wire rate, no HBM draw")
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	d := Desc{Op: AllGather, Bytes: 1, N: 3}
+	if got := d.Participants(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("participants = %v", got)
+	}
+	p2p := Desc{Op: SendRecv, Bytes: 1, N: 2, Src: 2, Dst: 0}
+	if got := p2p.Participants(); len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Errorf("send-recv participants = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Desc{
+		{Name: "neg", Op: AllReduce, Bytes: -1, N: 4},
+		{Name: "ranks", Op: AllReduce, Bytes: 1, N: 1},
+		{Name: "self", Op: SendRecv, Bytes: 1, N: 2, Src: 1, Dst: 1},
+	}
+	for _, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("%s: expected validation error", d.Name)
+		}
+	}
+	ok := Desc{Name: "ok", Op: SendRecv, Bytes: 1, N: 2, Src: 0, Dst: 1}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeGate bool
+
+func (g fakeGate) Done() bool { return bool(g) }
+
+func TestWaiting(t *testing.T) {
+	d := Desc{Op: SendRecv, Bytes: 1, N: 2, Dst: 1}
+	if d.Waiting() {
+		t.Error("no gate: never waiting")
+	}
+	d.Gate = fakeGate(false)
+	if !d.Waiting() {
+		t.Error("unfinished gate: waiting")
+	}
+	d.Gate = fakeGate(true)
+	if d.Waiting() {
+		t.Error("finished gate: not waiting")
+	}
+}
+
+func TestP2PUsesP2PBandwidth(t *testing.T) {
+	amd := topo.ForSystem(hw.NewSystem(hw.MI210(), 4))
+	p2p := Desc{Op: SendRecv, Bytes: 1, N: 2, Src: 0, Dst: 1}
+	ring := Desc{Op: AllGather, Bytes: 1, N: 4}
+	if BW(p2p, amd) >= BW(ring, amd) {
+		t.Error("mesh point-to-point bandwidth should be below ring bandwidth")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+// Ablation tests for the extension features: gradient accumulation (the
+// §II-B mitigation), the DDP baseline strategy, and frequency capping.
+
+import (
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+// Gradient accumulation dilutes communication per unit of compute, so the
+// compute slowdown and overlap ratio must fall.
+func TestGradAccumReducesSlowdown(t *testing.T) {
+	base := mustRun(t, Config{
+		System: hw.SystemMI250x4(), Model: model.GPT3_6_7B(), Parallelism: FSDP,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true,
+	})
+	accum := mustRun(t, Config{
+		System: hw.SystemMI250x4(), Model: model.GPT3_6_7B(), Parallelism: FSDP,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true, GradAccumSteps: 4,
+	})
+	if accum.Char.ComputeSlowdown >= base.Char.ComputeSlowdown {
+		t.Errorf("grad accumulation did not reduce slowdown: %.1f%% vs %.1f%%",
+			accum.Char.ComputeSlowdown*100, base.Char.ComputeSlowdown*100)
+	}
+	// Communication per unit of compute must fall: reduce-scatters happen
+	// once per iteration instead of once per micro-step. (The overlap
+	// ratio itself barely moves — parameter gathers still run every
+	// micro-step under ZeRO-3.)
+	baseRatio := base.Overlapped.Mean.CommKernelTime / base.Overlapped.Mean.ComputeKernelTime
+	accumRatio := accum.Overlapped.Mean.CommKernelTime / accum.Overlapped.Mean.ComputeKernelTime
+	if accumRatio >= baseRatio {
+		t.Errorf("grad accumulation did not dilute communication: %.3f vs %.3f", accumRatio, baseRatio)
+	}
+}
+
+// The DDP baseline runs end-to-end through the harness and moves less
+// communication than FSDP for the same model (1×P of gradients versus
+// ≈3×P of parameters+gradients).
+func TestDDPBaseline(t *testing.T) {
+	cfg := tinyCfg(DDP)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	fsdpRes := mustRun(t, tinyCfg(FSDP))
+	if res.Overlapped.Mean.CommKernelTime >= fsdpRes.Overlapped.Mean.CommKernelTime {
+		t.Errorf("DDP comm %.3fms should be below FSDP %.3fms",
+			res.Overlapped.Mean.CommKernelTime*1e3, fsdpRes.Overlapped.Mean.CommKernelTime*1e3)
+	}
+}
+
+// DDP's full replica OOMs where FSDP's sharded states fit.
+func TestDDPMemoryWall(t *testing.T) {
+	cfg := Config{System: hw.SystemH100x4(), Model: model.GPT3_13B(), Parallelism: DDP,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("13B under DDP must OOM on 80GB GPUs")
+	}
+	cfg.Parallelism = FSDP
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("13B under FSDP must fit: %v", err)
+	}
+}
+
+// Frequency capping (the paper's other throttling axis) slows execution
+// monotonically and cuts power.
+func TestFrequencyCapping(t *testing.T) {
+	base := mustRun(t, tinyCfg(FSDP))
+	prev := base.Overlapped.Mean.E2E
+	for _, f := range []float64{0.8, 0.6, 0.4} {
+		cfg := tinyCfg(FSDP)
+		cfg.Caps = power.Caps{FreqFactor: f}
+		res := mustRun(t, cfg)
+		if res.Overlapped.Mean.E2E < prev {
+			t.Errorf("freq cap %g: E2E %.2fms fell below looser cap's %.2fms",
+				f, res.Overlapped.Mean.E2E*1e3, prev*1e3)
+		}
+		if res.Overlapped.AvgTDP >= base.Overlapped.AvgTDP {
+			t.Errorf("freq cap %g did not reduce average power", f)
+		}
+		prev = res.Overlapped.Mean.E2E
+	}
+}

@@ -1,0 +1,229 @@
+// Package core is the characterization harness — the paper's primary
+// contribution turned into a library. One Config names a hardware system,
+// a workload, a distribution strategy and the ablation knobs (precision,
+// matrix units, power caps); Run executes the workload in both the
+// overlapped and sequential modes on the simulated cluster, measures
+// kernel times, overlap, power and energy exactly as §IV-D prescribes, and
+// derives the paper's metrics (Equations 1–5).
+package core
+
+import (
+	"fmt"
+
+	"overlapsim/internal/ddp"
+	"overlapsim/internal/exec"
+	"overlapsim/internal/fsdp"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/metrics"
+	"overlapsim/internal/model"
+	"overlapsim/internal/pipeline"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+// Parallelism selects the distribution strategy.
+type Parallelism int
+
+// Distribution strategies (§II-B).
+const (
+	// FSDP is fully sharded data parallelism (ZeRO-3).
+	FSDP Parallelism = iota
+	// Pipeline is pipeline parallelism.
+	Pipeline
+	// DDP is classic replicated data parallelism with bucketed gradient
+	// all-reduce — the baseline strategy FSDP improves on.
+	DDP
+)
+
+// String returns the strategy name.
+func (p Parallelism) String() string {
+	switch p {
+	case FSDP:
+		return "FSDP"
+	case Pipeline:
+		return "PP"
+	case DDP:
+		return "DDP"
+	default:
+		return fmt.Sprintf("Parallelism(%d)", int(p))
+	}
+}
+
+// Config describes one characterization experiment.
+type Config struct {
+	// System is the GPU node.
+	System hw.System
+	// Model is the workload (Table II).
+	Model model.Config
+	// Parallelism is the distribution strategy.
+	Parallelism Parallelism
+	// Batch is the batch size: per-GPU for FSDP, per-pipeline for
+	// pipeline parallelism.
+	Batch int
+	// MicroBatch is the pipeline microbatch size (pipeline only; 0 picks
+	// the default).
+	MicroBatch int
+	// Format is the training precision (the paper's default is FP16).
+	Format precision.Format
+	// MatrixUnits enables Tensor-Core/Matrix-Core GEMM execution; the
+	// Fig. 11 ablation toggles this with FP32/TF32.
+	MatrixUnits bool
+	// NoCheckpoint disables activation recomputation (on by default, as
+	// in the Megatron/DeepSpeed configurations of this model scale).
+	NoCheckpoint bool
+	// GradAccumSteps enables gradient accumulation under FSDP (§II-B
+	// mitigation; 0 or 1 disables).
+	GradAccumSteps int
+	// Iterations is the number of measured iterations (0 means 2).
+	Iterations int
+	// Warmup is the number of unmeasured iterations (0 means 1).
+	Warmup int
+	// Caps are the power/frequency limits (Fig. 9).
+	Caps power.Caps
+	// TraceInterval, when nonzero, records per-GPU power traces at this
+	// interval (Fig. 7 uses power.TraceInterval).
+	TraceInterval float64
+	// JitterSigma adds run-to-run kernel-time variation; Seed seeds it.
+	JitterSigma float64
+	Seed        int64
+	// SkipMemoryCheck disables the HBM feasibility gate.
+	SkipMemoryCheck bool
+}
+
+// Label returns a compact human-readable description of the experiment.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s %s %s bs=%d %s", c.System.Name, c.Parallelism, c.Model.Name, c.Batch, c.Format)
+}
+
+// ModeResult is the measurement of one execution mode.
+type ModeResult struct {
+	// Mode is the executed mode.
+	Mode exec.Mode
+	// Mean is the average of the measured iterations.
+	Mean metrics.Iteration
+	// Iterations are the individual measured iterations.
+	Iterations []metrics.Iteration
+	// GPUPower is per-GPU power telemetry for the whole run.
+	GPUPower []power.Stats
+	// AvgTDP and PeakTDP aggregate power across GPUs (mean of averages,
+	// max of peaks) normalized to TDP — the Fig. 6 quantities.
+	AvgTDP, PeakTDP float64
+	// EnergyJ is total energy across GPUs.
+	EnergyJ float64
+	// Traces holds per-GPU fine-grained power samples when tracing was
+	// requested.
+	Traces [][]power.Sample
+	// OverlapRatio is Eq. 2 measured on this mode's trace.
+	OverlapRatio float64
+}
+
+// Result is a full characterization: both modes plus derived metrics.
+type Result struct {
+	// Config echoes the experiment.
+	Config Config
+	// Overlapped and Sequential are the two measured modes.
+	Overlapped, Sequential ModeResult
+	// Char holds the derived Eq. 1–5 metrics.
+	Char metrics.Characterization
+}
+
+// RunMode executes the experiment in a single mode on a fresh cluster.
+func RunMode(cfg Config, mode exec.Mode) (*ModeResult, error) {
+	cl, err := gpu.New(gpu.Config{
+		System:        cfg.System,
+		Caps:          cfg.Caps,
+		TraceInterval: cfg.TraceInterval,
+		JitterSigma:   cfg.JitterSigma,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var plan *exec.Plan
+	switch cfg.Parallelism {
+	case FSDP:
+		plan, err = fsdp.Build(cl, fsdp.Config{
+			Model:           cfg.Model,
+			Batch:           cfg.Batch,
+			Format:          cfg.Format,
+			MatrixUnits:     cfg.MatrixUnits,
+			Checkpoint:      !cfg.NoCheckpoint,
+			GradAccumSteps:  cfg.GradAccumSteps,
+			Iterations:      cfg.Iterations,
+			Warmup:          cfg.Warmup,
+			Mode:            mode,
+			SkipMemoryCheck: cfg.SkipMemoryCheck,
+		})
+	case DDP:
+		plan, err = ddp.Build(cl, ddp.Config{
+			Model:           cfg.Model,
+			Batch:           cfg.Batch,
+			Format:          cfg.Format,
+			MatrixUnits:     cfg.MatrixUnits,
+			Checkpoint:      !cfg.NoCheckpoint,
+			Iterations:      cfg.Iterations,
+			Warmup:          cfg.Warmup,
+			Mode:            mode,
+			SkipMemoryCheck: cfg.SkipMemoryCheck,
+		})
+	case Pipeline:
+		plan, err = pipeline.Build(cl, pipeline.Config{
+			Model:           cfg.Model,
+			Batch:           cfg.Batch,
+			MicroBatch:      cfg.MicroBatch,
+			Format:          cfg.Format,
+			MatrixUnits:     cfg.MatrixUnits,
+			Checkpoint:      !cfg.NoCheckpoint,
+			Iterations:      cfg.Iterations,
+			Warmup:          cfg.Warmup,
+			Mode:            mode,
+			SkipMemoryCheck: cfg.SkipMemoryCheck,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown parallelism %v", cfg.Parallelism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s (%v): %w", cfg.Label(), mode, err)
+	}
+
+	res := &ModeResult{Mode: mode, Iterations: plan.MeasuredIterations()}
+	res.Mean = metrics.Mean(res.Iterations)
+	res.OverlapRatio = res.Mean.OverlapRatio()
+	for i := 0; i < cl.N(); i++ {
+		st := cl.PowerStats(i)
+		res.GPUPower = append(res.GPUPower, st)
+		res.AvgTDP += st.AvgTDP / float64(cl.N())
+		if st.PeakTDP > res.PeakTDP {
+			res.PeakTDP = st.PeakTDP
+		}
+		res.EnergyJ += st.EnergyJ
+		if tr := cl.Trace(i); tr != nil {
+			res.Traces = append(res.Traces, tr.Samples())
+		}
+	}
+	return res, nil
+}
+
+// Run executes the experiment in both modes and derives the paper's
+// characterization metrics.
+func Run(cfg Config) (*Result, error) {
+	ovl, err := RunMode(cfg, exec.Overlapped)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := RunMode(cfg, exec.Sequential)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Config:     cfg,
+		Overlapped: *ovl,
+		Sequential: *seq,
+		Char:       metrics.Characterize(seq.Mean, ovl.Mean),
+	}, nil
+}

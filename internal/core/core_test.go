@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"overlapsim/internal/exec"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+func tinyModel() model.Config {
+	return model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+		Layers: 8, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
+}
+
+func tinyCfg(par Parallelism) Config {
+	return Config{
+		System:      hw.SystemH100x4(),
+		Model:       tinyModel(),
+		Parallelism: par,
+		Batch:       8,
+		Format:      precision.FP16,
+		MatrixUnits: true,
+	}
+}
+
+func TestRunFSDP(t *testing.T) {
+	res, err := Run(tinyCfg(FSDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+}
+
+func TestRunPipeline(t *testing.T) {
+	res, err := Run(tinyCfg(Pipeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+}
+
+// checkResult asserts the structural invariants every characterization
+// must satisfy.
+func checkResult(t *testing.T, res *Result) {
+	t.Helper()
+	c := res.Char
+	if res.Sequential.Mean.E2E < res.Overlapped.Mean.E2E {
+		t.Errorf("sequential E2E %g below overlapped %g",
+			res.Sequential.Mean.E2E, res.Overlapped.Mean.E2E)
+	}
+	if c.E2EIdeal > res.Overlapped.Mean.E2E+1e-12 {
+		t.Errorf("ideal E2E %g above overlapped %g", c.E2EIdeal, res.Overlapped.Mean.E2E)
+	}
+	if c.ComputeSlowdown < 0 {
+		t.Errorf("negative compute slowdown %g", c.ComputeSlowdown)
+	}
+	if c.OverlapRatio < 0 || c.OverlapRatio > 1 {
+		t.Errorf("overlap ratio %g outside [0,1]", c.OverlapRatio)
+	}
+	if len(res.Overlapped.GPUPower) != res.Config.System.N {
+		t.Errorf("power stats for %d GPUs, want %d", len(res.Overlapped.GPUPower), res.Config.System.N)
+	}
+	if res.Overlapped.AvgTDP <= 0 || res.Overlapped.EnergyJ <= 0 {
+		t.Error("missing power accounting")
+	}
+	if res.Overlapped.PeakTDP < res.Overlapped.AvgTDP {
+		t.Error("peak power below average")
+	}
+}
+
+func TestRunModeTrace(t *testing.T) {
+	cfg := tinyCfg(FSDP)
+	cfg.TraceInterval = power.TraceInterval
+	res, err := RunMode(cfg, exec.Overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 4 {
+		t.Fatalf("traces for %d GPUs, want 4", len(res.Traces))
+	}
+	if len(res.Traces[0]) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestPowerCapSlowsExecution(t *testing.T) {
+	base, err := Run(tinyCfg(FSDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := tinyCfg(FSDP)
+	capped.Caps = power.Caps{PowerW: 150}
+	cres, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Overlapped.Mean.E2E <= base.Overlapped.Mean.E2E {
+		t.Errorf("150W cap did not slow execution: %g vs %g",
+			cres.Overlapped.Mean.E2E, base.Overlapped.Mean.E2E)
+	}
+	if cres.Overlapped.AvgTDP >= base.Overlapped.AvgTDP {
+		t.Error("cap did not reduce average power")
+	}
+}
+
+func TestOOMPropagates(t *testing.T) {
+	cfg := tinyCfg(FSDP)
+	cfg.System = hw.SystemA100x4()
+	cfg.Model = model.GPT3_13B()
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("13B on A100x4 must OOM")
+	}
+}
+
+func TestUnknownParallelism(t *testing.T) {
+	cfg := tinyCfg(FSDP)
+	cfg.Parallelism = Parallelism(9)
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown parallelism must fail")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if tinyCfg(FSDP).Label() == "" || FSDP.String() != "FSDP" || Pipeline.String() != "PP" {
+		t.Error("labels")
+	}
+}
+
+func TestJitterReproducible(t *testing.T) {
+	cfg := tinyCfg(FSDP)
+	cfg.JitterSigma = 0.03
+	cfg.Seed = 7
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overlapped.Mean.E2E != b.Overlapped.Mean.E2E {
+		t.Error("same seed must reproduce exactly")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+// Golden-shape tests: the paper's seven takeaways (§V) asserted as
+// inequalities over simulated results on the real Table I/II
+// configurations. These are the reproduction's primary acceptance tests.
+
+import (
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Label(), err)
+	}
+	return res
+}
+
+func fsdpCfg(sys hw.System, m model.Config, batch int) Config {
+	return Config{System: sys, Model: m, Parallelism: FSDP, Batch: batch,
+		Format: precision.FP16, MatrixUnits: true}
+}
+
+// Takeaway 1: strategies with complex collectives (FSDP) show higher
+// slowdowns than send/recv-based pipeline parallelism at matched
+// configuration.
+func TestTakeaway1FSDPSlowsMoreThanPP(t *testing.T) {
+	sys := hw.SystemMI250x4()
+	m := model.GPT3_6_7B()
+	f := mustRun(t, Config{System: sys, Model: m, Parallelism: FSDP, Batch: 8,
+		Format: precision.FP16, MatrixUnits: true})
+	p := mustRun(t, Config{System: sys, Model: m, Parallelism: Pipeline, Batch: 8,
+		Format: precision.FP16, MatrixUnits: true})
+	if f.Char.ComputeSlowdown <= p.Char.ComputeSlowdown {
+		t.Errorf("FSDP slowdown %.1f%% not above PP %.1f%%",
+			f.Char.ComputeSlowdown*100, p.Char.ComputeSlowdown*100)
+	}
+}
+
+// Takeaway 2: larger models suffer larger slowdowns (resource contention
+// compounds with model complexity).
+func TestTakeaway2ModelSizeIncreasesSlowdown(t *testing.T) {
+	sys := hw.SystemMI250x4()
+	small := mustRun(t, fsdpCfg(sys, model.GPT3XL(), 8))
+	big := mustRun(t, fsdpCfg(sys, model.GPT3_13B(), 8))
+	if big.Char.ComputeSlowdown <= small.Char.ComputeSlowdown {
+		t.Errorf("13B slowdown %.1f%% not above XL %.1f%%",
+			big.Char.ComputeSlowdown*100, small.Char.ComputeSlowdown*100)
+	}
+	if big.Char.OverlapRatio <= small.Char.OverlapRatio {
+		t.Errorf("13B overlap %.1f%% not above XL %.1f%%",
+			big.Char.OverlapRatio*100, small.Char.OverlapRatio*100)
+	}
+}
+
+// FSDP batch-size trend: larger batches dilute communication and shrink
+// the slowdown (§V-A).
+func TestFSDPBatchTrend(t *testing.T) {
+	sys := hw.SystemH100x4()
+	m := model.GPT3_2_7B()
+	b8 := mustRun(t, fsdpCfg(sys, m, 8))
+	b64 := mustRun(t, fsdpCfg(sys, m, 64))
+	if b64.Char.ComputeSlowdown >= b8.Char.ComputeSlowdown {
+		t.Errorf("FSDP slowdown must fall with batch: bs8 %.2f%% vs bs64 %.2f%%",
+			b8.Char.ComputeSlowdown*100, b64.Char.ComputeSlowdown*100)
+	}
+}
+
+// Pipeline batch-size trend: the opposite — more microbatches mean more
+// overlapped steady state and more slowdown (§V-A).
+func TestPipelineBatchTrend(t *testing.T) {
+	sys := hw.SystemA100x4()
+	m := model.GPT3_2_7B()
+	b8 := mustRun(t, Config{System: sys, Model: m, Parallelism: Pipeline, Batch: 8,
+		Format: precision.FP16, MatrixUnits: true})
+	b64 := mustRun(t, Config{System: sys, Model: m, Parallelism: Pipeline, Batch: 64,
+		Format: precision.FP16, MatrixUnits: true})
+	if b64.Char.ComputeSlowdown <= b8.Char.ComputeSlowdown {
+		t.Errorf("PP slowdown must rise with batch: bs8 %.2f%% vs bs64 %.2f%%",
+			b8.Char.ComputeSlowdown*100, b64.Char.ComputeSlowdown*100)
+	}
+}
+
+// Takeaway 3: overlapping beats sequential end-to-end but stays above
+// ideal.
+func TestTakeaway3E2EOrdering(t *testing.T) {
+	for _, sys := range []hw.System{hw.SystemH100x4(), hw.SystemMI250x4()} {
+		res := mustRun(t, fsdpCfg(sys, model.GPT3_6_7B(), 8))
+		ovl := res.Overlapped.Mean.E2E
+		seq := res.Sequential.Mean.E2E
+		ideal := res.Char.E2EIdeal
+		if !(ideal <= ovl && ovl <= seq) {
+			t.Errorf("%s: ordering violated: ideal %.1fms, overlap %.1fms, seq %.1fms",
+				sys.Name, ideal*1e3, ovl*1e3, seq*1e3)
+		}
+	}
+}
+
+// Takeaway 4: overlapping raises peak power versus sequential execution.
+func TestTakeaway4OverlapRaisesPeakPower(t *testing.T) {
+	res := mustRun(t, fsdpCfg(hw.SystemMI250x4(), model.GPT3_13B(), 8))
+	if res.Overlapped.PeakTDP < res.Sequential.PeakTDP {
+		t.Errorf("overlapped peak %.2fxTDP below sequential %.2fxTDP",
+			res.Overlapped.PeakTDP, res.Sequential.PeakTDP)
+	}
+}
+
+// Takeaway 5: power caps amplify the contention; execution time grows
+// monotonically as the cap tightens, severely at 100W (Fig. 9).
+func TestTakeaway5PowerCapping(t *testing.T) {
+	m := model.GPT3_2_7B()
+	prev := 0.0
+	var base float64
+	for _, cap := range []float64{0, 250, 150, 100} {
+		cfg := fsdpCfg(hw.SystemA100x4(), m, 16)
+		cfg.Caps = power.Caps{PowerW: cap}
+		res := mustRun(t, cfg)
+		e2e := res.Overlapped.Mean.E2E
+		if e2e < prev {
+			t.Errorf("cap %gW: E2E %.1fms fell below looser cap's %.1fms", cap, e2e*1e3, prev*1e3)
+		}
+		prev = e2e
+		if cap == 0 {
+			base = e2e
+		}
+		if cap == 100 && e2e < base*1.8 {
+			t.Errorf("100W cap increased E2E only %.0f%%, paper reports ≈107%%", (e2e/base-1)*100)
+		}
+	}
+}
+
+// Takeaway 7 (Fig. 10): FP16 cuts power on small models but raises the
+// overlap ratio and slowdown relative to FP32.
+func TestTakeaway7Precision(t *testing.T) {
+	sys := hw.SystemH100x4()
+	m := model.GPT3XL()
+	fp32 := mustRun(t, Config{System: sys, Model: m, Parallelism: FSDP, Batch: 8,
+		Format: precision.FP32, MatrixUnits: false})
+	fp16 := mustRun(t, Config{System: sys, Model: m, Parallelism: FSDP, Batch: 8,
+		Format: precision.FP16, MatrixUnits: true})
+	if fp16.Overlapped.PeakTDP >= fp32.Overlapped.PeakTDP {
+		t.Errorf("FP16 peak %.2fxTDP not below FP32 %.2fxTDP on a small model",
+			fp16.Overlapped.PeakTDP, fp32.Overlapped.PeakTDP)
+	}
+	if fp16.Char.OverlapRatio <= fp32.Char.OverlapRatio {
+		t.Errorf("FP16 overlap ratio %.1f%% not above FP32 %.1f%%",
+			fp16.Char.OverlapRatio*100, fp32.Char.OverlapRatio*100)
+	}
+	if fp16.Char.ComputeSlowdown <= fp32.Char.ComputeSlowdown {
+		t.Errorf("FP16 slowdown %.2f%% not above FP32 %.2f%%",
+			fp16.Char.ComputeSlowdown*100, fp32.Char.ComputeSlowdown*100)
+	}
+}
+
+// Takeaway 7 (Fig. 11): routing FP32 through Tensor Cores (TF32) lowers
+// power on small models but increases slowdown on larger ones.
+func TestTakeaway7TensorCores(t *testing.T) {
+	sys := hw.SystemH100x4()
+	small := model.GPT3XL()
+	vec := mustRun(t, Config{System: sys, Model: small, Parallelism: FSDP, Batch: 8,
+		Format: precision.FP32, MatrixUnits: false})
+	tc := mustRun(t, Config{System: sys, Model: small, Parallelism: FSDP, Batch: 8,
+		Format: precision.FP32, MatrixUnits: true})
+	if tc.Overlapped.PeakTDP >= vec.Overlapped.PeakTDP {
+		t.Errorf("TF32 peak %.2fxTDP not below FP32 %.2fxTDP on GPT-3 XL",
+			tc.Overlapped.PeakTDP, vec.Overlapped.PeakTDP)
+	}
+	big := model.GPT3_6_7B()
+	vecB := mustRun(t, Config{System: sys, Model: big, Parallelism: FSDP, Batch: 16,
+		Format: precision.FP32, MatrixUnits: false})
+	tcB := mustRun(t, Config{System: sys, Model: big, Parallelism: FSDP, Batch: 16,
+		Format: precision.FP32, MatrixUnits: true})
+	if tcB.Char.ComputeSlowdown <= vecB.Char.ComputeSlowdown {
+		t.Errorf("TF32 slowdown %.2f%% not above FP32 %.2f%% on GPT-3 6.7B",
+			tcB.Char.ComputeSlowdown*100, vecB.Char.ComputeSlowdown*100)
+	}
+}
+
+// Vendor shape: at matched workloads AMD systems see larger slowdowns
+// than NVIDIA ones (RCCL contention), and MI250 exceeds MI210.
+func TestVendorOrdering(t *testing.T) {
+	m := model.GPT3_2_7B()
+	slow := func(sys hw.System) float64 {
+		return mustRun(t, fsdpCfg(sys, m, 8)).Char.ComputeSlowdown
+	}
+	a100 := slow(hw.SystemA100x4())
+	mi210 := slow(hw.SystemMI210x4())
+	mi250 := slow(hw.SystemMI250x4())
+	if mi210 <= a100 {
+		t.Errorf("MI210 %.1f%% not above A100 %.1f%%", mi210*100, a100*100)
+	}
+	if mi250 <= mi210 {
+		t.Errorf("MI250 %.1f%% not above MI210 %.1f%%", mi250*100, mi210*100)
+	}
+}
+
+// Memory gating reproduces §V-A: the A100 runs up to GPT-3 2.7B only.
+func TestA100MemoryConstraint(t *testing.T) {
+	if _, err := Run(fsdpCfg(hw.SystemA100x4(), model.GPT3_2_7B(), 8)); err != nil {
+		t.Errorf("2.7B must run on A100x4: %v", err)
+	}
+	if _, err := Run(fsdpCfg(hw.SystemA100x4(), model.GPT3_6_7B(), 8)); err == nil {
+		t.Error("6.7B must OOM on A100x4")
+	}
+}
+
+// The paper's worst case: MI250 GPT-3 13B at batch 8 shows a compute
+// slowdown in the tens of percent, with overlapped execution far above
+// ideal.
+func TestWorstCaseMI250(t *testing.T) {
+	res := mustRun(t, fsdpCfg(hw.SystemMI250x4(), model.GPT3_13B(), 8))
+	if s := res.Char.ComputeSlowdown; s < 0.25 || s > 0.55 {
+		t.Errorf("MI250 13B slowdown %.1f%%, want ≈40%% (paper)", s*100)
+	}
+	if g := res.Char.IdealGap; g < 0.25 {
+		t.Errorf("overlap-vs-ideal gap %.1f%%, paper reports ≈45%%", g*100)
+	}
+	if r := res.Char.OverlapRatio; r < 0.3 || r > 0.55 {
+		t.Errorf("overlap ratio %.1f%%, paper reports ≈42%%", r*100)
+	}
+}

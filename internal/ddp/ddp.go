@@ -1,0 +1,254 @@
+// Package ddp implements classic data-parallel training (PyTorch DDP) as
+// the baseline distribution strategy: every GPU holds a full replica;
+// gradients are all-reduced in fixed-size buckets that overlap the
+// remainder of the backward pass, exactly the "asynchronous gradient
+// communication" baseline the FSDP and pipeline strategies of the paper
+// are measured against. It reuses the same cluster, kernel and collective
+// substrates, so DDP results are directly comparable with the paper's two
+// strategies.
+package ddp
+
+import (
+	"fmt"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/exec"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/sim"
+)
+
+// Config configures one DDP training simulation.
+type Config struct {
+	// Model is the workload.
+	Model model.Config
+	// Batch is the global batch size (split across GPUs).
+	Batch int
+	// Format is the training numeric format.
+	Format precision.Format
+	// MatrixUnits enables Tensor-Core/Matrix-Core GEMMs.
+	MatrixUnits bool
+	// Checkpoint enables activation recomputation.
+	Checkpoint bool
+	// BucketBytes is the gradient-bucket size triggering an all-reduce
+	// (0 means DDP's default of 25 MiB).
+	BucketBytes float64
+	// Iterations is the number of measured iterations (0 means 2).
+	Iterations int
+	// Warmup is the number of unmeasured iterations (0 means 1, negative
+	// means none).
+	Warmup int
+	// Mode selects overlapped or sequential execution.
+	Mode exec.Mode
+	// SkipMemoryCheck disables the HBM-capacity gate.
+	SkipMemoryCheck bool
+}
+
+func (c *Config) setDefaults() {
+	if c.BucketBytes <= 0 {
+		c.BucketBytes = 25 << 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+}
+
+// FootprintDDP estimates per-GPU memory: the full (unsharded) replica
+// plus optimizer state and activations — the reason DDP cannot train the
+// paper's larger models at all and FSDP exists.
+func FootprintDDP(m model.Config, local int, f precision.Format, checkpoint bool) model.MemoryEstimate {
+	// Equivalent to FSDP over a single GPU (no sharding).
+	return m.FootprintFSDP(local, 1, f, checkpoint)
+}
+
+// Build constructs the multi-iteration DDP task graph on a fresh engine
+// bound to the cluster.
+func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
+	cfg.setDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	g := cl.GPU()
+	n := cl.N()
+	if cfg.Batch%n != 0 {
+		return nil, fmt.Errorf("ddp: global batch %d not divisible by %d GPUs", cfg.Batch, n)
+	}
+	local := cfg.Batch / n
+	if !cfg.SkipMemoryCheck {
+		est := FootprintDDP(cfg.Model, local, cfg.Format, cfg.Checkpoint)
+		if est.Total() > g.MemBytes() {
+			return nil, &model.ErrOOM{
+				Model:     fmt.Sprintf("%s (DDP bs=%d %s)", cfg.Model.Name, cfg.Batch, cfg.Format),
+				GPU:       g.Name,
+				NeedBytes: est.Total(),
+				HaveBytes: g.MemBytes(),
+			}
+		}
+	}
+
+	eng := sim.NewEngine(cl)
+	eng.AddObserver(cl)
+	b := &builder{cfg: cfg, eng: eng, cl: cl, n: n, local: local}
+	b.prepare()
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
+	for it := 0; it < cfg.Warmup+cfg.Iterations; it++ {
+		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
+	}
+	return plan, nil
+}
+
+type builder struct {
+	cfg   Config
+	eng   *sim.Engine
+	cl    *gpu.Cluster
+	n     int
+	local int
+
+	computeS []*sim.Stream
+	commS    *sim.Stream
+	chain    *exec.Chain
+
+	prevIterEnd []*sim.Task
+}
+
+func (b *builder) sequential() bool { return b.cfg.Mode == exec.Sequential }
+
+func (b *builder) prepare() {
+	for d := 0; d < b.n; d++ {
+		b.computeS = append(b.computeS, b.eng.NewStream(fmt.Sprintf("compute%d", d), d))
+	}
+	if b.sequential() {
+		b.chain = exec.NewChain()
+	} else {
+		b.commS = b.eng.NewStream("comm.allreduce", 0)
+	}
+	b.prevIterEnd = make([]*sim.Task, b.n)
+}
+
+func (b *builder) allDevices() []int {
+	devs := make([]int, b.n)
+	for i := range devs {
+		devs[i] = i
+	}
+	return devs
+}
+
+func (b *builder) newCompute(name string, d kernels.Desc) []*sim.Task {
+	out := make([]*sim.Task, b.n)
+	for dev := 0; dev < b.n; dev++ {
+		t := b.eng.NewTask(fmt.Sprintf("%s@%d", name, dev), sim.KindCompute, kernels.Work(d), d, b.computeS[dev])
+		if b.sequential() {
+			b.chain.Order(t, dev)
+		}
+		out[dev] = t
+	}
+	return out
+}
+
+func (b *builder) newAllReduce(name string, bytes float64) *sim.Task {
+	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.n}
+	work := collective.EffWireBytes(cd, b.cl.Topology())
+	if b.sequential() {
+		s := b.eng.NewStream("seqcomm."+name, 0)
+		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		b.chain.Order(t, b.allDevices()...)
+		return t
+	}
+	return b.eng.NewTask(name, sim.KindComm, work, cd, b.commS)
+}
+
+func after(ts []*sim.Task, deps ...*sim.Task) {
+	for _, t := range ts {
+		t.After(deps...)
+	}
+}
+
+// buildIteration appends one DDP iteration: full forward, then backward
+// layer by layer with gradient buckets all-reduced as they fill, then the
+// optimizer step gated on the last reduction.
+func (b *builder) buildIteration(it int) []*sim.Task {
+	m := b.cfg.Model
+	L := m.Layers
+	e := float64(b.cfg.Format.Bytes())
+	start := len(b.eng.Tasks())
+
+	fwdDesc := kernels.Fuse("fwd.layer", m.ForwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits)...)
+	bwdDesc := kernels.Fuse("bwd.layer", m.BackwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, b.cfg.Checkpoint)...)
+	headF := kernels.Fuse("fwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, true)...)
+	headB := kernels.Fuse("bwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, false)...)
+
+	barrier := func(ts []*sim.Task) {
+		for _, t := range ts {
+			for _, p := range b.prevIterEnd {
+				if p != nil {
+					t.After(p)
+				}
+			}
+		}
+	}
+
+	// Forward.
+	var prev []*sim.Task
+	for i := 0; i < L; i++ {
+		f := b.newCompute(fmt.Sprintf("it%d.fwd.l%d", it, i), fwdDesc)
+		if i == 0 {
+			barrier(f)
+		} else {
+			for d, t := range f {
+				t.After(prev[d])
+			}
+		}
+		prev = f
+	}
+	hf := b.newCompute(fmt.Sprintf("it%d.fwd.head", it), headF)
+	for d, t := range hf {
+		t.After(prev[d])
+	}
+	hb := b.newCompute(fmt.Sprintf("it%d.bwd.head", it), headB)
+	for d, t := range hb {
+		t.After(hf[d])
+	}
+	prev = hb
+
+	// Backward with bucketed all-reduce overlap.
+	layerGradBytes := m.ParamsPerLayer() * e
+	pending := m.EmbedParams() * e // head/embedding grads are ready first
+	var reduces []*sim.Task
+	bucket := 0
+	for i := L - 1; i >= 0; i-- {
+		bw := b.newCompute(fmt.Sprintf("it%d.bwd.l%d", it, i), bwdDesc)
+		for d, t := range bw {
+			t.After(prev[d])
+		}
+		prev = bw
+		pending += layerGradBytes
+		if pending >= b.cfg.BucketBytes || i == 0 {
+			ar := b.newAllReduce(fmt.Sprintf("it%d.ar.bucket%d", it, bucket), pending)
+			after([]*sim.Task{ar}, bw...)
+			reduces = append(reduces, ar)
+			pending = 0
+			bucket++
+		}
+	}
+
+	// Optimizer over the full replica.
+	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), m.OptimizerKernel(m.TotalParams()))
+	for d, t := range opt {
+		t.After(prev[d])
+		t.After(reduces[len(reduces)-1])
+	}
+	b.prevIterEnd = opt
+
+	return b.eng.Tasks()[start:]
+}

@@ -1,0 +1,158 @@
+// Package exec holds the plumbing shared by the FSDP and pipeline
+// executors: execution modes (overlapped versus sequential), the plan a
+// built schedule produces, per-iteration measurement extraction, and the
+// dependency chaining used to serialize communication against computation
+// in sequential mode.
+package exec
+
+import (
+	"fmt"
+
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/metrics"
+	"overlapsim/internal/sim"
+	"overlapsim/internal/trace"
+)
+
+// Mode selects how communication is scheduled relative to computation.
+type Mode int
+
+// Execution modes (§IV-D: the measured Overlapping and Sequential
+// scenarios; Ideal is derived, not executed).
+const (
+	// Overlapped runs communication on dedicated streams concurrently
+	// with computation, as the training frameworks do by default.
+	Overlapped Mode = iota
+	// Sequential serializes every communication operation against the
+	// computation of its participating devices: no overlap, no
+	// contention.
+	Sequential
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Overlapped:
+		return "overlapped"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Plan is a fully built simulation ready to run.
+type Plan struct {
+	// Engine is the simulation engine with all tasks enqueued.
+	Engine *sim.Engine
+	// Cluster is the device platform (also the power observer).
+	Cluster *gpu.Cluster
+	// Iterations groups the created tasks by training iteration,
+	// warmups first.
+	Iterations [][]*sim.Task
+	// Warmup is the number of leading iterations excluded from
+	// measurement.
+	Warmup int
+
+	ran bool
+}
+
+// Run executes the simulation.
+func (p *Plan) Run() error {
+	if p.ran {
+		return fmt.Errorf("exec: plan already ran")
+	}
+	p.ran = true
+	return p.Engine.Run()
+}
+
+// MeasuredIterations returns the per-iteration measurements of the
+// non-warmup iterations. Kernel times are per-GPU means (devices are
+// symmetric under FSDP; under pipeline parallelism the mean is the paper's
+// per-GPU aggregation); E2E is the span of the iteration's tasks.
+func (p *Plan) MeasuredIterations() []metrics.Iteration {
+	if !p.ran {
+		panic("exec: MeasuredIterations before Run")
+	}
+	var out []metrics.Iteration
+	for i := p.Warmup; i < len(p.Iterations); i++ {
+		out = append(out, IterationMeasurement(p.Iterations[i]))
+	}
+	return out
+}
+
+// MeasuredTimeline returns the merged kernel timeline of the measured
+// iterations (for overlap-ratio and trace reporting).
+func (p *Plan) MeasuredTimeline() *trace.Timeline {
+	if !p.ran {
+		panic("exec: MeasuredTimeline before Run")
+	}
+	tl := trace.New()
+	for i := p.Warmup; i < len(p.Iterations); i++ {
+		for _, t := range p.Iterations[i] {
+			tl.AddTask(t)
+		}
+	}
+	return tl
+}
+
+// IterationMeasurement extracts the paper's per-iteration measurement from
+// one iteration's completed tasks. Kernel times are averaged across the
+// devices present so that Eq. 4's subtraction of the absolute compute
+// slowdown from the wall-clock E2E is dimensionally per-GPU.
+func IterationMeasurement(tasks []*sim.Task) metrics.Iteration {
+	tl := trace.FromTasks(tasks)
+	var it metrics.Iteration
+	devs := tl.Devices()
+	if len(devs) == 0 {
+		return it
+	}
+	for _, d := range devs {
+		it.ComputeKernelTime += tl.KernelTime(d, sim.KindCompute)
+		it.CommKernelTime += tl.KernelTime(d, sim.KindComm)
+		it.OverlappedComputeTime += tl.OverlappedTime(d, sim.KindCompute, sim.KindComm)
+		it.OverlappedCommTime += tl.OverlappedTime(d, sim.KindComm, sim.KindCompute)
+	}
+	n := float64(len(devs))
+	it.ComputeKernelTime /= n
+	it.CommKernelTime /= n
+	it.OverlappedComputeTime /= n
+	it.OverlappedCommTime /= n
+	// The iteration window opens at the first compute kernel (early-posted
+	// communication belongs to the window of the data it carries) and
+	// closes when everything has drained.
+	_, end := tl.Span()
+	start, _, ok := tl.KindSpan(sim.KindCompute)
+	if !ok {
+		start, _ = tl.Span()
+	}
+	it.E2E = end - start
+	return it
+}
+
+// Chain serializes operations per device through explicit dependencies —
+// the sequential-mode mechanism. Unlike stream FIFO order, dependency
+// chaining cannot deadlock on rendezvous operations, because the per-device
+// orders are generated from one legal global schedule.
+type Chain struct {
+	last map[int]*sim.Task
+}
+
+// NewChain returns an empty chain.
+func NewChain() *Chain { return &Chain{last: make(map[int]*sim.Task)} }
+
+// Order makes t run after every previously ordered operation on each of
+// the listed devices, then records t as those devices' latest operation.
+func (c *Chain) Order(t *sim.Task, devices ...int) {
+	for _, d := range devices {
+		if prev := c.last[d]; prev != nil && prev != t {
+			t.After(prev)
+		}
+	}
+	for _, d := range devices {
+		c.last[d] = t
+	}
+}
+
+// Last returns the most recent operation ordered on the device, or nil.
+func (c *Chain) Last(device int) *sim.Task { return c.last[device] }

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"testing"
+
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/sim"
+)
+
+func TestModeString(t *testing.T) {
+	if Overlapped.String() != "overlapped" || Sequential.String() != "sequential" {
+		t.Error("mode names")
+	}
+	if Mode(5).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+func TestChainOrdersPerDevice(t *testing.T) {
+	e := sim.NewEngine(nil)
+	s0 := e.NewStream("s0", 0)
+	s1 := e.NewStream("s1", 1)
+	c := NewChain()
+	a := e.NewTask("a", sim.KindCompute, 1, nil, s0)
+	c.Order(a, 0)
+	b := e.NewTask("b", sim.KindCompute, 1, nil, s1)
+	c.Order(b, 1)
+	// Barrier across both devices.
+	s2 := e.NewStream("s2", 0)
+	bar := e.NewTask("bar", sim.KindComm, 1, nil, s2)
+	c.Order(bar, 0, 1)
+	d := e.NewTask("d", sim.KindCompute, 1, nil, s0)
+	c.Order(d, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bar.Start() < a.End() || bar.Start() < b.End() {
+		t.Error("barrier must follow both devices' prior ops")
+	}
+	if d.Start() < bar.End() {
+		t.Error("chained op must follow the barrier")
+	}
+	if c.Last(0) != d || c.Last(1) != bar {
+		t.Error("chain bookkeeping wrong")
+	}
+}
+
+func TestChainSelfOrderIgnored(t *testing.T) {
+	e := sim.NewEngine(nil)
+	s := e.NewStream("s", 0)
+	c := NewChain()
+	a := e.NewTask("a", sim.KindCompute, 1, nil, s)
+	c.Order(a, 0)
+	c.Order(a, 0) // must not self-depend
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationMeasurement(t *testing.T) {
+	e := sim.NewEngine(nil)
+	s0 := e.NewStream("c0", 0)
+	s1 := e.NewStream("c1", 1)
+	d := kernels.Elementwise("k", 1e6, 1, 0, precision.FP16)
+	a := e.NewTask("a", sim.KindCompute, 2, d, s0)
+	b := e.NewTask("b", sim.KindCompute, 4, d, s1)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	it := IterationMeasurement([]*sim.Task{a, b})
+	// Kernel times average across the two devices: (2+4)/2 = 3.
+	if it.ComputeKernelTime != 3 {
+		t.Errorf("compute kernel time %g, want 3", it.ComputeKernelTime)
+	}
+	if it.E2E != 4 {
+		t.Errorf("E2E %g, want 4 (span)", it.E2E)
+	}
+}
+
+func TestIterationMeasurementEmpty(t *testing.T) {
+	it := IterationMeasurement(nil)
+	if it.E2E != 0 || it.ComputeKernelTime != 0 {
+		t.Errorf("empty measurement %+v", it)
+	}
+}
+
+func TestPlanGuards(t *testing.T) {
+	p := &Plan{Engine: sim.NewEngine(nil)}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err == nil {
+		t.Error("second Run must fail")
+	}
+	func() {
+		defer func() { recover() }()
+		q := &Plan{}
+		q.MeasuredIterations()
+		t.Error("MeasuredIterations before Run must panic")
+	}()
+}

@@ -1,0 +1,337 @@
+// Package fsdp implements the Fully Sharded Data Parallel (ZeRO-3)
+// executor of Fig. 3(a): parameters, gradients and optimizer state are
+// sharded across all GPUs; each layer's parameters are all-gathered before
+// use in both the forward and backward pass, and gradients are
+// reduce-scattered as soon as a layer's backward completes. In overlapped
+// mode the gathers are prefetched on a dedicated communication stream
+// (bounded lookahead, as PyTorch FSDP and DeepSpeed do); in sequential mode
+// every collective is serialized against computation.
+package fsdp
+
+import (
+	"fmt"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/exec"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/sim"
+)
+
+// Config configures one FSDP training simulation.
+type Config struct {
+	// Model is the workload.
+	Model model.Config
+	// Batch is the global batch size; each GPU computes Batch/N samples
+	// (Batch must be divisible by the GPU count).
+	Batch int
+	// Format is the training numeric format.
+	Format precision.Format
+	// MatrixUnits enables Tensor-Core/Matrix-Core execution of GEMMs.
+	MatrixUnits bool
+	// Checkpoint enables full activation recomputation.
+	Checkpoint bool
+	// PrefetchDepth bounds how many layers ahead parameter gathers may
+	// run in overlapped mode (0 means the default of 2).
+	PrefetchDepth int
+	// GradAccumSteps accumulates gradients over this many micro-steps
+	// before the reduce-scatter, the communication-mitigation technique
+	// of §II-B (0 or 1 means no accumulation). Each micro-step processes
+	// the full local batch; gradient communication happens only on the
+	// last step, shrinking the overlap region per unit of compute.
+	GradAccumSteps int
+	// Iterations is the number of measured iterations (0 means 2).
+	Iterations int
+	// Warmup is the number of unmeasured leading iterations (negative
+	// means 0; the default is 1).
+	Warmup int
+	// Mode selects overlapped or sequential execution.
+	Mode exec.Mode
+	// SkipMemoryCheck disables the HBM-capacity feasibility gate.
+	SkipMemoryCheck bool
+}
+
+func (c *Config) setDefaults() {
+	if c.PrefetchDepth <= 0 {
+		c.PrefetchDepth = 2
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.GradAccumSteps <= 0 {
+		c.GradAccumSteps = 1
+	}
+}
+
+// Build constructs the full multi-iteration task graph on a fresh engine
+// bound to the cluster. It returns a model.ErrOOM if the configuration
+// does not fit in device memory (the paper's A100 constraint).
+func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
+	cfg.setDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	g := cl.GPU()
+	n := cl.N()
+	if cfg.Batch%n != 0 {
+		return nil, fmt.Errorf("fsdp: global batch %d not divisible by %d GPUs", cfg.Batch, n)
+	}
+	local := cfg.Batch / n
+	if !cfg.SkipMemoryCheck {
+		est := cfg.Model.FootprintFSDP(local, n, cfg.Format, cfg.Checkpoint)
+		if est.Total() > g.MemBytes() {
+			return nil, &model.ErrOOM{
+				Model:     fmt.Sprintf("%s (FSDP bs=%d %s)", cfg.Model.Name, cfg.Batch, cfg.Format),
+				GPU:       g.Name,
+				NeedBytes: est.Total(),
+				HaveBytes: g.MemBytes(),
+			}
+		}
+	}
+
+	eng := sim.NewEngine(cl)
+	eng.AddObserver(cl)
+
+	b := &builder{cfg: cfg, eng: eng, cl: cl, n: n, local: local}
+	b.makeStreams()
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
+	total := cfg.Warmup + cfg.Iterations
+	for it := 0; it < total; it++ {
+		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
+	}
+	return plan, nil
+}
+
+// builder holds the incremental graph-construction state.
+type builder struct {
+	cfg   Config
+	eng   *sim.Engine
+	cl    *gpu.Cluster
+	n     int
+	local int // per-GPU batch
+
+	computeS []*sim.Stream
+	agS      *sim.Stream // all-gather stream (parameter prefetch)
+	rsS      *sim.Stream // reduce-scatter stream (gradient sync)
+	chain    *exec.Chain
+
+	// prevIterEnd holds the last task per device of the previous
+	// iteration (the optimizer step) used as the iteration barrier.
+	prevIterEnd []*sim.Task
+}
+
+func (b *builder) sequential() bool { return b.cfg.Mode == exec.Sequential }
+
+func (b *builder) makeStreams() {
+	for d := 0; d < b.n; d++ {
+		b.computeS = append(b.computeS, b.eng.NewStream(fmt.Sprintf("compute%d", d), d))
+	}
+	if b.sequential() {
+		b.chain = exec.NewChain()
+	} else {
+		// Two communicator streams, as in PyTorch FSDP/DeepSpeed: one
+		// serializes the parameter all-gathers (prefetch), the other the
+		// gradient reduce-scatters, so backward gathers are not stalled
+		// behind pending reductions.
+		b.agS = b.eng.NewStream("comm.allgather", 0)
+		b.rsS = b.eng.NewStream("comm.reducescatter", 0)
+	}
+	b.prevIterEnd = make([]*sim.Task, b.n)
+}
+
+func (b *builder) allDevices() []int {
+	devs := make([]int, b.n)
+	for i := range devs {
+		devs[i] = i
+	}
+	return devs
+}
+
+// newCollective creates a collective task across all ranks.
+func (b *builder) newCollective(name string, op collective.Op, bytes float64) *sim.Task {
+	cd := collective.Desc{Name: name, Op: op, Bytes: bytes, N: b.n}
+	if err := cd.Validate(); err != nil {
+		panic(err)
+	}
+	work := collective.EffWireBytes(cd, b.cl.Topology())
+	var t *sim.Task
+	if b.sequential() {
+		s := b.eng.NewStream("seqcomm."+name, 0)
+		t = b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		b.chain.Order(t, b.allDevices()...)
+	} else {
+		s := b.agS
+		if op == collective.ReduceScatter {
+			s = b.rsS
+		}
+		t = b.eng.NewTask(name, sim.KindComm, work, cd, s)
+	}
+	return t
+}
+
+// newCompute creates one compute task per device from the fused kernel
+// descriptor (identical work on every rank under data parallelism).
+func (b *builder) newCompute(name string, d kernels.Desc) []*sim.Task {
+	out := make([]*sim.Task, b.n)
+	for dev := 0; dev < b.n; dev++ {
+		t := b.eng.NewTask(fmt.Sprintf("%s@%d", name, dev), sim.KindCompute, kernels.Work(d), d, b.computeS[dev])
+		if b.sequential() {
+			b.chain.Order(t, dev)
+		}
+		out[dev] = t
+	}
+	return out
+}
+
+func after(ts []*sim.Task, deps ...*sim.Task) {
+	for _, t := range ts {
+		t.After(deps...)
+	}
+}
+
+// buildIteration appends one training iteration to the graph and returns
+// its tasks. With gradient accumulation the forward/backward body repeats
+// per micro-step; gradient reduce-scatters happen only on the final step
+// (DDP-style no_sync), which is what dilutes communication relative to
+// compute.
+func (b *builder) buildIteration(it int) []*sim.Task {
+	m := b.cfg.Model
+	L := m.Layers
+	e := float64(b.cfg.Format.Bytes())
+	layerBytes := m.ParamsPerLayer() * e
+	embedBytes := m.EmbedParams() * e
+	pref := b.cfg.PrefetchDepth
+	accum := b.cfg.GradAccumSteps
+
+	start := len(b.eng.Tasks())
+
+	fwdDesc := kernels.Fuse("fwd.layer", m.ForwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits)...)
+	bwdDesc := kernels.Fuse("bwd.layer", m.BackwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, b.cfg.Checkpoint)...)
+	headFwd := kernels.Fuse("fwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, true)...)
+	headBwd := kernels.Fuse("bwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, false)...)
+
+	iterBarrier := func(t *sim.Task) {
+		for _, p := range b.prevIterEnd {
+			if p != nil {
+				t.After(p)
+			}
+		}
+	}
+
+	var lastRS, rsEmbed *sim.Task
+	var prevStepB []*sim.Task
+	for step := 0; step < accum; step++ {
+		lastStep := step == accum-1
+		tag := fmt.Sprintf("it%d.s%d", it, step)
+
+		// Forward pass.
+		agEmbed := b.newCollective(tag+".ag.embed", collective.AllGather, embedBytes)
+		embedF := b.newCompute(tag+".fwd.embed", headFwdEmbedOnly(headFwd))
+		after(embedF, agEmbed)
+		if step == 0 {
+			iterBarrier(agEmbed)
+			for _, t := range embedF {
+				iterBarrier(t)
+			}
+		} else {
+			for d, t := range embedF {
+				t.After(prevStepB[d])
+			}
+		}
+
+		agF := make([]*sim.Task, L)
+		fF := make([][]*sim.Task, L)
+		for i := 0; i < L; i++ {
+			agF[i] = b.newCollective(fmt.Sprintf("%s.ag.fwd.l%d", tag, i), collective.AllGather, layerBytes)
+			if !b.sequential() && i >= pref {
+				// Bound prefetch: gather of layer i waits for compute of
+				// layer i-pref.
+				after([]*sim.Task{agF[i]}, fF[i-pref]...)
+			}
+			fF[i] = b.newCompute(fmt.Sprintf("%s.fwd.l%d", tag, i), fwdDesc)
+			after(fF[i], agF[i])
+			if i == 0 {
+				for d, t := range fF[i] {
+					t.After(embedF[d])
+				}
+			} else {
+				for d, t := range fF[i] {
+					t.After(fF[i-1][d])
+				}
+			}
+		}
+
+		// LM head + loss.
+		headF := b.newCompute(tag+".fwd.lmhead", headFwdLogitsOnly(headFwd))
+		for d, t := range headF {
+			t.After(fF[L-1][d], agEmbed)
+		}
+		headB := b.newCompute(tag+".bwd.lmhead", headBwd)
+		for d, t := range headB {
+			t.After(headF[d])
+		}
+		if lastStep {
+			rsEmbed = b.newCollective(tag+".rs.embed", collective.ReduceScatter, embedBytes)
+			after([]*sim.Task{rsEmbed}, headB...)
+		}
+
+		// Backward pass (reverse layer order).
+		agB := make([]*sim.Task, L)
+		fB := make([][]*sim.Task, L)
+		for i := L - 1; i >= 0; i-- {
+			agB[i] = b.newCollective(fmt.Sprintf("%s.ag.bwd.l%d", tag, i), collective.AllGather, layerBytes)
+			if !b.sequential() && i <= L-1-pref {
+				after([]*sim.Task{agB[i]}, fB[i+pref]...)
+			}
+			fB[i] = b.newCompute(fmt.Sprintf("%s.bwd.l%d", tag, i), bwdDesc)
+			after(fB[i], agB[i])
+			if i == L-1 {
+				for d, t := range fB[i] {
+					t.After(headB[d])
+				}
+			} else {
+				for d, t := range fB[i] {
+					t.After(fB[i+1][d])
+				}
+			}
+			if lastStep {
+				rs := b.newCollective(fmt.Sprintf("%s.rs.l%d", tag, i), collective.ReduceScatter, layerBytes)
+				after([]*sim.Task{rs}, fB[i]...)
+				lastRS = rs
+			}
+		}
+		prevStepB = fB[0]
+	}
+
+	// Optimizer step over the local shard.
+	shard := m.TotalParams() / float64(b.n)
+	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), m.OptimizerKernel(shard))
+	for d, t := range opt {
+		t.After(lastRS, rsEmbed, prevStepB[d])
+	}
+	b.prevIterEnd = opt
+
+	return b.eng.Tasks()[start:]
+}
+
+// headFwdEmbedOnly and headFwdLogitsOnly split the fused head descriptor
+// so the embedding lookup runs before layer 0 and the LM head after the
+// last layer.
+func headFwdEmbedOnly(fused kernels.Desc) kernels.Desc {
+	return kernels.Fuse("fwd.embed", fused.Parts[0])
+}
+
+func headFwdLogitsOnly(fused kernels.Desc) kernels.Desc {
+	return kernels.Fuse("fwd.lmhead", fused.Parts[1:]...)
+}

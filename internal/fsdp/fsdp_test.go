@@ -1,0 +1,167 @@
+package fsdp
+
+import (
+	"errors"
+	"testing"
+
+	"overlapsim/internal/exec"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+func tinyModel() model.Config {
+	return model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+		Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
+}
+
+func cluster(t *testing.T, g *hw.GPUSpec, n int) *gpu.Cluster {
+	t.Helper()
+	cl, err := gpu.New(gpu.Config{System: hw.NewSystem(g, n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func runMode(t *testing.T, mode exec.Mode) *exec.Plan {
+	t.Helper()
+	cl := cluster(t, hw.H100(), 4)
+	plan, err := Build(cl, Config{
+		Model: tinyModel(), Batch: 8, Format: precision.FP16, MatrixUnits: true,
+		Checkpoint: true, Iterations: 2, Warmup: 1, Mode: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestOverlappedRuns(t *testing.T) {
+	plan := runMode(t, exec.Overlapped)
+	its := plan.MeasuredIterations()
+	if len(its) != 2 {
+		t.Fatalf("measured %d iterations, want 2", len(its))
+	}
+	for _, it := range its {
+		if it.E2E <= 0 || it.ComputeKernelTime <= 0 || it.CommKernelTime <= 0 {
+			t.Errorf("degenerate iteration: %+v", it)
+		}
+		if it.OverlappedComputeTime < 0 || it.OverlappedComputeTime > it.ComputeKernelTime {
+			t.Errorf("overlapped compute out of range: %+v", it)
+		}
+	}
+}
+
+func TestSequentialHasNoOverlap(t *testing.T) {
+	plan := runMode(t, exec.Sequential)
+	for _, it := range plan.MeasuredIterations() {
+		if ratio := it.OverlapRatio(); ratio > 0.01 {
+			t.Errorf("sequential mode overlap ratio = %g, want ≈0", ratio)
+		}
+	}
+}
+
+func TestSequentialSlowerOverlappedComputeFaster(t *testing.T) {
+	seq := runMode(t, exec.Sequential).MeasuredIterations()
+	ovl := runMode(t, exec.Overlapped).MeasuredIterations()
+	if seq[0].E2E <= ovl[0].E2E {
+		t.Errorf("sequential E2E %g must exceed overlapped %g", seq[0].E2E, ovl[0].E2E)
+	}
+	if ovl[0].ComputeKernelTime < seq[0].ComputeKernelTime {
+		t.Errorf("overlapped compute kernel time %g below isolated %g",
+			ovl[0].ComputeKernelTime, seq[0].ComputeKernelTime)
+	}
+}
+
+func TestIterationsAreConsistent(t *testing.T) {
+	// With no jitter, measured iterations are identical.
+	its := runMode(t, exec.Overlapped).MeasuredIterations()
+	if d := its[0].E2E - its[1].E2E; d > its[0].E2E*1e-6 || d < -its[0].E2E*1e-6 {
+		t.Errorf("deterministic iterations differ: %g vs %g", its[0].E2E, its[1].E2E)
+	}
+}
+
+func TestOOMGate(t *testing.T) {
+	cl := cluster(t, hw.A100(), 4)
+	_, err := Build(cl, Config{
+		Model: model.GPT3_13B(), Batch: 8, Format: precision.FP16,
+		MatrixUnits: true, Checkpoint: true,
+	})
+	var oom *model.ErrOOM
+	if !errors.As(err, &oom) {
+		t.Fatalf("want ErrOOM, got %v", err)
+	}
+	// SkipMemoryCheck bypasses the gate.
+	if _, err := Build(cluster(t, hw.A100(), 4), Config{
+		Model: tinyModel(), Batch: 8, Format: precision.FP16, SkipMemoryCheck: true,
+	}); err != nil {
+		t.Errorf("skip-check build failed: %v", err)
+	}
+}
+
+func TestBatchDivisibility(t *testing.T) {
+	cl := cluster(t, hw.H100(), 4)
+	if _, err := Build(cl, Config{Model: tinyModel(), Batch: 6, Format: precision.FP16}); err == nil {
+		t.Error("batch 6 over 4 GPUs must fail")
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	cl := cluster(t, hw.H100(), 4)
+	m := tinyModel()
+	m.Layers = 0
+	if _, err := Build(cl, Config{Model: m, Batch: 8}); err == nil {
+		t.Error("invalid model must fail")
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	cl := cluster(t, hw.H100(), 4)
+	plan, err := Build(cl, Config{
+		Model: tinyModel(), Batch: 8, Format: precision.FP16,
+		Iterations: 1, Warmup: 0, Mode: exec.Overlapped,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	L, n := 4, 4
+	// Per iteration: embed AG + L fwd AG + L bwd AG + L RS + embed RS
+	// collectives, plus per-device: embed, L fwd, head fwd, head bwd,
+	// L bwd, optimizer.
+	wantComm := 1 + L + L + L + 1
+	wantCompute := n * (1 + L + 1 + 1 + L + 1)
+	got := len(plan.Iterations[0])
+	if got != wantComm+wantCompute {
+		t.Errorf("iteration has %d tasks, want %d", got, wantComm+wantCompute)
+	}
+}
+
+func TestPrefetchBoundsOverlapWindows(t *testing.T) {
+	// A deeper prefetch must not decrease the overlapped communication
+	// time (more gathers may run early).
+	run := func(depth int) float64 {
+		cl := cluster(t, hw.MI250(), 4)
+		plan, err := Build(cl, Config{
+			Model: tinyModel(), Batch: 8, Format: precision.FP16, MatrixUnits: true,
+			PrefetchDepth: depth, Iterations: 2, Warmup: 1, Mode: exec.Overlapped,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Run(); err != nil {
+			t.Fatal(err)
+		}
+		its := plan.MeasuredIterations()
+		return its[0].E2E
+	}
+	shallow := run(1)
+	deep := run(3)
+	if deep > shallow*1.05 {
+		t.Errorf("deeper prefetch should not slow the iteration much: %g vs %g", deep, shallow)
+	}
+}

@@ -1,0 +1,419 @@
+// Package gpu implements the device model: a cluster of identical GPUs
+// that serves as the simulation Platform. It converts kernel and
+// collective descriptors into execution rates, applying the three
+// contention mechanisms the paper identifies — SM stealing by collective
+// kernels, HBM bandwidth sharing, and power-cap-induced DVFS throttling —
+// and observes every simulated segment to drive the power telemetry.
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/sim"
+	"overlapsim/internal/topo"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// System is the node under simulation.
+	System hw.System
+	// Caps are the power/frequency limits applied to every GPU.
+	Caps power.Caps
+	// SamplerInterval overrides the vendor-default telemetry interval
+	// (seconds); zero selects NVML 100 ms or AMD-SMI 20 ms by vendor.
+	SamplerInterval float64
+	// TraceInterval, when nonzero, additionally records a fine-grained
+	// power trace at this interval (Fig. 7 uses 1 ms).
+	TraceInterval float64
+	// JitterSigma adds lognormal run-to-run variation to kernel rates
+	// (fractional sigma, for example 0.02); zero is fully deterministic.
+	JitterSigma float64
+	// Seed seeds the jitter stream.
+	Seed int64
+}
+
+// Cluster is a node of identical GPUs. It implements sim.Platform (rate
+// assignment) and sim.Observer (power integration).
+type Cluster struct {
+	cfg      Config
+	g        *hw.GPUSpec
+	topo     *topo.Topology
+	freq     []float64
+	samplers []*power.Sampler
+	traces   []*power.Sampler
+	rng      *rand.Rand
+	jitter   map[*sim.Task]float64
+
+	// scratch, reused across epochs
+	compute [][]*sim.Task
+	comms   [][]*sim.Task
+}
+
+var (
+	_ sim.Platform = (*Cluster)(nil)
+	_ sim.Observer = (*Cluster)(nil)
+)
+
+// New builds a cluster for the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.System.GPU == nil || cfg.System.N < 1 {
+		return nil, fmt.Errorf("gpu: invalid system %+v", cfg.System)
+	}
+	if err := cfg.Caps.Validate(cfg.System.GPU); err != nil {
+		return nil, err
+	}
+	n := cfg.System.N
+	interval := cfg.SamplerInterval
+	if interval <= 0 {
+		interval = power.SamplerIntervalFor(cfg.System.GPU.Vendor)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		g:       cfg.System.GPU,
+		topo:    topo.ForSystem(cfg.System),
+		freq:    make([]float64, n),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		jitter:  make(map[*sim.Task]float64),
+		compute: make([][]*sim.Task, n),
+		comms:   make([][]*sim.Task, n),
+	}
+	for i := range c.freq {
+		c.freq[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		c.samplers = append(c.samplers, power.NewSampler(interval))
+		if cfg.TraceInterval > 0 {
+			c.traces = append(c.traces, power.NewSampler(cfg.TraceInterval))
+		}
+	}
+	return c, nil
+}
+
+// Topology returns the cluster's interconnect model.
+func (c *Cluster) Topology() *topo.Topology { return c.topo }
+
+// GPU returns the device spec.
+func (c *Cluster) GPU() *hw.GPUSpec { return c.g }
+
+// N returns the number of GPUs.
+func (c *Cluster) N() int { return c.cfg.System.N }
+
+// FreqFactor returns the most recently solved DVFS frequency factor of
+// GPU i.
+func (c *Cluster) FreqFactor(i int) float64 { return c.freq[i] }
+
+// Sampler returns the telemetry sampler of GPU i.
+func (c *Cluster) Sampler(i int) *power.Sampler { return c.samplers[i] }
+
+// Trace returns the fine-grained power trace of GPU i, or nil if tracing
+// was not enabled.
+func (c *Cluster) Trace(i int) *power.Sampler {
+	if c.traces == nil {
+		return nil
+	}
+	return c.traces[i]
+}
+
+// PowerStats summarizes the telemetry of GPU i.
+func (c *Cluster) PowerStats(i int) power.Stats {
+	return power.StatsFor(c.samplers[i], c.g)
+}
+
+// jitterFor returns the stable rate multiplier of a task.
+func (c *Cluster) jitterFor(t *sim.Task) float64 {
+	if c.cfg.JitterSigma <= 0 {
+		return 1
+	}
+	if j, ok := c.jitter[t]; ok {
+		return j
+	}
+	j := math.Exp(c.rng.NormFloat64() * c.cfg.JitterSigma)
+	c.jitter[t] = j
+	return j
+}
+
+// partition groups the running tasks by device into compute and comm sets.
+func (c *Cluster) partition(running []*sim.Task) {
+	for i := range c.compute {
+		c.compute[i] = c.compute[i][:0]
+		c.comms[i] = c.comms[i][:0]
+	}
+	for _, t := range running {
+		switch p := t.Payload().(type) {
+		case kernels.Desc:
+			d := t.Streams()[0].Device()
+			c.compute[d] = append(c.compute[d], t)
+		case collective.Desc:
+			if p.Op == collective.SendRecv && p.Waiting() {
+				// A posted receive spins only on the destination; the
+				// sender's kernel does not launch until the producer is
+				// done.
+				c.comms[p.Dst] = append(c.comms[p.Dst], t)
+				continue
+			}
+			for _, r := range p.Participants() {
+				c.comms[r] = append(c.comms[r], t)
+			}
+		default:
+			// Host tasks run at unit rate and occupy no device resources.
+		}
+	}
+}
+
+// Rates implements sim.Platform.
+func (c *Cluster) Rates(now float64, running []*sim.Task) {
+	c.partition(running)
+
+	// Communication rates first: collectives are bandwidth-bound and set
+	// the contention pressure computes see.
+	for _, t := range running {
+		switch p := t.Payload().(type) {
+		case collective.Desc:
+			if p.Waiting() {
+				// Posted-early kernel spinning for its producer: resident
+				// but moving no data.
+				t.SetRate(0)
+			} else {
+				t.SetRate(collective.BW(p, c.topo) * c.jitterFor(t))
+			}
+		case kernels.Desc:
+			// set below
+		default:
+			if t.Kind() == sim.KindHost {
+				t.SetRate(1)
+			} else {
+				t.SetRate(1)
+			}
+		}
+	}
+
+	for dev := 0; dev < c.N(); dev++ {
+		smStolen, hbmStolen, serialize := c.pressure(dev)
+		nCompute := len(c.compute[dev])
+		if nCompute == 0 {
+			c.freq[dev] = c.solveFreqIdleComm(dev)
+			continue
+		}
+
+		// Fixed-point iteration between rate and DVFS frequency: rates
+		// depend on f, the cap-solved f depends on the activity the rates
+		// imply. Compute-bound kernels converge immediately; memory-bound
+		// ones within a few iterations.
+		f := c.freq[dev]
+		if f <= 0 {
+			f = 1
+		}
+		for iter := 0; iter < 4; iter++ {
+			act := c.deviceActivity(dev, f, smStolen, hbmStolen, serialize)
+			nf := power.SolveFreq(c.g, act, c.cfg.Caps)
+			if math.Abs(nf-f) < 1e-6 {
+				f = nf
+				break
+			}
+			f = nf
+		}
+		c.freq[dev] = f
+
+		for _, t := range c.compute[dev] {
+			kd := t.Payload().(kernels.Desc)
+			r := kernels.Rate(kd, c.g, f, smStolen, hbmStolen, serialize)
+			if nCompute > 1 {
+				r /= float64(nCompute)
+			}
+			t.SetRate(r * c.jitterFor(t))
+		}
+	}
+}
+
+// serializeWeight scales the vendor serialization fraction by operation
+// class: reducing ring collectives interfere with the compute scheduler
+// most, copy collectives less, and point-to-point kernels (few channels,
+// mostly spinning) least.
+func serializeWeight(op collective.Op) float64 {
+	switch {
+	case op.Reducing():
+		return 1.0
+	case op == collective.SendRecv:
+		return 0.35
+	default:
+		return 0.8
+	}
+}
+
+// pressure returns the contention collective kernels exert on device dev:
+// stolen SMs, stolen HBM bandwidth (bytes/s) and the issue-serialization
+// fraction.
+func (c *Cluster) pressure(dev int) (smStolen, hbmStolen, serialize float64) {
+	for _, t := range c.comms[dev] {
+		cd := t.Payload().(collective.Desc)
+		sm := float64(collective.SMOccupancy(cd, c.g))
+		w := c.g.Contention.SerializeFrac * serializeWeight(cd.Op)
+		if cd.Waiting() {
+			// A spinning kernel holds its launch footprint but issues
+			// little traffic; it steals fewer resources than an active
+			// transfer.
+			sm = sm / 2
+			w = w / 2
+		} else {
+			wireRate := collective.BW(cd, c.topo)
+			hbmStolen += collective.HBMDraw(cd, c.g, wireRate)
+		}
+		smStolen += sm
+		if w > serialize {
+			serialize = w
+		}
+	}
+	if max := float64(c.g.SMs) * 0.6; smStolen > max {
+		smStolen = max
+	}
+	return smStolen, hbmStolen, serialize
+}
+
+// deviceActivity estimates the power-model activity of device dev when its
+// compute tasks run at frequency factor f under the given contention.
+func (c *Cluster) deviceActivity(dev int, f, smStolen, hbmStolen, serialize float64) power.Activity {
+	var act power.Activity
+	for _, t := range c.compute[dev] {
+		kd := t.Payload().(kernels.Desc)
+		r := kernels.Rate(kd, c.g, f, smStolen, hbmStolen, serialize)
+		if n := len(c.compute[dev]); n > 1 {
+			r /= float64(n)
+		}
+		v, m, mem := activityOf(kd, c.g, r, f)
+		act.Vec += v
+		act.Mat += m
+		act.Mem += mem
+	}
+	commUtil := 0.0
+	for _, t := range c.comms[dev] {
+		cd := t.Payload().(collective.Desc)
+		if cd.Waiting() {
+			continue
+		}
+		wireRate := collective.BW(cd, c.topo)
+		commUtil += wireRate / c.g.UniLinkBW()
+		act.Mem += collective.HBMDraw(cd, c.g, wireRate) / c.g.MemBW()
+	}
+	act.Comm = commUtil
+	act.Surge = surgeActivity(act)
+	return act.Clamped()
+}
+
+// surgeMatWeight makes matrix-unit activity contribute disproportionately
+// to the overlap power surge: tensor-core current transients are the worst
+// case for the voltage regulators, which is how the paper's Fig. 11 sees
+// TF32 peak power exceed the FP32 baseline on large models.
+const surgeMatWeight = 2.5
+
+// surgeActivity derives the compute∧communication co-activity that drives
+// the transient surge component.
+func surgeActivity(act power.Activity) float64 {
+	computeAct := act.Vec + surgeMatWeight*act.Mat
+	if computeAct <= 0.05 || act.Comm <= 0.05 {
+		return 0
+	}
+	return math.Min(computeAct, act.Comm)
+}
+
+// solveFreqIdleComm resolves frequency for a device running only
+// communication (or nothing).
+func (c *Cluster) solveFreqIdleComm(dev int) float64 {
+	act := c.deviceActivity(dev, 1, 0, 0, 0)
+	return power.SolveFreq(c.g, act, c.cfg.Caps)
+}
+
+// activityOf converts a kernel running at rate r (work units/s) under
+// frequency factor f into datapath and memory activities. Issue activity
+// is normalized to the throughput available at the current frequency, so
+// a cap-throttled but fully occupied datapath still shows high activity.
+// Fused descriptors split their FLOPs between datapaths by part.
+func activityOf(d kernels.Desc, g *hw.GPUSpec, r, f float64) (vec, mat, mem float64) {
+	if r <= 0 || math.IsInf(r, 1) || f <= 0 {
+		return 0, 0, 0
+	}
+	w := kernels.Work(d)
+	if w <= 0 {
+		return 0, 0, 0
+	}
+	dur := w / r
+	vecF, matF := d.FLOPsByPath()
+	if vecF > 0 {
+		if peak := peakFor(g, precision.Vector, d.Format); peak > 0 {
+			vec = (vecF / dur) / (peak * f)
+		}
+	}
+	if matF > 0 {
+		if peak := peakFor(g, precision.Matrix, d.Format); peak > 0 {
+			mat = (matF / dur) / (peak * f)
+		}
+	}
+	if vec > 1 {
+		vec = 1
+	}
+	if mat > 1 {
+		mat = 1
+	}
+	if d.Bytes > 0 {
+		mem = (d.Bytes / dur) / g.MemBW()
+		if mem > 1 {
+			mem = 1
+		}
+	}
+	return vec, mat, mem
+}
+
+// peakFor returns the peak throughput of a datapath in the given format,
+// falling back to FP32 when the exact format is not tabulated (fused tasks
+// mix formats across parts).
+func peakFor(g *hw.GPUSpec, path precision.Datapath, f precision.Format) float64 {
+	if p := g.PeakFLOPS(path, f); p > 0 {
+		return p
+	}
+	return g.PeakFLOPS(path, precision.FP32)
+}
+
+// Segment implements sim.Observer: it integrates per-GPU power over one
+// constant-rate segment.
+func (c *Cluster) Segment(t0, t1 float64, running []*sim.Task) {
+	c.partition(running)
+	for dev := 0; dev < c.N(); dev++ {
+		act := c.segmentActivity(dev)
+		w := power.Instant(c.g, act, c.freq[dev])
+		c.samplers[dev].Add(t0, t1, w)
+		if c.traces != nil {
+			c.traces[dev].Add(t0, t1, w)
+		}
+	}
+}
+
+// segmentActivity reads activity directly from the rates the platform
+// assigned for the current segment.
+func (c *Cluster) segmentActivity(dev int) power.Activity {
+	var act power.Activity
+	f := c.freq[dev]
+	for _, t := range c.compute[dev] {
+		kd := t.Payload().(kernels.Desc)
+		v, m, mem := activityOf(kd, c.g, t.Rate(), f)
+		act.Vec += v
+		act.Mat += m
+		act.Mem += mem
+	}
+	for _, t := range c.comms[dev] {
+		cd := t.Payload().(collective.Desc)
+		wireRate := t.Rate()
+		act.Comm += wireRate / c.g.UniLinkBW()
+		act.Mem += collective.HBMDraw(cd, c.g, wireRate) / c.g.MemBW()
+	}
+	computeAct := act.Vec + act.Mat
+	if computeAct > 0.05 && act.Comm > 0.05 {
+		act.Surge = math.Min(computeAct, act.Comm)
+	}
+	return act.Clamped()
+}

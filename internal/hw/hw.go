@@ -1,0 +1,225 @@
+// Package hw is the hardware catalog: the four GPUs the paper evaluates
+// (Table I) together with the microarchitectural and power parameters the
+// simulator needs. Peak-rate and capacity numbers come from vendor
+// datasheets (the same sources as the paper's Table I); contention and
+// power-component coefficients are calibration parameters whose values are
+// justified against the paper's measurements in EXPERIMENTS.md.
+package hw
+
+import (
+	"fmt"
+
+	"overlapsim/internal/precision"
+)
+
+// Vendor identifies a GPU vendor, which selects the collective library
+// behaviour (NCCL versus RCCL) in the contention model.
+type Vendor int
+
+// Vendors.
+const (
+	NVIDIA Vendor = iota
+	AMD
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	switch v {
+	case NVIDIA:
+		return "NVIDIA"
+	case AMD:
+		return "AMD"
+	default:
+		return fmt.Sprintf("Vendor(%d)", int(v))
+	}
+}
+
+// PowerParams are the component power model for one GPU. Components are
+// peak draws in watts at full utilization and nominal frequency; see
+// internal/power for how they compose.
+type PowerParams struct {
+	// IdleW is static power with no work running.
+	IdleW float64
+	// VectorW is the vector (CUDA-core / stream-processor) datapath peak
+	// dynamic power.
+	VectorW float64
+	// MatrixW is the matrix-unit (Tensor Core / Matrix Core) datapath peak
+	// dynamic power.
+	MatrixW float64
+	// MemW is HBM and memory-system peak dynamic power.
+	MemW float64
+	// CommW is interconnect (NVLink / Infinity Fabric PHY + copy engine)
+	// peak dynamic power.
+	CommW float64
+	// SurgeW is the additional transient draw observed when compute and
+	// communication are simultaneously active (di/dt and duplicated
+	// LSU/L2 activity). This component reproduces the paper's finding that
+	// overlapping execution shows up to ~25% higher peak power.
+	SurgeW float64
+	// FMin is the lowest DVFS frequency factor power capping can reach.
+	FMin float64
+	// FreqExp is the exponent of dynamic power in the frequency factor
+	// (P_dyn ∝ f^FreqExp, capturing combined f·V² scaling).
+	FreqExp float64
+}
+
+// ContentionParams govern how concurrent communication degrades compute on
+// the same GPU. These are the simulator's representation of the effects the
+// paper attributes its slowdowns to (§V-A).
+type ContentionParams struct {
+	// CollSMsReduce is the number of SMs/CUs a reducing collective
+	// (all-reduce, reduce-scatter) occupies while running.
+	CollSMsReduce int
+	// CollSMsCopy is the number of SMs/CUs a pure-copy collective
+	// (all-gather, broadcast, send/recv) occupies.
+	CollSMsCopy int
+	// HBMPerWireByte is the HBM traffic generated per byte moved on the
+	// wire by a collective (read + write + reduction traffic).
+	HBMPerWireByte float64
+	// SerializeFrac is the fraction by which compute issue rate drops
+	// while any collective kernel is resident, beyond explicit SM and
+	// bandwidth stealing. It models collective-library scheduler
+	// interference; RCCL's coarser kernel scheduling gives AMD parts a
+	// larger value (the "architectural distinctions" of §IV-B).
+	SerializeFrac float64
+}
+
+// GPUSpec describes one GPU model.
+type GPUSpec struct {
+	// Name is the marketing name used throughout reports ("A100", ...).
+	Name string
+	// Vendor selects NCCL- or RCCL-like collective behaviour.
+	Vendor Vendor
+	// Year is the launch year (Table I).
+	Year int
+
+	// SMs is the number of streaming multiprocessors (NVIDIA) or compute
+	// units (AMD; both GCDs for MI250).
+	SMs int
+	// BoostMHz is the nominal boost clock; frequency factors are relative
+	// to it.
+	BoostMHz int
+
+	// MemGB is HBM capacity in GiB (Table I).
+	MemGB float64
+	// MemBWGBs is peak HBM bandwidth in GB/s.
+	MemBWGBs float64
+	// MemHeadroom is the fraction of peak HBM bandwidth achievable by
+	// well-tuned kernels.
+	MemHeadroom float64
+
+	// LinkBWGBs is the aggregate bidirectional interconnect bandwidth in
+	// GB/s as marketed (NVLink 900/600, Infinity Fabric 300) — the numbers
+	// the paper quotes in §IV-A.
+	LinkBWGBs float64
+	// LinkLatency is the per-hop latency of one collective step in
+	// seconds.
+	LinkLatency float64
+	// AlgEff is the fraction of unidirectional link bandwidth a tuned
+	// collective sustains (protocol + pipelining overheads).
+	AlgEff float64
+
+	// TDPW is the thermal design power in watts; power plots normalize to
+	// it.
+	TDPW float64
+
+	// VectorTFLOPS is peak dense TFLOPS on the vector datapath per format.
+	VectorTFLOPS map[precision.Format]float64
+	// MatrixTFLOPS is peak dense TFLOPS on the matrix datapath per format.
+	MatrixTFLOPS map[precision.Format]float64
+
+	// TableFP32TFLOPS and TableFP16TFLOPS are the headline Table I numbers
+	// (the FP16 entries are the vendor marketing peaks the paper prints).
+	TableFP32TFLOPS float64
+	TableFP16TFLOPS float64
+
+	// KHalfVector, KHalfMatrix and KHalfMatrixTF32 parameterize the GEMM
+	// saturation-efficiency curve eff(k) = MaxEff·k/(k+KHalf) on each
+	// datapath: the reduction-dimension size at which the datapath reaches
+	// half of its achievable efficiency. Matrix units need much larger
+	// GEMMs to saturate than vector units, which is what makes low
+	// precision and Tensor Cores cheap on small models and contended on
+	// large ones (Figs. 10 and 11).
+	KHalfVector     float64
+	KHalfMatrix     float64
+	KHalfMatrixTF32 float64
+	// MaxEff is the asymptotic fraction of peak a perfect-size GEMM
+	// reaches.
+	MaxEff float64
+
+	Power      PowerParams
+	Contention ContentionParams
+}
+
+// PeakFLOPS returns the peak dense throughput in FLOP/s for the given
+// datapath and format. It returns 0 if the combination is unsupported.
+func (g *GPUSpec) PeakFLOPS(path precision.Datapath, f precision.Format) float64 {
+	var tf float64
+	switch path {
+	case precision.Vector:
+		tf = g.VectorTFLOPS[f]
+	case precision.Matrix:
+		tf = g.MatrixTFLOPS[f]
+	}
+	return tf * 1e12
+}
+
+// KHalf returns the saturation half-point of the GEMM efficiency curve for
+// the given datapath and format.
+func (g *GPUSpec) KHalf(path precision.Datapath, f precision.Format) float64 {
+	if path == precision.Vector {
+		return g.KHalfVector
+	}
+	if f == precision.TF32 || f == precision.FP32 {
+		return g.KHalfMatrixTF32
+	}
+	return g.KHalfMatrix
+}
+
+// GEMMEff returns the achievable fraction of peak for a GEMM whose
+// reduction dimension is k, on the given datapath and format.
+func (g *GPUSpec) GEMMEff(k float64, path precision.Datapath, f precision.Format) float64 {
+	if k <= 0 {
+		return 0
+	}
+	kh := g.KHalf(path, f)
+	return g.MaxEff * k / (k + kh)
+}
+
+// UniLinkBW returns the achievable unidirectional collective bandwidth in
+// bytes/s: half the marketed bidirectional aggregate, derated by AlgEff.
+func (g *GPUSpec) UniLinkBW() float64 {
+	return g.LinkBWGBs / 2 * g.AlgEff * 1e9
+}
+
+// MemBW returns achievable HBM bandwidth in bytes/s.
+func (g *GPUSpec) MemBW() float64 {
+	return g.MemBWGBs * g.MemHeadroom * 1e9
+}
+
+// MemBytes returns HBM capacity in bytes.
+func (g *GPUSpec) MemBytes() float64 {
+	return g.MemGB * (1 << 30)
+}
+
+// System is a single-node multi-GPU configuration (the paper studies
+// single-node systems only, §IV-A).
+type System struct {
+	// Name labels the system in reports ("H100x8", ...).
+	Name string
+	// GPU is the device model every GPU in the node instantiates.
+	GPU *GPUSpec
+	// N is the number of GPUs.
+	N int
+}
+
+// NewSystem builds a system of n identical GPUs.
+func NewSystem(g *GPUSpec, n int) System {
+	if g == nil {
+		panic("hw: nil GPU spec")
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("hw: invalid GPU count %d", n))
+	}
+	return System{Name: fmt.Sprintf("%sx%d", g.Name, n), GPU: g, N: n}
+}

@@ -1,0 +1,171 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/precision"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	want := []struct {
+		name   string
+		vendor Vendor
+		year   int
+		fp32   float64
+		fp16   float64
+		memGB  float64
+	}{
+		{"A100", NVIDIA, 2020, 19.5, 312, 40},
+		{"H100", NVIDIA, 2022, 66.9, 1979, 80},
+		{"MI210", AMD, 2021, 22.6, 181.0, 64},
+		{"MI250", AMD, 2021, 45.3, 362.1, 128},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d GPUs, want %d", len(cat), len(want))
+	}
+	for i, w := range want {
+		g := cat[i]
+		if g.Name != w.name || g.Vendor != w.vendor || g.Year != w.year {
+			t.Errorf("row %d: got %s/%v/%d", i, g.Name, g.Vendor, g.Year)
+		}
+		if g.TableFP32TFLOPS != w.fp32 || g.TableFP16TFLOPS != w.fp16 || g.MemGB != w.memGB {
+			t.Errorf("%s: Table I numbers %g/%g/%g, want %g/%g/%g",
+				g.Name, g.TableFP32TFLOPS, g.TableFP16TFLOPS, g.MemGB, w.fp32, w.fp16, w.memGB)
+		}
+	}
+}
+
+func TestCatalogSanity(t *testing.T) {
+	for _, g := range Catalog() {
+		if g.SMs <= 0 || g.BoostMHz <= 0 {
+			t.Errorf("%s: invalid SMs/clock", g.Name)
+		}
+		if g.TDPW <= g.Power.IdleW {
+			t.Errorf("%s: TDP %g not above idle %g", g.Name, g.TDPW, g.Power.IdleW)
+		}
+		if g.MemBW() <= 0 || g.UniLinkBW() <= 0 || g.MemBytes() <= 0 {
+			t.Errorf("%s: invalid bandwidths", g.Name)
+		}
+		if g.PeakFLOPS(precision.Matrix, precision.FP16) <= g.PeakFLOPS(precision.Vector, precision.FP32) {
+			t.Errorf("%s: matrix FP16 peak should exceed vector FP32", g.Name)
+		}
+		if g.Power.FMin <= 0 || g.Power.FMin >= 1 {
+			t.Errorf("%s: FMin %g outside (0,1)", g.Name, g.Power.FMin)
+		}
+		if g.Contention.CollSMsReduce <= g.Contention.CollSMsCopy {
+			t.Errorf("%s: reducing collectives should occupy more SMs", g.Name)
+		}
+		if g.Contention.SerializeFrac < 0 || g.Contention.SerializeFrac >= 1 {
+			t.Errorf("%s: serialize fraction %g", g.Name, g.Contention.SerializeFrac)
+		}
+	}
+}
+
+func TestRCCLWorseThanNCCL(t *testing.T) {
+	// The paper attributes AMD's larger slowdowns to collective-library
+	// and architectural differences; the catalog must encode that.
+	for _, amd := range []*GPUSpec{MI210(), MI250()} {
+		for _, nv := range []*GPUSpec{A100(), H100()} {
+			if amd.Contention.SerializeFrac <= nv.Contention.SerializeFrac {
+				t.Errorf("%s serialize %g not above %s %g",
+					amd.Name, amd.Contention.SerializeFrac, nv.Name, nv.Contention.SerializeFrac)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("H100") == nil || ByName("H100").Name != "H100" {
+		t.Error("ByName(H100) failed")
+	}
+	if ByName("V100") != nil {
+		t.Error("unknown GPU should return nil")
+	}
+}
+
+func TestGEMMEffSaturates(t *testing.T) {
+	g := H100()
+	small := g.GEMMEff(512, precision.Matrix, precision.FP16)
+	big := g.GEMMEff(16384, precision.Matrix, precision.FP16)
+	if small >= big {
+		t.Errorf("efficiency must grow with k: %g vs %g", small, big)
+	}
+	if big >= g.MaxEff {
+		t.Errorf("efficiency %g must stay below MaxEff %g", big, g.MaxEff)
+	}
+	if g.GEMMEff(0, precision.Matrix, precision.FP16) != 0 {
+		t.Error("zero k → zero efficiency")
+	}
+}
+
+func TestMatrixNeedsLargerGEMMs(t *testing.T) {
+	// The saturation half-point on the matrix datapath must exceed the
+	// vector one — that is what makes Tensor Cores cheap on small models
+	// (Fig. 10/11 behaviour).
+	for _, g := range Catalog() {
+		if g.KHalf(precision.Matrix, precision.FP16) <= g.KHalf(precision.Vector, precision.FP16) {
+			t.Errorf("%s: matrix KHalf not above vector", g.Name)
+		}
+	}
+}
+
+func TestKHalfTF32Distinct(t *testing.T) {
+	g := H100()
+	if g.KHalf(precision.Matrix, precision.TF32) == g.KHalf(precision.Matrix, precision.FP16) {
+		t.Error("TF32 and FP16 matrix saturation should differ")
+	}
+	if g.KHalf(precision.Matrix, precision.FP32) != g.KHalf(precision.Matrix, precision.TF32) {
+		t.Error("matrix FP32 executes as TF32")
+	}
+}
+
+func TestNewSystem(t *testing.T) {
+	s := NewSystem(A100(), 4)
+	if s.Name != "A100x4" || s.N != 4 {
+		t.Errorf("system = %+v", s)
+	}
+}
+
+func TestNewSystemPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSystem(nil, 4) },
+		func() { NewSystem(A100(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if NVIDIA.String() != "NVIDIA" || AMD.String() != "AMD" {
+		t.Error("vendor names")
+	}
+}
+
+// Property: GEMMEff is monotone in k for every GPU and datapath.
+func TestQuickGEMMEffMonotone(t *testing.T) {
+	gs := Catalog()
+	f := func(gi uint8, k1, k2 uint16, path bool) bool {
+		g := gs[int(gi)%len(gs)]
+		p := precision.Vector
+		if path {
+			p = precision.Matrix
+		}
+		a, b := float64(k1)+1, float64(k2)+1
+		if a > b {
+			a, b = b, a
+		}
+		return g.GEMMEff(a, p, precision.FP16) <= g.GEMMEff(b, p, precision.FP16)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package kernels defines GPU kernel descriptors and their roofline cost
+// model. A kernel is characterized by the floating-point work it performs,
+// the HBM traffic it generates, the GEMM shape that determines datapath
+// efficiency, and the numeric format/datapath it executes on. The device
+// model (internal/gpu) turns descriptors into execution rates, applying
+// contention; this package provides the contention-free baseline.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/precision"
+)
+
+// Op classifies a kernel for reporting and datapath selection.
+type Op int
+
+// Kernel operation classes.
+const (
+	// OpGEMM is a dense matrix multiplication (linear layers, attention
+	// score/value products).
+	OpGEMM Op = iota
+	// OpElementwise covers activations, residual adds, dropout, casts.
+	OpElementwise
+	// OpNorm covers LayerNorm/RMSNorm (reduction + scale).
+	OpNorm
+	// OpOptimizer is the Adam/AdamW parameter update.
+	OpOptimizer
+	// OpEmbedding is the embedding gather / LM-head projection tail.
+	OpEmbedding
+)
+
+// String returns a short name for the op class.
+func (o Op) String() string {
+	switch o {
+	case OpGEMM:
+		return "gemm"
+	case OpElementwise:
+		return "elementwise"
+	case OpNorm:
+		return "norm"
+	case OpOptimizer:
+		return "optimizer"
+	case OpEmbedding:
+		return "embedding"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Desc describes one kernel invocation (or a fused aggregate of identical
+// invocations — the simulator schedules per-layer aggregates).
+type Desc struct {
+	// Name is a diagnostic label.
+	Name string
+	// Op is the kernel class.
+	Op Op
+	// FLOPs is total floating-point operations.
+	FLOPs float64
+	// Bytes is total HBM traffic (reads + writes).
+	Bytes float64
+	// M, N, K are the effective GEMM dimensions (K is the reduction
+	// dimension driving datapath saturation). Zero for non-GEMM kernels.
+	M, N, K float64
+	// Format is the arithmetic format.
+	Format precision.Format
+	// Path is the datapath the kernel executes on.
+	Path precision.Datapath
+	// Parts, when non-empty, marks this descriptor as a fused aggregate
+	// of the listed kernels (see Fuse). Timing sums the parts; FLOPs and
+	// Bytes hold the totals.
+	Parts []Desc
+}
+
+// Fuse aggregates several kernels into one descriptor executed as a unit —
+// the per-layer task granularity the executors schedule. Totals are summed;
+// the headline GEMM shape, format and datapath come from the part with the
+// most FLOPs.
+func Fuse(name string, parts ...Desc) Desc {
+	if len(parts) == 0 {
+		panic("kernels: Fuse of no parts")
+	}
+	d := Desc{Name: name, Parts: append([]Desc(nil), parts...)}
+	best := 0
+	for i, p := range parts {
+		if len(p.Parts) > 0 {
+			panic(fmt.Sprintf("kernels: Fuse of already-fused part %q", p.Name))
+		}
+		d.FLOPs += p.FLOPs
+		d.Bytes += p.Bytes
+		if p.FLOPs > parts[best].FLOPs {
+			best = i
+		}
+	}
+	b := parts[best]
+	d.Op = b.Op
+	d.M, d.N, d.K = b.M, b.N, b.K
+	d.Format = b.Format
+	d.Path = b.Path
+	return d
+}
+
+// FLOPsByPath splits the descriptor's FLOPs between the vector and matrix
+// datapaths (fused descriptors split by part).
+func (d Desc) FLOPsByPath() (vec, mat float64) {
+	if len(d.Parts) == 0 {
+		if d.Path == precision.Matrix {
+			return 0, d.FLOPs
+		}
+		return d.FLOPs, 0
+	}
+	for _, p := range d.Parts {
+		v, m := p.FLOPsByPath()
+		vec += v
+		mat += m
+	}
+	return vec, mat
+}
+
+// AI returns arithmetic intensity in FLOPs per HBM byte. Kernels with no
+// memory traffic return +Inf.
+func (d Desc) AI() float64 {
+	if d.Bytes <= 0 {
+		return math.Inf(1)
+	}
+	return d.FLOPs / d.Bytes
+}
+
+// Validate reports whether the descriptor is internally consistent.
+func (d Desc) Validate() error {
+	if d.FLOPs < 0 || d.Bytes < 0 {
+		return fmt.Errorf("kernels: %q has negative work (flops=%g bytes=%g)", d.Name, d.FLOPs, d.Bytes)
+	}
+	if d.FLOPs == 0 && d.Bytes == 0 {
+		return fmt.Errorf("kernels: %q has no work", d.Name)
+	}
+	if d.Op == OpGEMM && (d.M <= 0 || d.N <= 0 || d.K <= 0) {
+		return fmt.Errorf("kernels: GEMM %q missing dimensions (m=%g n=%g k=%g)", d.Name, d.M, d.N, d.K)
+	}
+	return nil
+}
+
+// GEMM builds a descriptor for C[m×n] = A[m×k]·B[k×n] in the given format
+// on the given datapath. batch multiplies work and traffic for batched
+// GEMMs (for example per-head attention products).
+func GEMM(name string, m, n, k, batch float64, f precision.Format, path precision.Datapath) Desc {
+	if batch <= 0 {
+		batch = 1
+	}
+	e := float64(f.Bytes())
+	return Desc{
+		Name:   name,
+		Op:     OpGEMM,
+		FLOPs:  2 * m * n * k * batch,
+		Bytes:  (m*k + k*n + m*n) * e * batch,
+		M:      m,
+		N:      n,
+		K:      k,
+		Format: f,
+		Path:   path,
+	}
+}
+
+// Elementwise builds a descriptor for a pointwise kernel over elems
+// elements with the given FLOPs per element; traffic is one read and one
+// write per element plus rwExtra additional accesses per element.
+func Elementwise(name string, elems, flopsPerElem, rwExtra float64, f precision.Format) Desc {
+	e := float64(f.Bytes())
+	return Desc{
+		Name:   name,
+		Op:     OpElementwise,
+		FLOPs:  elems * flopsPerElem,
+		Bytes:  elems * e * (2 + rwExtra),
+		Format: f,
+		Path:   precision.Vector,
+	}
+}
+
+// Norm builds a descriptor for a LayerNorm/RMSNorm over elems elements
+// (two passes over the data).
+func Norm(name string, elems float64, f precision.Format) Desc {
+	e := float64(f.Bytes())
+	return Desc{
+		Name:   name,
+		Op:     OpNorm,
+		FLOPs:  elems * 8,
+		Bytes:  elems * e * 3,
+		Format: f,
+		Path:   precision.Vector,
+	}
+}
+
+// AdamBytesPerParam is the HBM traffic of one AdamW update per parameter:
+// FP32 master weight, two FP32 moments (read+write each), the FP16
+// gradient read and the FP16 weight write-back.
+const AdamBytesPerParam = 4*2 + 4*2 + 4*2 + 2 + 2
+
+// Optimizer builds a descriptor for an AdamW step over params parameters.
+// The optimizer state layout follows mixed-precision training (FP32 master
+// weights and moments).
+func Optimizer(name string, params float64) Desc {
+	return Desc{
+		Name:   name,
+		Op:     OpOptimizer,
+		FLOPs:  params * 14,
+		Bytes:  params * AdamBytesPerParam,
+		Format: precision.FP32,
+		Path:   precision.Vector,
+	}
+}
+
+// BaseTime returns the contention-free execution time of the kernel on g at
+// full frequency: the roofline maximum of the compute and memory times.
+func BaseTime(d Desc, g *hw.GPUSpec) float64 {
+	return workTime(d, g, 1, 0, 0, 0)
+}
+
+// BaseRate returns the contention-free execution rate of the kernel in
+// work units per second, where work is FLOPs for compute-classified
+// kernels (or bytes when FLOPs is zero).
+func BaseRate(d Desc, g *hw.GPUSpec) float64 {
+	t := BaseTime(d, g)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return Work(d) / t
+}
+
+// Work returns the abstract work units the simulator tracks for the
+// kernel: FLOPs when nonzero, otherwise bytes.
+func Work(d Desc) float64 {
+	if d.FLOPs > 0 {
+		return d.FLOPs
+	}
+	return d.Bytes
+}
+
+// Rate returns the kernel's execution rate in work units per second under
+// the given contention state:
+//
+//	freq         — DVFS frequency factor in (0,1];
+//	smStolen     — SMs occupied by co-resident collective kernels;
+//	hbmStolen    — HBM bandwidth consumed by collectives, bytes/s;
+//	serialize    — issue-rate derate while collectives are resident.
+//
+// The model is a contended roofline: the compute ceiling loses frequency,
+// SMs and issue slots; the memory ceiling loses stolen bandwidth.
+func Rate(d Desc, g *hw.GPUSpec, freq, smStolen, hbmStolen, serialize float64) float64 {
+	t := workTime(d, g, freq, smStolen, hbmStolen, serialize)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return Work(d) / t
+}
+
+// minMemFloor is the fraction of HBM bandwidth compute kernels always
+// retain even under full communication pressure (hardware arbitration
+// guarantees forward progress).
+const minMemFloor = 0.15
+
+func workTime(d Desc, g *hw.GPUSpec, freq, smStolen, hbmStolen, serialize float64) float64 {
+	if len(d.Parts) > 0 {
+		t := 0.0
+		for _, p := range d.Parts {
+			t += workTime(p, g, freq, smStolen, hbmStolen, serialize)
+		}
+		return t
+	}
+	if freq <= 0 {
+		freq = g.Power.FMin
+	}
+	smFrac := 1 - smStolen/float64(g.SMs)
+	if smFrac < 0.05 {
+		smFrac = 0.05
+	}
+	issue := 1 - serialize
+	if issue < 0.05 {
+		issue = 0.05
+	}
+
+	peak := g.PeakFLOPS(d.Path, d.Format)
+	eff := 1.0
+	if d.Op == OpGEMM {
+		eff = g.GEMMEff(d.K, d.Path, d.Format)
+	} else {
+		// Non-GEMM kernels are issue-limited well below vector peak.
+		eff = 0.5
+	}
+
+	availMem := g.MemBW() - hbmStolen
+	if floor := g.MemBW() * minMemFloor; availMem < floor {
+		availMem = floor
+	}
+
+	var tCompute, tMem float64
+	if d.FLOPs > 0 && peak > 0 {
+		tCompute = d.FLOPs / (peak * eff * smFrac * freq * issue)
+	}
+	if d.Bytes > 0 {
+		tMem = d.Bytes / (availMem * issue)
+	}
+	if d.FLOPs > 0 && peak == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(tCompute, tMem)
+}
+
+// Utilization returns the instantaneous utilization of the vector datapath,
+// matrix datapath and memory system implied by the kernel running at the
+// given rate (work units/s). The values feed the power model.
+func Utilization(d Desc, g *hw.GPUSpec, rate float64) (uVec, uMat, uMem float64) {
+	if rate <= 0 || math.IsInf(rate, 1) {
+		return 0, 0, 0
+	}
+	w := Work(d)
+	if w <= 0 {
+		return 0, 0, 0
+	}
+	dur := w / rate
+	if dur <= 0 {
+		return 0, 0, 0
+	}
+	if d.FLOPs > 0 {
+		flopRate := d.FLOPs / dur
+		if peak := g.PeakFLOPS(d.Path, d.Format); peak > 0 {
+			u := flopRate / peak
+			if u > 1 {
+				u = 1
+			}
+			switch d.Path {
+			case precision.Matrix:
+				uMat = u
+			default:
+				uVec = u
+			}
+		}
+	}
+	if d.Bytes > 0 {
+		byteRate := d.Bytes / dur
+		uMem = byteRate / g.MemBW()
+		if uMem > 1 {
+			uMem = 1
+		}
+	}
+	return uVec, uMat, uMem
+}

@@ -1,0 +1,171 @@
+// Package metrics implements the paper's performance metrics (§IV-D,
+// Equations 1–5): compute slowdown under overlap, the overlapped-
+// computation ratio, and the three end-to-end iteration latencies
+// E2E_Sequential, E2E_Overlapping and the hypothetical E2E_Ideal.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Iteration is the measurement of one training iteration on one device
+// (the paper profiles per-GPU kernel times and averages over runs).
+type Iteration struct {
+	// E2E is the wall-clock latency of the iteration in seconds.
+	E2E float64
+	// ComputeKernelTime is the summed duration of compute kernels.
+	ComputeKernelTime float64
+	// CommKernelTime is the summed duration of communication kernels.
+	CommKernelTime float64
+	// OverlappedComputeTime is compute kernel time covered by
+	// communication (numerator of Eq. 2).
+	OverlappedComputeTime float64
+	// OverlappedCommTime is communication kernel time covered by compute
+	// (the hidden communication of Eq. 5).
+	OverlappedCommTime float64
+}
+
+// OverlapRatio returns Eq. 2 for the iteration.
+func (it Iteration) OverlapRatio() float64 {
+	if it.ComputeKernelTime <= 0 {
+		return 0
+	}
+	return it.OverlappedComputeTime / it.ComputeKernelTime
+}
+
+// Mean averages iterations element-wise; it panics on an empty slice.
+func Mean(its []Iteration) Iteration {
+	if len(its) == 0 {
+		panic("metrics: Mean of no iterations")
+	}
+	var m Iteration
+	for _, it := range its {
+		m.E2E += it.E2E
+		m.ComputeKernelTime += it.ComputeKernelTime
+		m.CommKernelTime += it.CommKernelTime
+		m.OverlappedComputeTime += it.OverlappedComputeTime
+		m.OverlappedCommTime += it.OverlappedCommTime
+	}
+	n := float64(len(its))
+	m.E2E /= n
+	m.ComputeKernelTime /= n
+	m.CommKernelTime /= n
+	m.OverlappedComputeTime /= n
+	m.OverlappedCommTime /= n
+	return m
+}
+
+// Characterization combines the sequential and overlapped measurements of
+// one configuration into the paper's derived metrics.
+type Characterization struct {
+	// Sequential and Overlapped are the (averaged) per-mode measurements.
+	Sequential Iteration
+	Overlapped Iteration
+
+	// ComputeSlowdown is Eq. 1: (C_overlap − C_seq) / C_seq.
+	ComputeSlowdown float64
+	// OverlapRatio is Eq. 2 measured on the overlapped run.
+	OverlapRatio float64
+	// E2EIdeal is Eq. 4: overlapped E2E minus the absolute compute
+	// slowdown — concurrency without contention.
+	E2EIdeal float64
+	// E2ESeqDerived is Eq. 5: E2EIdeal plus the hidden communication
+	// time. The directly measured sequential E2E is
+	// Sequential.E2E; both are reported.
+	E2ESeqDerived float64
+	// SeqPenalty is how much slower sequential execution is than
+	// overlapped: (E2E_seq − E2E_overlap) / E2E_overlap (the paper's
+	// "sequential is on average 10.2% slower").
+	SeqPenalty float64
+	// IdealGap is how much slower overlapped execution is than ideal:
+	// (E2E_overlap − E2E_ideal) / E2E_ideal.
+	IdealGap float64
+}
+
+// Characterize derives the paper's metrics from a sequential and an
+// overlapped measurement of the same configuration.
+func Characterize(seq, ovl Iteration) Characterization {
+	c := Characterization{Sequential: seq, Overlapped: ovl}
+	if seq.ComputeKernelTime > 0 {
+		c.ComputeSlowdown = (ovl.ComputeKernelTime - seq.ComputeKernelTime) / seq.ComputeKernelTime
+	}
+	c.OverlapRatio = ovl.OverlapRatio()
+	slowAbs := ovl.ComputeKernelTime - seq.ComputeKernelTime
+	c.E2EIdeal = ovl.E2E - slowAbs
+	c.E2ESeqDerived = c.E2EIdeal + ovl.OverlappedCommTime
+	if ovl.E2E > 0 {
+		c.SeqPenalty = (seq.E2E - ovl.E2E) / ovl.E2E
+	}
+	if c.E2EIdeal > 0 {
+		c.IdealGap = (ovl.E2E - c.E2EIdeal) / c.E2EIdeal
+	}
+	return c
+}
+
+// Summary aggregates a metric across many configurations (the paper's
+// "average 18.9%, maximum 40.0%" style statements).
+type Summary struct {
+	N                int
+	Mean, Min, Max   float64
+	P50, P90         float64
+	populationSorted []float64
+}
+
+// Summarize builds a Summary from values; NaNs are dropped.
+func Summarize(values []float64) Summary {
+	var vs []float64
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			vs = append(vs, v)
+		}
+	}
+	s := Summary{N: len(vs)}
+	if len(vs) == 0 {
+		return s
+	}
+	sort.Float64s(vs)
+	s.populationSorted = vs
+	s.Min = vs[0]
+	s.Max = vs[len(vs)-1]
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	s.Mean = sum / float64(len(vs))
+	s.P50 = percentile(vs, 0.50)
+	s.P90 = percentile(vs, 0.90)
+	return s
+}
+
+// Percentile returns the q-quantile (0..1) of the summarized values.
+func (s Summary) Percentile(q float64) float64 {
+	return percentile(s.populationSorted, q)
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats the summary as percentages when values look like ratios.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g p50=%.4g p90=%.4g",
+		s.N, s.Mean, s.Min, s.Max, s.P50, s.P90)
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharacterizeEquations(t *testing.T) {
+	seq := Iteration{
+		E2E:               1.3,
+		ComputeKernelTime: 1.0,
+		CommKernelTime:    0.3,
+	}
+	ovl := Iteration{
+		E2E:                   1.15,
+		ComputeKernelTime:     1.1, // 10% slowdown
+		CommKernelTime:        0.3,
+		OverlappedComputeTime: 0.44,
+		OverlappedCommTime:    0.25,
+	}
+	c := Characterize(seq, ovl)
+	if math.Abs(c.ComputeSlowdown-0.1) > 1e-9 {
+		t.Errorf("Eq.1 slowdown = %g, want 0.1", c.ComputeSlowdown)
+	}
+	if math.Abs(c.OverlapRatio-0.4) > 1e-9 {
+		t.Errorf("Eq.2 ratio = %g, want 0.4", c.OverlapRatio)
+	}
+	if want := 1.15 - 0.1; math.Abs(c.E2EIdeal-want) > 1e-9 {
+		t.Errorf("Eq.4 ideal = %g, want %g", c.E2EIdeal, want)
+	}
+	if want := c.E2EIdeal + 0.25; math.Abs(c.E2ESeqDerived-want) > 1e-9 {
+		t.Errorf("Eq.5 derived = %g, want %g", c.E2ESeqDerived, want)
+	}
+	if want := (1.3 - 1.15) / 1.15; math.Abs(c.SeqPenalty-want) > 1e-9 {
+		t.Errorf("seq penalty = %g, want %g", c.SeqPenalty, want)
+	}
+	if want := (1.15 - c.E2EIdeal) / c.E2EIdeal; math.Abs(c.IdealGap-want) > 1e-9 {
+		t.Errorf("ideal gap = %g, want %g", c.IdealGap, want)
+	}
+}
+
+func TestCharacterizeZeroSafe(t *testing.T) {
+	c := Characterize(Iteration{}, Iteration{})
+	if c.ComputeSlowdown != 0 || c.OverlapRatio != 0 || c.SeqPenalty != 0 {
+		t.Errorf("zero inputs must yield zero metrics: %+v", c)
+	}
+}
+
+func TestMean(t *testing.T) {
+	its := []Iteration{
+		{E2E: 1, ComputeKernelTime: 2, CommKernelTime: 3, OverlappedComputeTime: 1, OverlappedCommTime: 0.5},
+		{E2E: 3, ComputeKernelTime: 4, CommKernelTime: 5, OverlappedComputeTime: 2, OverlappedCommTime: 1.5},
+	}
+	m := Mean(its)
+	if m.E2E != 2 || m.ComputeKernelTime != 3 || m.CommKernelTime != 4 ||
+		m.OverlappedComputeTime != 1.5 || m.OverlappedCommTime != 1 {
+		t.Errorf("mean = %+v", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean of nothing must panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestOverlapRatioGuard(t *testing.T) {
+	if (Iteration{}).OverlapRatio() != 0 {
+		t.Error("no compute time: ratio 0")
+	}
+	it := Iteration{ComputeKernelTime: 2, OverlappedComputeTime: 1}
+	if it.OverlapRatio() != 0.5 {
+		t.Errorf("ratio = %g", it.OverlapRatio())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.1, 0.2, 0.3, 0.4, math.NaN()})
+	if s.N != 4 {
+		t.Errorf("N = %d, want 4 (NaN dropped)", s.N)
+	}
+	if math.Abs(s.Mean-0.25) > 1e-9 || s.Min != 0.1 || s.Max != 0.4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.P50-0.25) > 1e-9 {
+		t.Errorf("p50 = %g, want 0.25", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !math.IsNaN(s.Percentile(0.5)) {
+		t.Error("percentile of empty summary should be NaN")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Percentile(0) != 1 || s.Percentile(1) != 3 {
+		t.Errorf("endpoints = %g, %g", s.Percentile(0), s.Percentile(1))
+	}
+}
+
+// Property: Eq.5 identity E2ESeqDerived = E2EIdeal + hidden comm always
+// holds, and E2EIdeal <= overlapped E2E whenever the slowdown is
+// non-negative.
+func TestQuickCharacterizeIdentities(t *testing.T) {
+	f := func(cSeq, extra, e2e, hidden uint16) bool {
+		seq := Iteration{ComputeKernelTime: float64(cSeq%1000)/100 + 0.1, E2E: float64(e2e%1000)/100 + 1}
+		ovl := Iteration{
+			ComputeKernelTime:  seq.ComputeKernelTime + float64(extra%200)/100,
+			E2E:                seq.E2E * 0.95,
+			OverlappedCommTime: float64(hidden%100) / 100,
+		}
+		c := Characterize(seq, ovl)
+		if math.Abs(c.E2ESeqDerived-(c.E2EIdeal+ovl.OverlappedCommTime)) > 1e-9 {
+			return false
+		}
+		return c.E2EIdeal <= ovl.E2E+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize bounds — Min <= Mean <= Max and quantiles are
+// monotone.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 || len(vals) > 100 {
+			return true
+		}
+		fl := make([]float64, len(vals))
+		for i, v := range vals {
+			fl[i] = float64(v)
+		}
+		s := Summarize(fl)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.Percentile(0.25) <= s.Percentile(0.75)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

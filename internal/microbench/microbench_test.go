@@ -1,0 +1,102 @@
+package microbench
+
+import (
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+func cfg(g *hw.GPUSpec, n int) Config {
+	return Config{
+		System:      hw.NewSystem(g, 4),
+		N:           n,
+		Format:      precision.FP16,
+		MatrixUnits: true,
+	}
+}
+
+func TestOverlapSlowsGEMM(t *testing.T) {
+	res, err := Run(cfg(hw.H100(), 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown <= 0 {
+		t.Errorf("concurrent all-reduce must slow the GEMM: %g", res.Slowdown)
+	}
+	if res.OverlappedGEMM <= res.IsolatedGEMM {
+		t.Error("overlapped GEMM time not above isolated")
+	}
+}
+
+func TestOverlapRaisesPower(t *testing.T) {
+	res, err := Run(cfg(hw.H100(), 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverlappedPower.PeakTDP < res.IsolatedPower.PeakTDP {
+		t.Errorf("overlap peak %.2fxTDP below isolated %.2fxTDP",
+			res.OverlappedPower.PeakTDP, res.IsolatedPower.PeakTDP)
+	}
+}
+
+func TestLargeGEMMNearTDP(t *testing.T) {
+	// Takeaway 6: at large N the GPU operates near or beyond its TDP.
+	res, err := Run(cfg(hw.H100(), 16384))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverlappedPower.PeakTDP < 0.85 {
+		t.Errorf("16K GEMM with all-reduce peaks at %.2fxTDP, want ≥0.85", res.OverlappedPower.PeakTDP)
+	}
+}
+
+func TestIsolatedTimeGrowsWithN(t *testing.T) {
+	small, err := Run(cfg(hw.A100(), 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(cfg(hw.A100(), 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IsolatedGEMM <= small.IsolatedGEMM {
+		t.Error("bigger GEMM must take longer")
+	}
+}
+
+func TestPowerCapAmplifiesSlowdown(t *testing.T) {
+	base, err := Run(cfg(hw.A100(), 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := cfg(hw.A100(), 8192)
+	capped.Caps = power.Caps{PowerW: 150}
+	cres, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.OverlappedGEMM <= base.OverlappedGEMM {
+		t.Error("power cap must stretch the overlapped GEMM")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := cfg(hw.H100(), 0)
+	if _, err := Run(bad); err == nil {
+		t.Error("N=0 must fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := cfg(hw.H100(), 1024)
+	c.Repeats = 0
+	c.CollectiveBytes = 0
+	if _, err := Run(c); err != nil {
+		t.Errorf("defaults failed: %v", err)
+	}
+	if len(SweepNs()) == 0 {
+		t.Error("empty sweep")
+	}
+}

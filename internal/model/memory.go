@@ -1,0 +1,133 @@
+package model
+
+import (
+	"fmt"
+
+	"overlapsim/internal/precision"
+)
+
+// Memory-footprint estimation. The estimates gate experiment feasibility
+// the same way real HBM capacity gates the paper's runs — notably the
+// A100's 40 GB limiting it to GPT-3 2.7B and below (§V-A).
+
+const (
+	// stateOverheadFactor inflates model/optimizer state for allocator
+	// fragmentation and framework bookkeeping observed in
+	// DeepSpeed/Megatron runs.
+	stateOverheadFactor = 1.5
+	// frameworkReserveBytes is the CUDA/HIP context plus framework
+	// reserved pool.
+	frameworkReserveBytes = 2.0 * (1 << 30)
+	// adamStateBytesPerParam is FP32 master weight + two FP32 moments.
+	adamStateBytesPerParam = 12.0
+)
+
+// MemoryEstimate breaks down the predicted per-GPU memory use in bytes.
+type MemoryEstimate struct {
+	// States is parameters + gradients + optimizer state (sharded under
+	// FSDP).
+	States float64
+	// Activations is stored activation memory at peak.
+	Activations float64
+	// Working is transient working-set memory (all-gathered layer
+	// parameters under FSDP, recompute buffers, largest kernel
+	// workspace).
+	Working float64
+	// Reserve is framework overhead.
+	Reserve float64
+}
+
+// Total returns the summed estimate.
+func (m MemoryEstimate) Total() float64 {
+	return m.States + m.Activations + m.Working + m.Reserve
+}
+
+// activationBytesPerToken returns stored activation bytes per token per
+// layer with and without checkpointing (full recompute keeps only the
+// block input).
+func (c Config) activationBytesPerToken(f precision.Format, checkpoint bool) float64 {
+	e := float64(f.Bytes())
+	h := float64(c.Hidden)
+	if checkpoint {
+		return h * e
+	}
+	ffn := float64(c.FFN)
+	// Block inputs, QKV, attention output, MLP intermediate(s), softmax
+	// statistics (flash-attention style: no S² score tensor stored).
+	factor := 6*h + 2*ffn
+	if c.Arch == LLaMA2 {
+		factor += ffn // gate branch
+	}
+	return factor * e
+}
+
+// FootprintFSDP estimates per-GPU memory for FSDP (ZeRO-3) training over n
+// GPUs at local batch b.
+func (c Config) FootprintFSDP(b, n int, f precision.Format, checkpoint bool) MemoryEstimate {
+	e := float64(f.Bytes())
+	p := c.TotalParams()
+	shard := p / float64(n)
+
+	states := shard * (e /*params*/ + e /*grads*/ + adamStateBytesPerParam)
+	states *= stateOverheadFactor
+
+	tokens := float64(b) * float64(c.SeqLen)
+	act := float64(c.Layers) * tokens * c.activationBytesPerToken(f, checkpoint)
+
+	// Working set: two all-gathered layers resident (current + prefetched)
+	// plus one layer of recompute activations when checkpointing.
+	working := 2 * c.ParamsPerLayer() * e
+	if checkpoint {
+		working += tokens * c.activationBytesPerToken(f, false)
+	}
+	// Logits buffer for the LM head.
+	working += tokens * float64(c.Vocab) * e
+
+	return MemoryEstimate{States: states, Activations: act, Working: working, Reserve: frameworkReserveBytes}
+}
+
+// FootprintPipeline estimates per-GPU (per-stage) memory for pipeline
+// parallelism over n stages at local batch b split into microbatches of
+// size micro.
+func (c Config) FootprintPipeline(b, micro, n int, f precision.Format, checkpoint bool) MemoryEstimate {
+	e := float64(f.Bytes())
+	layersPerStage := (c.Layers + n - 1) / n
+	stageParams := float64(layersPerStage)*c.ParamsPerLayer() + c.EmbedParams()/float64(n)
+
+	states := stageParams * (e + e + adamStateBytesPerParam)
+	states *= stateOverheadFactor
+
+	// 1F1B keeps at most n in-flight microbatches of activations per
+	// stage.
+	if micro <= 0 {
+		micro = b
+	}
+	inflight := n
+	if m := (b + micro - 1) / micro; m < inflight {
+		inflight = m
+	}
+	tokens := float64(micro) * float64(c.SeqLen)
+	act := float64(inflight) * float64(layersPerStage) * tokens * c.activationBytesPerToken(f, checkpoint)
+
+	working := tokens * float64(c.Vocab) * e / float64(n)
+	if checkpoint {
+		working += tokens * c.activationBytesPerToken(f, false)
+	}
+
+	return MemoryEstimate{States: states, Activations: act, Working: working, Reserve: frameworkReserveBytes}
+}
+
+// ErrOOM is the error type reported when a configuration exceeds device
+// memory.
+type ErrOOM struct {
+	Model     string
+	GPU       string
+	NeedBytes float64
+	HaveBytes float64
+}
+
+// Error implements error.
+func (e *ErrOOM) Error() string {
+	return fmt.Sprintf("model: %s does not fit on %s: need %.1f GiB, have %.1f GiB",
+		e.Model, e.GPU, e.NeedBytes/(1<<30), e.HaveBytes/(1<<30))
+}

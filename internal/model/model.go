@@ -1,0 +1,277 @@
+// Package model implements the workload zoo of Table II — GPT-3 XL, 2.7B,
+// 6.7B and 13B, and LLaMA-2 13B — with the per-layer parameter, FLOP and
+// activation accounting the executors and memory-feasibility checks need.
+// Kernel sequences follow the standard decoder-block structure (fused into
+// the per-layer task granularity the simulator schedules).
+package model
+
+import (
+	"fmt"
+
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/precision"
+)
+
+// Arch is a transformer architecture family.
+type Arch int
+
+// Architectures.
+const (
+	// GPT3 is the GPT-3 decoder block: LayerNorm, fused QKV attention,
+	// 4h GELU MLP, learned positional embeddings.
+	GPT3 Arch = iota
+	// LLaMA2 is the LLaMA-2 decoder block: RMSNorm, attention without
+	// biases, SwiGLU MLP.
+	LLaMA2
+)
+
+// String returns the family name.
+func (a Arch) String() string {
+	switch a {
+	case GPT3:
+		return "GPT-3"
+	case LLaMA2:
+		return "LLaMA-2"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Config describes one model (one Table II row).
+type Config struct {
+	// Name is the Table II label ("GPT-3 XL", ...).
+	Name string
+	// Arch is the block architecture.
+	Arch Arch
+	// NominalParams is the marketing parameter count ("1.3B"), used only
+	// for labels; exact counts come from TotalParams.
+	NominalParams float64
+	// Layers is the number of decoder blocks.
+	Layers int
+	// Heads is the number of attention heads.
+	Heads int
+	// Hidden is the model (embedding) dimension.
+	Hidden int
+	// FFN is the MLP intermediate dimension.
+	FFN int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// SeqLen is the training sequence length.
+	SeqLen int
+}
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0:
+		return fmt.Errorf("model %q: layers=%d", c.Name, c.Layers)
+	case c.Hidden <= 0:
+		return fmt.Errorf("model %q: hidden=%d", c.Name, c.Hidden)
+	case c.Heads <= 0 || c.Hidden%c.Heads != 0:
+		return fmt.Errorf("model %q: heads=%d does not divide hidden=%d", c.Name, c.Heads, c.Hidden)
+	case c.FFN <= 0:
+		return fmt.Errorf("model %q: ffn=%d", c.Name, c.FFN)
+	case c.Vocab <= 0:
+		return fmt.Errorf("model %q: vocab=%d", c.Name, c.Vocab)
+	case c.SeqLen <= 0:
+		return fmt.Errorf("model %q: seqlen=%d", c.Name, c.SeqLen)
+	}
+	return nil
+}
+
+// ParamsPerLayer returns the exact parameter count of one decoder block.
+func (c Config) ParamsPerLayer() float64 {
+	h := float64(c.Hidden)
+	ffn := float64(c.FFN)
+	switch c.Arch {
+	case LLaMA2:
+		// Attention QKVO (no biases) + SwiGLU gate/up/down + 2 RMSNorms.
+		return 4*h*h + 3*h*ffn + 2*h
+	default:
+		// Attention QKVO with biases + 2-layer MLP with biases + 2
+		// LayerNorms (scale+shift).
+		return 4*h*h + 4*h + 2*h*ffn + h + ffn + 4*h
+	}
+}
+
+// EmbedParams returns the embedding (and tied LM head) parameter count.
+func (c Config) EmbedParams() float64 {
+	p := float64(c.Vocab) * float64(c.Hidden)
+	if c.Arch == GPT3 {
+		p += float64(c.SeqLen) * float64(c.Hidden) // learned positions
+	}
+	return p
+}
+
+// TotalParams returns the exact total parameter count.
+func (c Config) TotalParams() float64 {
+	return float64(c.Layers)*c.ParamsPerLayer() + c.EmbedParams() + float64(c.Hidden)
+}
+
+// headDim returns the per-head dimension.
+func (c Config) headDim() float64 { return float64(c.Hidden) / float64(c.Heads) }
+
+// ForwardLayerKernels returns the fused kernel sequence of one decoder
+// block's forward pass for local batch size b: attention input norm + QKV,
+// the attention core (scores, softmax, value product), output projection +
+// residual, MLP up (+ gate for SwiGLU) + activation, MLP down + residual +
+// second norm. GEMMs execute in the effective format for the matrix-unit
+// setting; everything else stays on the vector datapath.
+func (c Config) ForwardLayerKernels(b int, f precision.Format, matrixUnits bool) []kernels.Desc {
+	gf := precision.EffectiveGEMMFormat(f, matrixUnits)
+	path := precision.PathFor(gf, matrixUnits)
+	h := float64(c.Hidden)
+	ffn := float64(c.FFN)
+	s := float64(c.SeqLen)
+	bs := float64(b) * s
+	hd := c.headDim()
+	heads := float64(c.Heads) * float64(b)
+
+	ks := []kernels.Desc{
+		kernels.Norm("ln1", bs*h, f),
+		kernels.GEMM("qkv", bs, 3*h, h, 1, gf, path),
+		kernels.GEMM("attn.scores", s, s, hd, heads, gf, path),
+		kernels.Elementwise("attn.softmax", heads*s*s, 5, 1, f),
+		kernels.GEMM("attn.values", s, hd, s, heads, gf, path),
+		kernels.GEMM("attn.proj", bs, h, h, 1, gf, path),
+		kernels.Elementwise("residual1", bs*h, 1, 1, f),
+		kernels.Norm("ln2", bs*h, f),
+	}
+	if c.Arch == LLaMA2 {
+		ks = append(ks,
+			kernels.GEMM("mlp.gate", bs, ffn, h, 1, gf, path),
+			kernels.GEMM("mlp.up", bs, ffn, h, 1, gf, path),
+			kernels.Elementwise("mlp.silu_mul", bs*ffn, 4, 1, f),
+			kernels.GEMM("mlp.down", bs, h, ffn, 1, gf, path),
+		)
+	} else {
+		ks = append(ks,
+			kernels.GEMM("mlp.up", bs, ffn, h, 1, gf, path),
+			kernels.Elementwise("mlp.gelu", bs*ffn, 8, 0, f),
+			kernels.GEMM("mlp.down", bs, h, ffn, 1, gf, path),
+		)
+	}
+	ks = append(ks, kernels.Elementwise("residual2", bs*h, 1, 1, f))
+	return ks
+}
+
+// BackwardLayerKernels returns the kernel sequence of one block's backward
+// pass. Every forward GEMM contributes a data-gradient and a
+// weight-gradient GEMM of the same shape; pointwise and norm kernels
+// re-traverse their activations. With recompute enabled (activation
+// checkpointing) the forward kernels are replayed first, matching
+// Megatron/DeepSpeed full-recompute behaviour.
+func (c Config) BackwardLayerKernels(b int, f precision.Format, matrixUnits bool, recompute bool) []kernels.Desc {
+	fwd := c.ForwardLayerKernels(b, f, matrixUnits)
+	var ks []kernels.Desc
+	if recompute {
+		for _, k := range fwd {
+			k.Name = "recompute." + k.Name
+			ks = append(ks, k)
+		}
+	}
+	for i := len(fwd) - 1; i >= 0; i-- {
+		k := fwd[i]
+		if k.Op == kernels.OpGEMM {
+			dg := k
+			dg.Name = "bwd.dgrad." + k.Name
+			wg := k
+			wg.Name = "bwd.wgrad." + k.Name
+			ks = append(ks, dg, wg)
+		} else {
+			bk := k
+			bk.Name = "bwd." + k.Name
+			bk.FLOPs *= 1.5
+			bk.Bytes *= 1.5
+			ks = append(ks, bk)
+		}
+	}
+	return ks
+}
+
+// HeadKernels returns the embedding lookup and LM-head kernels. fwd
+// selects the forward (lookup + logits GEMM) or backward (logits gradient
+// GEMMs + embedding gradient scatter) direction.
+func (c Config) HeadKernels(b int, f precision.Format, matrixUnits bool, fwd bool) []kernels.Desc {
+	gf := precision.EffectiveGEMMFormat(f, matrixUnits)
+	path := precision.PathFor(gf, matrixUnits)
+	h := float64(c.Hidden)
+	v := float64(c.Vocab)
+	bs := float64(b) * float64(c.SeqLen)
+	if fwd {
+		return []kernels.Desc{
+			kernels.Elementwise("embed.lookup", bs*h, 1, 1, f),
+			kernels.GEMM("lm_head", bs, v, h, 1, gf, path),
+			kernels.Elementwise("loss.softmax_ce", bs*v, 5, 0, f),
+		}
+	}
+	return []kernels.Desc{
+		kernels.GEMM("bwd.lm_head.dgrad", bs, h, v, 1, gf, path),
+		kernels.GEMM("bwd.lm_head.wgrad", h, v, bs, 1, gf, path),
+		kernels.Elementwise("bwd.embed.scatter", bs*h, 1, 2, f),
+	}
+}
+
+// OptimizerKernel returns the AdamW step over the given parameter count
+// (pass the local shard size under FSDP).
+func (c Config) OptimizerKernel(params float64) kernels.Desc {
+	return kernels.Optimizer("adamw", params)
+}
+
+// IterationFLOPs returns the standard 6·P·tokens estimate of total
+// floating-point work per training iteration at global batch size b
+// (forward 2PT + backward 4PT), used for MFU-style reporting.
+func (c Config) IterationFLOPs(b int) float64 {
+	tokens := float64(b) * float64(c.SeqLen)
+	return 6 * c.TotalParams() * tokens
+}
+
+// Zoo returns the Table II workloads in the paper's order.
+func Zoo() []Config {
+	return []Config{GPT3XL(), GPT3_2_7B(), GPT3_6_7B(), GPT3_13B(), LLaMA2_13B()}
+}
+
+// ByName returns the zoo model with the given name, or an error.
+func ByName(name string) (Config, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Config{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// defaultSeqLen is the training sequence length used across experiments
+// (documented in DESIGN.md; the paper does not state one).
+const defaultSeqLen = 1024
+
+// GPT3XL is GPT-3 XL: 1.3B parameters, 24 layers, 32 heads, hidden 2048.
+func GPT3XL() Config {
+	return Config{Name: "GPT-3 XL", Arch: GPT3, NominalParams: 1.3e9,
+		Layers: 24, Heads: 32, Hidden: 2048, FFN: 8192, Vocab: 50257, SeqLen: defaultSeqLen}
+}
+
+// GPT3_2_7B is GPT-3 2.7B: 32 layers, 32 heads, hidden 2560.
+func GPT3_2_7B() Config {
+	return Config{Name: "GPT-3 2.7B", Arch: GPT3, NominalParams: 2.7e9,
+		Layers: 32, Heads: 32, Hidden: 2560, FFN: 10240, Vocab: 50257, SeqLen: defaultSeqLen}
+}
+
+// GPT3_6_7B is GPT-3 6.7B: 32 layers, 32 heads, hidden 4096.
+func GPT3_6_7B() Config {
+	return Config{Name: "GPT-3 6.7B", Arch: GPT3, NominalParams: 6.7e9,
+		Layers: 32, Heads: 32, Hidden: 4096, FFN: 16384, Vocab: 50257, SeqLen: defaultSeqLen}
+}
+
+// GPT3_13B is GPT-3 13B: 40 layers, 40 heads, hidden 5120.
+func GPT3_13B() Config {
+	return Config{Name: "GPT-3 13B", Arch: GPT3, NominalParams: 13e9,
+		Layers: 40, Heads: 40, Hidden: 5120, FFN: 20480, Vocab: 50257, SeqLen: defaultSeqLen}
+}
+
+// LLaMA2_13B is LLaMA-2 13B: 40 layers, 40 heads, hidden 5120, SwiGLU FFN
+// 13824.
+func LLaMA2_13B() Config {
+	return Config{Name: "LLaMA2 13B", Arch: LLaMA2, NominalParams: 13e9,
+		Layers: 40, Heads: 40, Hidden: 5120, FFN: 13824, Vocab: 32000, SeqLen: defaultSeqLen}
+}

@@ -1,0 +1,257 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/kernels"
+	"overlapsim/internal/precision"
+)
+
+func TestZooMatchesTable2(t *testing.T) {
+	want := []struct {
+		name   string
+		layers int
+		heads  int
+		hidden int
+	}{
+		{"GPT-3 XL", 24, 32, 2048},
+		{"GPT-3 2.7B", 32, 32, 2560},
+		{"GPT-3 6.7B", 32, 32, 4096},
+		{"GPT-3 13B", 40, 40, 5120},
+		{"LLaMA2 13B", 40, 40, 5120},
+	}
+	zoo := Zoo()
+	if len(zoo) != len(want) {
+		t.Fatalf("zoo has %d models", len(zoo))
+	}
+	for i, w := range want {
+		m := zoo[i]
+		if m.Name != w.name || m.Layers != w.layers || m.Heads != w.heads || m.Hidden != w.hidden {
+			t.Errorf("row %d: got %s %d/%d/%d", i, m.Name, m.Layers, m.Heads, m.Hidden)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestParamCountsNearNominal(t *testing.T) {
+	for _, m := range Zoo() {
+		got := m.TotalParams()
+		rel := math.Abs(got-m.NominalParams) / m.NominalParams
+		if rel > 0.12 {
+			t.Errorf("%s: exact params %.3gB vs nominal %.3gB (%.0f%% off)",
+				m.Name, got/1e9, m.NominalParams/1e9, rel*100)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Name: "layers", Layers: 0, Heads: 1, Hidden: 8, FFN: 8, Vocab: 8, SeqLen: 8},
+		{Name: "heads", Layers: 1, Heads: 3, Hidden: 8, FFN: 8, Vocab: 8, SeqLen: 8},
+		{Name: "vocab", Layers: 1, Heads: 2, Hidden: 8, FFN: 8, Vocab: 0, SeqLen: 8},
+		{Name: "seq", Layers: 1, Heads: 2, Hidden: 8, FFN: 8, Vocab: 8, SeqLen: 0},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("GPT-3 13B"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+// flopsOf sums FLOPs over kernel descriptors.
+func flopsOf(ks []kernels.Desc) float64 {
+	s := 0.0
+	for _, k := range ks {
+		s += k.FLOPs
+	}
+	return s
+}
+
+func TestForwardFLOPsMatch2PT(t *testing.T) {
+	// Forward GEMM work per token should be close to 2·params (the
+	// standard estimate), within the tolerance of attention and head
+	// terms.
+	for _, m := range Zoo() {
+		b := 4
+		tokens := float64(b) * float64(m.SeqLen)
+		total := flopsOf(m.HeadKernels(b, precision.FP16, true, true))
+		for i := 0; i < m.Layers; i++ {
+			total += flopsOf(m.ForwardLayerKernels(b, precision.FP16, true))
+			break
+		}
+		total += flopsOf(m.ForwardLayerKernels(b, precision.FP16, true)) * float64(m.Layers-1)
+		want := 2 * m.TotalParams() * tokens
+		ratio := total / want
+		if ratio < 0.9 || ratio > 1.6 {
+			t.Errorf("%s: fwd FLOPs/2PT ratio = %.2f", m.Name, ratio)
+		}
+	}
+}
+
+func TestBackwardRoughlyTwiceForward(t *testing.T) {
+	m := GPT3XL()
+	fwd := flopsOf(m.ForwardLayerKernels(4, precision.FP16, true))
+	bwdNoCkpt := flopsOf(m.BackwardLayerKernels(4, precision.FP16, true, false))
+	bwdCkpt := flopsOf(m.BackwardLayerKernels(4, precision.FP16, true, true))
+	if r := bwdNoCkpt / fwd; r < 1.8 || r > 2.4 {
+		t.Errorf("bwd/fwd = %.2f, want ≈2", r)
+	}
+	if math.Abs(bwdCkpt-(bwdNoCkpt+fwd))/bwdCkpt > 0.01 {
+		t.Errorf("checkpointed bwd should add one forward recompute: %g vs %g",
+			bwdCkpt, bwdNoCkpt+fwd)
+	}
+}
+
+func TestLLaMAHasSwiGLU(t *testing.T) {
+	l := LLaMA2_13B()
+	ks := l.ForwardLayerKernels(2, precision.FP16, true)
+	gate := false
+	for _, k := range ks {
+		if k.Name == "mlp.gate" {
+			gate = true
+		}
+	}
+	if !gate {
+		t.Error("LLaMA-2 layers must include the SwiGLU gate GEMM")
+	}
+	g := GPT3_13B()
+	for _, k := range g.ForwardLayerKernels(2, precision.FP16, true) {
+		if k.Name == "mlp.gate" {
+			t.Error("GPT-3 layers must not have a gate GEMM")
+		}
+	}
+}
+
+func TestMatrixUnitsSelectDatapath(t *testing.T) {
+	m := GPT3XL()
+	for _, k := range m.ForwardLayerKernels(2, precision.FP16, true) {
+		if k.Op == kernels.OpGEMM && k.Path != precision.Matrix {
+			t.Errorf("GEMM %s not on matrix path with matrix units enabled", k.Name)
+		}
+	}
+	for _, k := range m.ForwardLayerKernels(2, precision.FP32, false) {
+		if k.Path != precision.Vector {
+			t.Errorf("kernel %s not on vector path with matrix units disabled", k.Name)
+		}
+	}
+	// FP32 + matrix units = TF32 GEMMs.
+	for _, k := range m.ForwardLayerKernels(2, precision.FP32, true) {
+		if k.Op == kernels.OpGEMM && k.Format != precision.TF32 {
+			t.Errorf("GEMM %s format %v, want TF32", k.Name, k.Format)
+		}
+	}
+}
+
+func TestIterationFLOPs(t *testing.T) {
+	m := GPT3XL()
+	got := m.IterationFLOPs(8)
+	want := 6 * m.TotalParams() * 8 * float64(m.SeqLen)
+	if got != want {
+		t.Errorf("IterationFLOPs = %g, want %g", got, want)
+	}
+}
+
+func TestFootprintGatesMatchPaper(t *testing.T) {
+	// §V-A: the A100's 40 GB limits it to GPT-3 2.7B and below under
+	// FSDP over 4 GPUs; the H100 fits 13B; the MI210 does not fit 13B;
+	// the MI250 does.
+	a100 := 40.0 * (1 << 30)
+	h100 := 80.0 * (1 << 30)
+	mi210 := 64.0 * (1 << 30)
+	mi250 := 128.0 * (1 << 30)
+	fit := func(m Config, local int, mem float64) bool {
+		return m.FootprintFSDP(local, 4, precision.FP16, true).Total() <= mem
+	}
+	if !fit(GPT3_2_7B(), 2, a100) {
+		t.Error("GPT-3 2.7B must fit the A100")
+	}
+	if fit(GPT3_6_7B(), 2, a100) {
+		t.Error("GPT-3 6.7B must NOT fit the A100 (paper constraint)")
+	}
+	if !fit(GPT3_13B(), 2, h100) {
+		t.Error("GPT-3 13B must fit the H100")
+	}
+	if fit(GPT3_13B(), 2, mi210) {
+		t.Error("GPT-3 13B must NOT fit the MI210")
+	}
+	if !fit(GPT3_13B(), 2, mi250) {
+		t.Error("GPT-3 13B must fit the MI250")
+	}
+	if !fit(LLaMA2_13B(), 2, mi250) {
+		t.Error("LLaMA-2 13B must fit the MI250 (Fig. 7 workload)")
+	}
+}
+
+func TestCheckpointShrinksActivations(t *testing.T) {
+	m := GPT3_6_7B()
+	with := m.FootprintFSDP(8, 4, precision.FP16, true)
+	without := m.FootprintFSDP(8, 4, precision.FP16, false)
+	if with.Activations >= without.Activations {
+		t.Error("checkpointing must reduce stored activations")
+	}
+}
+
+func TestPipelineFootprint(t *testing.T) {
+	m := GPT3_2_7B()
+	est := m.FootprintPipeline(64, 2, 4, precision.FP16, true)
+	if est.Total() <= 0 || est.States <= 0 {
+		t.Errorf("estimate = %+v", est)
+	}
+	// More in-flight microbatches (larger batch at fixed micro) must not
+	// shrink activations.
+	small := m.FootprintPipeline(4, 2, 4, precision.FP16, true)
+	if est.Activations < small.Activations {
+		t.Error("activation memory must not shrink with batch")
+	}
+}
+
+func TestErrOOM(t *testing.T) {
+	e := &ErrOOM{Model: "m", GPU: "g", NeedBytes: 2 << 30, HaveBytes: 1 << 30}
+	if e.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+// Property: per-layer parameters grow monotonically with hidden size.
+func TestQuickParamsMonotone(t *testing.T) {
+	f := func(h1, h2 uint8) bool {
+		a := float64(h1%64+1) * 64
+		b := float64(h2%64+1) * 64
+		if a > b {
+			a, b = b, a
+		}
+		ma := Config{Name: "a", Layers: 2, Heads: 2, Hidden: int(a), FFN: int(4 * a), Vocab: 1000, SeqLen: 128}
+		mb := Config{Name: "b", Layers: 2, Heads: 2, Hidden: int(b), FFN: int(4 * b), Vocab: 1000, SeqLen: 128}
+		return ma.ParamsPerLayer() <= mb.ParamsPerLayer()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FSDP states shrink proportionally with the shard count.
+func TestQuickFSDPSharding(t *testing.T) {
+	m := GPT3XL()
+	f := func(n uint8) bool {
+		k := int(n%7) + 2
+		one := m.FootprintFSDP(2, 1, precision.FP16, true).States
+		shard := m.FootprintFSDP(2, k, precision.FP16, true).States
+		return math.Abs(shard-one/float64(k)) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package power implements the GPU power model, DVFS under power and
+// frequency caps, and the telemetry samplers used to reproduce the paper's
+// power methodology (§IV-D): NVML-style 100 ms sampling on NVIDIA GPUs,
+// AMD-SMI-style 20 ms sampling on AMD GPUs, and the 1 ms trace mode used
+// for the Fig. 7 power time-series.
+//
+// Instantaneous device power is a sum of components gated by engine
+// activity:
+//
+//	P = Idle + (Pvec·aVec + Pmat·aMat)·f^exp + Pmem·uMem + Pcomm·uComm
+//	    + Psurge·aSurge
+//
+// where aVec/aMat are issue-slot activities of the vector and matrix
+// datapaths (independent of frequency), uMem/uComm are memory and
+// interconnect utilizations, f is the DVFS frequency factor, and aSurge is
+// the compute∧communication co-activity that produces the elevated peaks
+// the paper measures during overlap.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"overlapsim/internal/hw"
+)
+
+// Activity captures the engine activities of one GPU during one
+// constant-rate segment.
+type Activity struct {
+	// Vec is vector-datapath issue activity in [0,1].
+	Vec float64
+	// Mat is matrix-datapath issue activity in [0,1].
+	Mat float64
+	// Mem is HBM bandwidth utilization in [0,1].
+	Mem float64
+	// Comm is interconnect utilization in [0,1].
+	Comm float64
+	// Surge is the compute-communication co-activity in [0,1] (zero when
+	// either side is idle).
+	Surge float64
+}
+
+// clamp01 limits v to [0,1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Clamped returns the activity with every component limited to [0,1].
+func (a Activity) Clamped() Activity {
+	return Activity{
+		Vec:   clamp01(a.Vec),
+		Mat:   clamp01(a.Mat),
+		Mem:   clamp01(a.Mem),
+		Comm:  clamp01(a.Comm),
+		Surge: clamp01(a.Surge),
+	}
+}
+
+// Instant returns the instantaneous power in watts of GPU g with activity
+// a at frequency factor f.
+func Instant(g *hw.GPUSpec, a Activity, f float64) float64 {
+	a = a.Clamped()
+	if f <= 0 {
+		f = g.Power.FMin
+	}
+	if f > 1 {
+		f = 1
+	}
+	fs := math.Pow(f, g.Power.FreqExp)
+	p := g.Power.IdleW
+	p += (g.Power.VectorW*a.Vec + g.Power.MatrixW*a.Mat) * fs
+	p += g.Power.MemW * a.Mem
+	p += g.Power.CommW * a.Comm
+	p += g.Power.SurgeW * a.Surge
+	return p
+}
+
+// Caps holds the operator-imposed limits of the ablation studies.
+type Caps struct {
+	// PowerW is the power cap in watts; 0 means uncapped (Fig. 9 sets
+	// this with nvidia-smi).
+	PowerW float64
+	// FreqFactor caps the DVFS frequency factor in (0,1]; 0 means
+	// uncapped.
+	FreqFactor float64
+}
+
+// Validate reports whether the caps are usable for GPU g.
+func (c Caps) Validate(g *hw.GPUSpec) error {
+	if c.PowerW < 0 {
+		return fmt.Errorf("power: negative power cap %g", c.PowerW)
+	}
+	if c.PowerW > 0 && c.PowerW < g.Power.IdleW {
+		return fmt.Errorf("power: cap %gW below idle power %gW of %s", c.PowerW, g.Power.IdleW, g.Name)
+	}
+	if c.FreqFactor < 0 || c.FreqFactor > 1 {
+		return fmt.Errorf("power: frequency cap %g outside (0,1]", c.FreqFactor)
+	}
+	return nil
+}
+
+// TDPCeilingFactor is the transient excursion the firmware power governor
+// tolerates before throttling: sustained draw is held near
+// TDP·TDPCeilingFactor even without an operator-imposed cap. This is what
+// makes power a contended resource during overlap (Takeaway 6): when
+// compute and communication together demand more than the governor
+// allows, the compute clocks drop.
+const TDPCeilingFactor = 1.25
+
+// SolveFreq returns the DVFS frequency factor GPU g settles at for the
+// given activity and caps: the largest f in [FMin, 1] such that Instant
+// does not exceed the effective power limit (the operator cap if set,
+// otherwise the firmware TDP ceiling), further limited by the frequency
+// cap. Non-frequency-scaled components (memory, comm, surge, idle) may
+// keep the device above a very strict cap even at FMin; real GPUs behave
+// the same way, which is exactly the contention regime Fig. 9 probes.
+func SolveFreq(g *hw.GPUSpec, a Activity, c Caps) float64 {
+	fmax := 1.0
+	if c.FreqFactor > 0 && c.FreqFactor < fmax {
+		fmax = c.FreqFactor
+	}
+	if fmax < g.Power.FMin {
+		fmax = g.Power.FMin
+	}
+	ceiling := g.TDPW * TDPCeilingFactor
+	if c.PowerW <= 0 || c.PowerW > ceiling {
+		c.PowerW = ceiling
+	}
+	a = a.Clamped()
+	static := g.Power.IdleW + g.Power.MemW*a.Mem + g.Power.CommW*a.Comm + g.Power.SurgeW*a.Surge
+	dyn := g.Power.VectorW*a.Vec + g.Power.MatrixW*a.Mat
+	if dyn <= 0 {
+		return fmax
+	}
+	budget := c.PowerW - static
+	if budget <= 0 {
+		return g.Power.FMin
+	}
+	f := math.Pow(budget/dyn, 1/g.Power.FreqExp)
+	if f > fmax {
+		f = fmax
+	}
+	if f < g.Power.FMin {
+		f = g.Power.FMin
+	}
+	return f
+}

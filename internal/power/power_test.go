@@ -1,0 +1,248 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/hw"
+)
+
+func TestInstantComponents(t *testing.T) {
+	g := hw.H100()
+	idle := Instant(g, Activity{}, 1)
+	if idle != g.Power.IdleW {
+		t.Errorf("idle power = %g, want %g", idle, g.Power.IdleW)
+	}
+	full := Instant(g, Activity{Vec: 1, Mat: 1, Mem: 1, Comm: 1, Surge: 1}, 1)
+	want := g.Power.IdleW + g.Power.VectorW + g.Power.MatrixW + g.Power.MemW + g.Power.CommW + g.Power.SurgeW
+	if math.Abs(full-want) > 1e-9 {
+		t.Errorf("full power = %g, want %g", full, want)
+	}
+}
+
+func TestInstantFrequencyScaling(t *testing.T) {
+	g := hw.A100()
+	a := Activity{Vec: 0.5}
+	p1 := Instant(g, a, 1)
+	pHalf := Instant(g, a, 0.5)
+	wantDyn := g.Power.VectorW * 0.5 * math.Pow(0.5, g.Power.FreqExp)
+	if math.Abs(pHalf-(g.Power.IdleW+wantDyn)) > 1e-9 {
+		t.Errorf("half-frequency power = %g, want %g", pHalf, g.Power.IdleW+wantDyn)
+	}
+	if pHalf >= p1 {
+		t.Error("lower frequency must lower dynamic power")
+	}
+}
+
+func TestInstantClampsActivity(t *testing.T) {
+	g := hw.H100()
+	over := Instant(g, Activity{Vec: 5, Mem: -3}, 1)
+	want := Instant(g, Activity{Vec: 1, Mem: 0}, 1)
+	if over != want {
+		t.Errorf("clamped power = %g, want %g", over, want)
+	}
+}
+
+func TestSolveFreqUncappedHitsTDPCeiling(t *testing.T) {
+	g := hw.H100()
+	// Mild activity: no throttle even against the TDP ceiling.
+	if f := SolveFreq(g, Activity{Mat: 0.3}, Caps{}); f != 1 {
+		t.Errorf("mild activity throttled to %g", f)
+	}
+	// Power-virus activity: the firmware ceiling engages with no operator
+	// cap set.
+	f := SolveFreq(g, Activity{Vec: 1, Mat: 1, Mem: 1, Comm: 1, Surge: 1}, Caps{})
+	if f >= 1 {
+		t.Error("power-virus activity must throttle at the TDP ceiling")
+	}
+	p := Instant(g, Activity{Vec: 1, Mat: 1, Mem: 1, Comm: 1, Surge: 1}, f)
+	if p > g.TDPW*TDPCeilingFactor*1.001 && f > g.Power.FMin {
+		t.Errorf("throttled power %g exceeds ceiling %g", p, g.TDPW*TDPCeilingFactor)
+	}
+}
+
+func TestSolveFreqStrictCapFloorsAtFMin(t *testing.T) {
+	g := hw.A100()
+	f := SolveFreq(g, Activity{Vec: 1, Mem: 1, Comm: 1}, Caps{PowerW: g.Power.IdleW + 1})
+	if f != g.Power.FMin {
+		t.Errorf("strict cap should floor at FMin %g, got %g", g.Power.FMin, f)
+	}
+}
+
+func TestSolveFreqFrequencyCap(t *testing.T) {
+	g := hw.A100()
+	if f := SolveFreq(g, Activity{Vec: 0.1}, Caps{FreqFactor: 0.6}); f != 0.6 {
+		t.Errorf("frequency cap not applied: %g", f)
+	}
+}
+
+func TestSolveFreqMonotoneInCap(t *testing.T) {
+	g := hw.A100()
+	a := Activity{Vec: 0.9, Mem: 0.5, Comm: 0.5}
+	f := func(c1, c2 uint16) bool {
+		lo := float64(c1%350) + float64(g.Power.IdleW) + 1
+		hi := float64(c2%350) + float64(g.Power.IdleW) + 1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return SolveFreq(g, a, Caps{PowerW: lo}) <= SolveFreq(g, a, Caps{PowerW: hi})+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapsValidate(t *testing.T) {
+	g := hw.A100()
+	if (Caps{PowerW: -5}).Validate(g) == nil {
+		t.Error("negative cap must fail")
+	}
+	if (Caps{PowerW: 10}).Validate(g) == nil {
+		t.Error("cap below idle must fail")
+	}
+	if (Caps{FreqFactor: 1.5}).Validate(g) == nil {
+		t.Error("frequency cap above 1 must fail")
+	}
+	if (Caps{PowerW: 250, FreqFactor: 0.8}).Validate(g) != nil {
+		t.Error("valid caps rejected")
+	}
+}
+
+func TestSamplerEnergyExact(t *testing.T) {
+	s := NewSampler(0.1)
+	s.Add(0, 1, 100)
+	s.Add(1, 3, 50)
+	if got, want := s.Energy(), 100.0+100.0; got != want {
+		t.Errorf("energy = %g, want %g", got, want)
+	}
+	if got, want := s.Avg(), 200.0/3.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("avg = %g, want %g", got, want)
+	}
+}
+
+func TestSamplerPointSamples(t *testing.T) {
+	s := NewSampler(0.1)
+	s.Add(0, 0.25, 100) // ticks 0.0, 0.1, 0.2
+	s.Add(0.25, 0.5, 300)
+	samples := s.Samples()
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5 (ticks 0..0.4)", len(samples))
+	}
+	if samples[2].Watts != 100 || samples[3].Watts != 300 {
+		t.Errorf("samples = %+v", samples)
+	}
+}
+
+func TestSamplerPeakCatchesWideExcursion(t *testing.T) {
+	s := NewSampler(0.1)
+	s.Add(0, 0.5, 100)
+	s.Add(0.5, 0.65, 500) // 150ms spike: wider than the interval
+	s.Add(0.65, 1, 100)
+	if p := s.Peak(); p != 500 {
+		t.Errorf("peak = %g, want 500", p)
+	}
+}
+
+func TestSamplerPeakMayMissNarrowSpike(t *testing.T) {
+	// A spike much narrower than interval/phases can escape every grid;
+	// PeakInstant still records it.
+	s := NewSampler(0.1)
+	s.Add(0, 0.0501, 100)
+	s.Add(0.0501, 0.0502, 900) // 0.1ms spike
+	s.Add(0.0502, 1, 100)
+	if s.PeakInstant() != 900 {
+		t.Errorf("instantaneous peak = %g, want 900", s.PeakInstant())
+	}
+	if p := s.Peak(); p > s.PeakInstant() {
+		t.Errorf("sampled peak %g above instantaneous %g", p, s.PeakInstant())
+	}
+}
+
+func TestSamplerMergesEqualSegments(t *testing.T) {
+	s := NewSampler(0.1)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i)*0.001, float64(i+1)*0.001, 42)
+	}
+	if len(s.segs) != 1 {
+		t.Errorf("equal-power spans should merge: %d segments", len(s.segs))
+	}
+}
+
+func TestSamplerIgnoresEmptySpans(t *testing.T) {
+	s := NewSampler(0.1)
+	s.Add(1, 1, 100)
+	s.Add(2, 1, 100)
+	if s.Energy() != 0 || len(s.Samples()) != 0 {
+		t.Error("empty or inverted spans must be ignored")
+	}
+}
+
+func TestStatsFor(t *testing.T) {
+	g := hw.A100()
+	s := NewSampler(0.02)
+	s.Add(0, 1, 200)
+	st := StatsFor(s, g)
+	if st.AvgTDP != 200/g.TDPW || st.AvgW != 200 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.EnergyJ != 200 {
+		t.Errorf("energy = %g", st.EnergyJ)
+	}
+}
+
+func TestSamplerIntervalFor(t *testing.T) {
+	if SamplerIntervalFor(hw.NVIDIA) != NVMLInterval {
+		t.Error("NVIDIA should sample at the NVML interval")
+	}
+	if SamplerIntervalFor(hw.AMD) != AMDSMIInterval {
+		t.Error("AMD should sample at the AMD-SMI interval")
+	}
+}
+
+// Property: energy equals the integral of the piecewise-constant power.
+func TestQuickEnergyIntegral(t *testing.T) {
+	f := func(spans []uint16) bool {
+		if len(spans) == 0 || len(spans) > 64 {
+			return true
+		}
+		s := NewSampler(0.05)
+		tme, want := 0.0, 0.0
+		for _, sp := range spans {
+			dt := float64(sp%100)/1000 + 0.001
+			w := float64(sp % 700)
+			s.Add(tme, tme+dt, w)
+			want += w * dt
+			tme += dt
+		}
+		return math.Abs(s.Energy()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: instantaneous power is never below idle and is monotone in
+// each activity component.
+func TestQuickInstantBounds(t *testing.T) {
+	g := hw.MI250()
+	f := func(v, m, mem, comm, surge uint8) bool {
+		a := Activity{
+			Vec:   float64(v) / 255,
+			Mat:   float64(m) / 255,
+			Mem:   float64(mem) / 255,
+			Comm:  float64(comm) / 255,
+			Surge: float64(surge) / 255,
+		}
+		p := Instant(g, a, 1)
+		if p < g.Power.IdleW {
+			return false
+		}
+		bumped := a
+		bumped.Mat = math.Min(1, a.Mat+0.1)
+		return Instant(g, bumped, 1) >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

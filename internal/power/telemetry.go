@@ -1,0 +1,201 @@
+package power
+
+import (
+	"fmt"
+
+	"overlapsim/internal/hw"
+)
+
+// Telemetry sampling intervals matching the paper's methodology (§IV-D and
+// §V-B).
+const (
+	// NVMLInterval is the NVML power sampling interval on NVIDIA GPUs
+	// (100 ms).
+	NVMLInterval = 100e-3
+	// AMDSMIInterval is the AMD-SMI sampling interval (20 ms).
+	AMDSMIInterval = 20e-3
+	// TraceInterval is the fine-grained ROCm-SMI interval used for the
+	// Fig. 7 power trace (1 ms).
+	TraceInterval = 1e-3
+)
+
+// SamplerIntervalFor returns the vendor-default sampling interval.
+func SamplerIntervalFor(v hw.Vendor) float64 {
+	if v == hw.AMD {
+		return AMDSMIInterval
+	}
+	return NVMLInterval
+}
+
+// Sample is one telemetry reading: the instantaneous power at one sampler
+// tick.
+type Sample struct {
+	// T is the reading time in seconds.
+	T float64
+	// Watts is the power at that instant.
+	Watts float64
+}
+
+// segment is one span of constant instantaneous power.
+type segment struct {
+	t0, t1 float64
+	watts  float64
+}
+
+// Sampler converts piecewise-constant instantaneous power into periodic
+// point samples — the way NVML and AMD-SMI read a power register every
+// interval — and integrates exact energy on the side. A coarse interval
+// therefore misses short excursions, exactly as the paper observes for
+// NVML's 100 ms granularity versus AMD-SMI's finer modes. The zero value
+// is not usable; construct with NewSampler.
+type Sampler struct {
+	interval float64
+	segs     []segment
+	energy   float64
+	dur      float64
+	peakInst float64
+}
+
+// NewSampler returns a sampler reading every interval seconds.
+func NewSampler(interval float64) *Sampler {
+	if interval <= 0 {
+		panic(fmt.Sprintf("power: invalid sampler interval %g", interval))
+	}
+	return &Sampler{interval: interval}
+}
+
+// Interval returns the sampler tick period.
+func (s *Sampler) Interval() float64 { return s.interval }
+
+// Add records that instantaneous power was watts over [t0, t1). Spans must
+// be appended in non-decreasing time order (the simulator guarantees
+// this). Adjacent spans at equal power merge to bound memory.
+func (s *Sampler) Add(t0, t1, watts float64) {
+	if t1 <= t0 {
+		return
+	}
+	s.energy += watts * (t1 - t0)
+	s.dur += t1 - t0
+	if watts > s.peakInst {
+		s.peakInst = watts
+	}
+	if n := len(s.segs); n > 0 {
+		last := &s.segs[n-1]
+		if last.watts == watts && t0 <= last.t1+1e-12 {
+			if t1 > last.t1 {
+				last.t1 = t1
+			}
+			return
+		}
+	}
+	s.segs = append(s.segs, segment{t0: t0, t1: t1, watts: watts})
+}
+
+// Samples returns the periodic point readings: the instantaneous power at
+// every tick k·interval that falls inside a recorded span.
+func (s *Sampler) Samples() []Sample {
+	var out []Sample
+	si := 0
+	if len(s.segs) == 0 {
+		return nil
+	}
+	end := s.segs[len(s.segs)-1].t1
+	for k := 0; ; k++ {
+		t := float64(k) * s.interval
+		if t > end {
+			break
+		}
+		for si < len(s.segs) && s.segs[si].t1 <= t {
+			si++
+		}
+		if si >= len(s.segs) {
+			break
+		}
+		if seg := s.segs[si]; t >= seg.t0 {
+			out = append(out, Sample{T: t, Watts: seg.watts})
+		}
+	}
+	return out
+}
+
+// Energy returns total integrated energy in joules (exact, independent of
+// the sampling interval).
+func (s *Sampler) Energy() float64 { return s.energy }
+
+// Avg returns the time-weighted average power in watts (exact).
+func (s *Sampler) Avg() float64 {
+	if s.dur <= 0 {
+		return 0
+	}
+	return s.energy / s.dur
+}
+
+// peakPhases is the number of sampling-grid phase offsets Peak explores.
+// The paper averages over 25 runs; each run's sampler grid lands at a
+// different phase of the iteration, so the reported peak is effectively
+// the maximum over many phases.
+const peakPhases = 25
+
+// Peak returns the highest periodic reading in watts — what a power
+// monitor at this interval reports as peak over repeated runs. A segment
+// shorter than interval/peakPhases can still escape every grid, exactly
+// as sub-millisecond transients escape real monitors.
+func (s *Sampler) Peak() float64 {
+	p := 0.0
+	for ph := 0; ph < peakPhases; ph++ {
+		off := s.interval * float64(ph) / peakPhases
+		si := 0
+		for k := 0; ; k++ {
+			t := float64(k)*s.interval + off
+			for si < len(s.segs) && s.segs[si].t1 <= t {
+				si++
+			}
+			if si >= len(s.segs) {
+				break
+			}
+			if seg := s.segs[si]; t >= seg.t0 && seg.watts > p {
+				p = seg.watts
+			}
+		}
+	}
+	return p
+}
+
+// PeakInstant returns the highest instantaneous power regardless of
+// sampling (the model's true transient peak).
+func (s *Sampler) PeakInstant() float64 { return s.peakInst }
+
+// Stats summarizes a sampler relative to a GPU's TDP.
+type Stats struct {
+	// AvgW is exact average power in watts.
+	AvgW float64
+	// PeakW is the highest periodic reading in watts.
+	PeakW float64
+	// PeakInstantW is the unsampled instantaneous peak.
+	PeakInstantW float64
+	// AvgTDP and PeakTDP are the same normalized to TDP (the paper's
+	// Fig. 6/10/11 y-axes; peak uses the sampled reading, as the paper's
+	// monitors do).
+	AvgTDP, PeakTDP float64
+	// EnergyJ is integrated energy in joules.
+	EnergyJ float64
+}
+
+// StatsFor summarizes sampler s against GPU g. The reported peak is never
+// below the exact average: on runs much shorter than the sampling
+// interval the sparse point readings could otherwise miss every busy
+// segment, which no real monitor's max-reading would.
+func StatsFor(s *Sampler, g *hw.GPUSpec) Stats {
+	peak := s.Peak()
+	if avg := s.Avg(); peak < avg {
+		peak = avg
+	}
+	return Stats{
+		AvgW:         s.Avg(),
+		PeakW:        peak,
+		PeakInstantW: s.PeakInstant(),
+		AvgTDP:       s.Avg() / g.TDPW,
+		PeakTDP:      peak / g.TDPW,
+		EnergyJ:      s.Energy(),
+	}
+}

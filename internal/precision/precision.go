@@ -1,0 +1,105 @@
+// Package precision defines numeric formats and the GPU datapaths that
+// execute them. Precision selection drives three of the paper's ablations:
+// FP32 versus FP16 training (Fig. 10), the general-purpose vector datapath
+// versus the Tensor-Core/Matrix-Core matrix datapath (Fig. 11), and the
+// TF32 mode that routes FP32 inputs through the matrix units.
+package precision
+
+import "fmt"
+
+// Format is a numeric storage format.
+type Format int
+
+// Supported numeric formats.
+const (
+	// FP32 is IEEE 754 single precision (4 bytes/element).
+	FP32 Format = iota
+	// TF32 is NVIDIA's TensorFloat-32: FP32 storage, 19-bit matrix-unit
+	// arithmetic (4 bytes/element in memory).
+	TF32
+	// FP16 is IEEE 754 half precision (2 bytes/element).
+	FP16
+	// BF16 is bfloat16 (2 bytes/element).
+	BF16
+)
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	switch f {
+	case FP32:
+		return "FP32"
+	case TF32:
+		return "TF32"
+	case FP16:
+		return "FP16"
+	case BF16:
+		return "BF16"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Bytes returns the storage size of one element in the format.
+func (f Format) Bytes() int {
+	switch f {
+	case FP32, TF32:
+		return 4
+	case FP16, BF16:
+		return 2
+	default:
+		panic(fmt.Sprintf("precision: unknown format %d", int(f)))
+	}
+}
+
+// Datapath identifies the execution-unit family a kernel runs on.
+type Datapath int
+
+// Datapaths.
+const (
+	// Vector is the general-purpose SIMT FMA datapath (CUDA cores /
+	// stream processors).
+	Vector Datapath = iota
+	// Matrix is the specialized matrix-multiply datapath (NVIDIA Tensor
+	// Cores, AMD Matrix Cores).
+	Matrix
+)
+
+// String returns a short name for the datapath.
+func (d Datapath) String() string {
+	switch d {
+	case Vector:
+		return "vector"
+	case Matrix:
+		return "matrix"
+	default:
+		return fmt.Sprintf("Datapath(%d)", int(d))
+	}
+}
+
+// PathFor returns the datapath a GEMM in format f executes on given whether
+// matrix units are enabled. FP16/BF16 GEMMs use matrix units whenever
+// enabled; FP32 GEMMs use matrix units only via TF32 mode. Non-GEMM kernels
+// always use the vector datapath regardless of this selection.
+func PathFor(f Format, matrixUnitsEnabled bool) Datapath {
+	if !matrixUnitsEnabled {
+		return Vector
+	}
+	switch f {
+	case FP16, BF16, TF32:
+		return Matrix
+	default:
+		return Vector
+	}
+}
+
+// EffectiveGEMMFormat maps a requested training format and matrix-unit
+// setting to the arithmetic format GEMMs actually execute in. With matrix
+// units enabled, FP32 GEMMs execute as TF32 (the PyTorch
+// allow_tf32 behaviour the paper's Fig. 11 toggles); storage bytes are
+// unchanged.
+func EffectiveGEMMFormat(f Format, matrixUnitsEnabled bool) Format {
+	if matrixUnitsEnabled && f == FP32 {
+		return TF32
+	}
+	return f
+}

@@ -1,0 +1,66 @@
+package precision
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	cases := map[Format]int{FP32: 4, TF32: 4, FP16: 2, BF16: 2}
+	for f, want := range cases {
+		if got := f.Bytes(); got != want {
+			t.Errorf("%v.Bytes() = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestBytesUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown format should panic")
+		}
+	}()
+	Format(99).Bytes()
+}
+
+func TestString(t *testing.T) {
+	cases := map[Format]string{FP32: "FP32", TF32: "TF32", FP16: "FP16", BF16: "BF16"}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q", int(f), f.String())
+		}
+	}
+	if Datapath(7).String() == "" || Vector.String() != "vector" || Matrix.String() != "matrix" {
+		t.Error("datapath names")
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	cases := []struct {
+		f      Format
+		matrix bool
+		want   Datapath
+	}{
+		{FP32, false, Vector},
+		{FP32, true, Vector}, // plain FP32 stays on the vector path
+		{TF32, true, Matrix},
+		{TF32, false, Vector},
+		{FP16, true, Matrix},
+		{FP16, false, Vector},
+		{BF16, true, Matrix},
+	}
+	for _, c := range cases {
+		if got := PathFor(c.f, c.matrix); got != c.want {
+			t.Errorf("PathFor(%v, %v) = %v, want %v", c.f, c.matrix, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveGEMMFormat(t *testing.T) {
+	if EffectiveGEMMFormat(FP32, true) != TF32 {
+		t.Error("FP32 with matrix units executes as TF32")
+	}
+	if EffectiveGEMMFormat(FP32, false) != FP32 {
+		t.Error("FP32 without matrix units stays FP32")
+	}
+	if EffectiveGEMMFormat(FP16, true) != FP16 {
+		t.Error("FP16 unchanged")
+	}
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/workload"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"A", "Long Header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "x") || !strings.Contains(lines[3], "longer-cell") {
+		t.Error("rows missing")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"a", "b"}, [][]string{{`with,comma`, `with"quote`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma"`) || !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quoting wrong: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Ms(0.0015) != "1.50" {
+		t.Errorf("Ms = %q", Ms(0.0015))
+	}
+	if TDP(1.234) != "1.23x" {
+		t.Errorf("TDP = %q", TDP(1.234))
+	}
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+}
+
+func TestTable1MatchesCatalog(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, g := range hw.Catalog() {
+		if !strings.Contains(out, g.Name) {
+			t.Errorf("Table I missing %s", g.Name)
+		}
+	}
+	if !strings.Contains(out, "1979.0") {
+		t.Error("Table I missing the H100 FP16 headline")
+	}
+}
+
+func TestTable2MatchesZoo(t *testing.T) {
+	var b strings.Builder
+	if err := Table2(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range model.Zoo() {
+		if !strings.Contains(b.String(), m.Name) {
+			t.Errorf("Table II missing %s", m.Name)
+		}
+	}
+}
+
+func samplePoints(t *testing.T) []workload.Point {
+	t.Helper()
+	tiny := model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+		Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
+	ok := workload.RunPoint(core.Config{
+		System: hw.SystemH100x4(), Model: tiny, Parallelism: core.FSDP,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true,
+	})
+	if ok.Err != nil {
+		t.Fatal(ok.Err)
+	}
+	oom := workload.RunPoint(core.Config{
+		System: hw.SystemA100x4(), Model: model.GPT3_13B(), Parallelism: core.FSDP,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true,
+	})
+	return []workload.Point{ok, oom}
+}
+
+func TestFigureRenderersHandleOOM(t *testing.T) {
+	pts := samplePoints(t)
+	renderers := map[string]func(w *strings.Builder) error{
+		"overlap": func(w *strings.Builder) error { return OverlapFigure(w, pts) },
+		"slow":    func(w *strings.Builder) error { return SlowdownFigure(w, pts) },
+		"e2e":     func(w *strings.Builder) error { return E2EFigure(w, pts) },
+		"power":   func(w *strings.Builder) error { return PowerFigure(w, pts) },
+	}
+	for name, r := range renderers {
+		var b strings.Builder
+		if err := r(&b); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(b.String(), "OOM") {
+			t.Errorf("%s: OOM row not rendered", name)
+		}
+		if !strings.Contains(b.String(), "tiny") {
+			t.Errorf("%s: result row not rendered", name)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	pts := samplePoints(t)
+	var b strings.Builder
+	if err := Headline(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "paper") {
+		t.Error("headline should cite the paper targets")
+	}
+}
+
+func TestAblationFigure(t *testing.T) {
+	pts := samplePoints(t)
+	var b strings.Builder
+	err := AblationFigure(&b, pts, func(p workload.Point) string { return p.Cfg.Format.String() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "FP16") {
+		t.Error("variant column missing")
+	}
+}

@@ -1,0 +1,450 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with fluid (rate-based) task execution.
+//
+// The engine models a set of streams (FIFO command queues, one or more per
+// device) executing tasks. A task carries an abstract amount of work (FLOPs
+// for compute kernels, bytes for communication) and consumes it at a rate
+// that a Platform recomputes every time the set of running tasks changes.
+// Between such epochs all rates are constant, so task completion times are
+// exact; this is the classic fluid processor-sharing formulation used by
+// architectural simulators to model bandwidth and execution-unit contention
+// without cycle-level detail.
+//
+// Dependencies form a DAG across streams: a task starts only when all its
+// dependencies have finished and it is at the head of every stream it is
+// enqueued on. Enqueuing one task on several streams models rendezvous
+// operations such as collectives, which occupy the communication queue of
+// every participating GPU simultaneously.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind classifies a task for rate computation and tracing.
+type Kind int
+
+// Task kinds.
+const (
+	// KindCompute is a compute kernel (work measured in FLOPs).
+	KindCompute Kind = iota
+	// KindComm is a communication operation (work measured in bytes on the
+	// wire per participant).
+	KindComm
+	// KindHost is host-side or fixed-latency work (work measured in
+	// seconds; executed at rate 1).
+	KindHost
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindComm:
+		return "comm"
+	case KindHost:
+		return "host"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// state is the lifecycle of a task.
+type state int
+
+const (
+	statePending state = iota
+	stateRunning
+	stateDone
+)
+
+// Task is one unit of simulated work. Create tasks with Engine.NewTask and
+// configure them before Engine.Run is called.
+type Task struct {
+	name    string
+	kind    Kind
+	work    float64
+	payload any
+
+	streams []*Stream
+	deps    int
+	succs   []*Task
+	onDone  []func(now float64)
+
+	remaining float64
+	rate      float64
+	st        state
+	started   bool
+	start     float64
+	end       float64
+
+	seq int // creation order, for deterministic iteration
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Kind returns the task's kind.
+func (t *Task) Kind() Kind { return t.kind }
+
+// Work returns the total abstract work of the task.
+func (t *Task) Work() float64 { return t.work }
+
+// Payload returns the opaque payload attached at creation (for example a
+// kernel or collective descriptor used by the Platform to compute rates).
+func (t *Task) Payload() any { return t.payload }
+
+// Streams returns the streams the task occupies.
+func (t *Task) Streams() []*Stream { return t.streams }
+
+// SetRate sets the task's current execution rate in work units per second.
+// It must only be called by the Platform from within Rates.
+func (t *Task) SetRate(r float64) {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("sim: invalid rate %v for task %q", r, t.name))
+	}
+	t.rate = r
+}
+
+// Rate returns the rate most recently assigned by the Platform.
+func (t *Task) Rate() float64 { return t.rate }
+
+// Start returns the simulated time at which the task started running. Valid
+// only after the task has started.
+func (t *Task) Start() float64 { return t.start }
+
+// End returns the simulated time at which the task finished. Valid only
+// after Engine.Run returns.
+func (t *Task) End() float64 { return t.end }
+
+// Done reports whether the task has finished.
+func (t *Task) Done() bool { return t.st == stateDone }
+
+// Running reports whether the task is currently executing.
+func (t *Task) Running() bool { return t.st == stateRunning }
+
+// After declares that t must not start before each of deps has finished.
+// It must be called before Engine.Run.
+func (t *Task) After(deps ...*Task) *Task {
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		if d.st == stateDone {
+			continue
+		}
+		d.succs = append(d.succs, t)
+		t.deps++
+	}
+	return t
+}
+
+// OnDone registers a callback invoked when the task completes. Callbacks may
+// create new tasks and enqueue them on streams.
+func (t *Task) OnDone(f func(now float64)) *Task {
+	t.onDone = append(t.onDone, f)
+	return t
+}
+
+// Stream is a FIFO command queue. Tasks enqueued on a stream execute in
+// order; at most one task per stream runs at a time.
+type Stream struct {
+	name   string
+	device int
+	queue  []*Task
+	head   int
+	seq    int
+}
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// Device returns the device index the stream belongs to.
+func (s *Stream) Device() int { return s.device }
+
+// Len returns the number of tasks not yet completed on the stream.
+func (s *Stream) Len() int { return len(s.queue) - s.head }
+
+func (s *Stream) headTask() *Task {
+	if s.head < len(s.queue) {
+		return s.queue[s.head]
+	}
+	return nil
+}
+
+func (s *Stream) pop(t *Task) {
+	if s.headTask() != t {
+		panic("sim: pop of non-head task")
+	}
+	s.queue[s.head] = nil
+	s.head++
+}
+
+// Platform assigns execution rates to running tasks. Rates must be set via
+// Task.SetRate for every task in running; a rate of zero stalls the task
+// until the running set changes again.
+type Platform interface {
+	Rates(now float64, running []*Task)
+}
+
+// PlatformFunc adapts a function to the Platform interface.
+type PlatformFunc func(now float64, running []*Task)
+
+// Rates implements Platform.
+func (f PlatformFunc) Rates(now float64, running []*Task) { f(now, running) }
+
+// Observer is notified of every constant-rate segment of simulated time.
+// Observers are used for power sampling and energy integration.
+type Observer interface {
+	Segment(t0, t1 float64, running []*Task)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(t0, t1 float64, running []*Task)
+
+// Segment implements Observer.
+func (f ObserverFunc) Segment(t0, t1 float64, running []*Task) { f(t0, t1, running) }
+
+// Engine drives the simulation.
+type Engine struct {
+	platform  Platform
+	streams   []*Stream
+	tasks     []*Task
+	running   []*Task
+	observers []Observer
+	now       float64
+	nextSeq   int
+	ran       bool
+}
+
+// timeEps is the tolerance used when comparing simulated times and residual
+// work, to absorb floating-point rounding across epochs.
+const timeEps = 1e-12
+
+// NewEngine returns an engine whose task rates are provided by p.
+func NewEngine(p Platform) *Engine {
+	if p == nil {
+		p = PlatformFunc(func(now float64, running []*Task) {
+			for _, t := range running {
+				t.SetRate(1)
+			}
+		})
+	}
+	return &Engine{platform: p}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Tasks returns every task created on the engine, in creation order.
+func (e *Engine) Tasks() []*Task { return e.tasks }
+
+// AddObserver registers an observer for constant-rate segments.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// NewStream creates a stream bound to the given device index.
+func (e *Engine) NewStream(name string, device int) *Stream {
+	s := &Stream{name: name, device: device, seq: len(e.streams)}
+	e.streams = append(e.streams, s)
+	return s
+}
+
+// NewTask creates a task with the given diagnostic name, kind, total work
+// and opaque payload, enqueued on the given streams in order. Work must be
+// non-negative; zero-work tasks complete immediately upon starting.
+func (e *Engine) NewTask(name string, kind Kind, work float64, payload any, streams ...*Stream) *Task {
+	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		panic(fmt.Sprintf("sim: invalid work %v for task %q", work, name))
+	}
+	if len(streams) == 0 {
+		panic(fmt.Sprintf("sim: task %q enqueued on no stream", name))
+	}
+	t := &Task{
+		name:      name,
+		kind:      kind,
+		work:      work,
+		payload:   payload,
+		remaining: work,
+		seq:       e.nextSeq,
+	}
+	e.nextSeq++
+	seen := make(map[*Stream]bool, len(streams))
+	for _, s := range streams {
+		if s == nil {
+			panic(fmt.Sprintf("sim: nil stream for task %q", name))
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		t.streams = append(t.streams, s)
+		s.queue = append(s.queue, t)
+	}
+	e.tasks = append(e.tasks, t)
+	return t
+}
+
+// ErrDeadlock is returned by Run when unfinished tasks remain but none can
+// make progress (circular dependencies, or every runnable task stalled at
+// rate zero).
+var ErrDeadlock = errors.New("sim: deadlock: unfinished tasks cannot make progress")
+
+// Run executes the simulation until every task has completed. It returns
+// ErrDeadlock (wrapped with diagnostics) if progress stops.
+func (e *Engine) Run() error {
+	e.ran = true
+	for {
+		e.admit()
+		if len(e.running) == 0 {
+			if e.pendingCount() == 0 {
+				return nil
+			}
+			return fmt.Errorf("%w: %s", ErrDeadlock, e.diagnose())
+		}
+		e.platform.Rates(e.now, e.running)
+
+		// Zero-work or infinite-rate tasks complete immediately.
+		if e.completeInstant() {
+			continue
+		}
+
+		dt := math.Inf(1)
+		stalled := true
+		for _, t := range e.running {
+			if t.rate <= 0 {
+				continue
+			}
+			stalled = false
+			if d := t.remaining / t.rate; d < dt {
+				dt = d
+			}
+		}
+		if stalled {
+			return fmt.Errorf("%w: all %d running tasks stalled at rate 0 at t=%g: %s",
+				ErrDeadlock, len(e.running), e.now, e.diagnose())
+		}
+
+		t0, t1 := e.now, e.now+dt
+		for _, o := range e.observers {
+			o.Segment(t0, t1, e.running)
+		}
+		for _, t := range e.running {
+			t.remaining -= t.rate * dt
+		}
+		e.now = t1
+		e.finishCompleted()
+	}
+}
+
+// admit moves ready stream heads into the running set. A single pass
+// suffices: admission never pops a stream, so it cannot make further heads
+// ready within the same call.
+func (e *Engine) admit() {
+	for _, s := range e.streams {
+		t := s.headTask()
+		if t == nil || t.st != statePending || t.deps > 0 {
+			continue
+		}
+		if !headOfAll(t) {
+			continue
+		}
+		t.st = stateRunning
+		if !t.started {
+			t.started = true
+			t.start = e.now
+		}
+		e.running = append(e.running, t)
+	}
+	sort.Slice(e.running, func(i, j int) bool { return e.running[i].seq < e.running[j].seq })
+}
+
+func headOfAll(t *Task) bool {
+	for _, s := range t.streams {
+		if s.headTask() != t {
+			return false
+		}
+	}
+	return true
+}
+
+// completeInstant finishes running tasks with no remaining work without
+// advancing time. It reports whether any task completed.
+func (e *Engine) completeInstant() bool {
+	any := false
+	for _, t := range e.running {
+		if t.remaining <= timeEps {
+			any = true
+		}
+	}
+	if any {
+		e.finishCompleted()
+	}
+	return any
+}
+
+// finishCompleted retires every running task whose work is exhausted and
+// fires completion callbacks.
+func (e *Engine) finishCompleted() {
+	var done []*Task
+	keep := e.running[:0]
+	for _, t := range e.running {
+		if t.remaining <= timeEps {
+			done = append(done, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	e.running = keep
+	for _, t := range done {
+		t.st = stateDone
+		t.end = e.now
+		t.remaining = 0
+		for _, s := range t.streams {
+			s.pop(t)
+		}
+		for _, succ := range t.succs {
+			succ.deps--
+		}
+	}
+	// Callbacks fire after all pops/dep updates so that they observe a
+	// consistent queue state and may enqueue follow-on work.
+	for _, t := range done {
+		for _, f := range t.onDone {
+			f(e.now)
+		}
+	}
+}
+
+func (e *Engine) pendingCount() int {
+	n := 0
+	for _, t := range e.tasks {
+		if t.st != stateDone {
+			n++
+		}
+	}
+	return n
+}
+
+// diagnose summarizes stuck state for deadlock errors.
+func (e *Engine) diagnose() string {
+	n := 0
+	var first *Task
+	for _, t := range e.tasks {
+		if t.st == stateDone {
+			continue
+		}
+		n++
+		if first == nil {
+			first = t
+		}
+	}
+	if first == nil {
+		return "no pending tasks"
+	}
+	return fmt.Sprintf("%d unfinished tasks; first=%q (deps=%d, kind=%s)",
+		n, first.name, first.deps, first.kind)
+}

@@ -1,0 +1,104 @@
+// Package topo models single-node GPU interconnects: NVLink with NVSwitch
+// on NVIDIA systems and Infinity Fabric on AMD systems (Fig. 2(b) of the
+// paper). The paper's experiments are single-node, so the topology reduces
+// to per-pair and per-ring achievable bandwidths plus hop latencies; those
+// are exactly what the collective cost models consume.
+package topo
+
+import (
+	"fmt"
+
+	"overlapsim/internal/hw"
+)
+
+// Kind distinguishes switched fabrics from directly attached meshes.
+type Kind int
+
+// Topology kinds.
+const (
+	// Switched is NVLink + NVSwitch: every GPU pair communicates at full
+	// per-GPU link bandwidth with a single switch hop.
+	Switched Kind = iota
+	// Mesh is Infinity Fabric: GPUs are directly attached; a pair shares
+	// a subset of the GPU's links.
+	Mesh
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Switched:
+		return "switched"
+	case Mesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// meshP2PShare is the fraction of a GPU's aggregate Infinity Fabric
+// bandwidth available on the direct link to one particular peer.
+const meshP2PShare = 0.5
+
+// Topology describes the interconnect of one system.
+type Topology struct {
+	kind Kind
+	sys  hw.System
+}
+
+// ForSystem builds the topology for a system: switched for NVIDIA GPUs,
+// mesh for AMD GPUs, matching the server designs in §II-A.
+func ForSystem(sys hw.System) *Topology {
+	k := Switched
+	if sys.GPU.Vendor == hw.AMD {
+		k = Mesh
+	}
+	return &Topology{kind: k, sys: sys}
+}
+
+// Kind returns the topology kind.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// N returns the number of GPUs.
+func (t *Topology) N() int { return t.sys.N }
+
+// GPU returns the GPU spec of the node.
+func (t *Topology) GPU() *hw.GPUSpec { return t.sys.GPU }
+
+// RingBW returns the achievable per-direction ring bandwidth in bytes/s —
+// the rate at which one GPU can simultaneously send to its ring successor
+// and receive from its predecessor. Both fabrics sustain this at the
+// derated unidirectional link rate.
+func (t *Topology) RingBW() float64 {
+	return t.sys.GPU.UniLinkBW()
+}
+
+// P2PBW returns the achievable bandwidth of a single pairwise transfer in
+// bytes/s. On a switched fabric a pair enjoys the GPU's full unidirectional
+// bandwidth; on a mesh it gets only the directly attached links.
+func (t *Topology) P2PBW(src, dst int) float64 {
+	t.check(src)
+	t.check(dst)
+	bw := t.sys.GPU.UniLinkBW()
+	if t.kind == Mesh {
+		bw *= meshP2PShare
+	}
+	return bw
+}
+
+// HopLatency returns the latency of one collective step or P2P transfer
+// setup in seconds.
+func (t *Topology) HopLatency() float64 {
+	lat := t.sys.GPU.LinkLatency
+	if t.kind == Switched {
+		// One extra switch traversal.
+		lat *= 1.5
+	}
+	return lat
+}
+
+func (t *Topology) check(g int) {
+	if g < 0 || g >= t.sys.N {
+		panic(fmt.Sprintf("topo: GPU index %d out of range [0,%d)", g, t.sys.N))
+	}
+}

@@ -1,0 +1,67 @@
+package topo
+
+import (
+	"testing"
+
+	"overlapsim/internal/hw"
+)
+
+func TestKindByVendor(t *testing.T) {
+	if ForSystem(hw.NewSystem(hw.H100(), 4)).Kind() != Switched {
+		t.Error("NVIDIA nodes are switched (NVLink+NVSwitch)")
+	}
+	if ForSystem(hw.NewSystem(hw.MI250(), 4)).Kind() != Mesh {
+		t.Error("AMD nodes are Infinity Fabric meshes")
+	}
+}
+
+func TestP2PBandwidth(t *testing.T) {
+	nv := ForSystem(hw.NewSystem(hw.A100(), 4))
+	if nv.P2PBW(0, 1) != nv.GPU().UniLinkBW() {
+		t.Error("switched fabric gives full unidirectional bandwidth per pair")
+	}
+	amd := ForSystem(hw.NewSystem(hw.MI210(), 4))
+	if amd.P2PBW(0, 1) >= amd.GPU().UniLinkBW() {
+		t.Error("mesh pairs share a subset of links")
+	}
+}
+
+func TestRingBW(t *testing.T) {
+	tp := ForSystem(hw.NewSystem(hw.H100(), 8))
+	if tp.RingBW() != tp.GPU().UniLinkBW() {
+		t.Error("ring direction sustains the derated unidirectional rate")
+	}
+	if tp.N() != 8 {
+		t.Errorf("N = %d", tp.N())
+	}
+}
+
+func TestHopLatency(t *testing.T) {
+	nv := ForSystem(hw.NewSystem(hw.H100(), 4))
+	if nv.HopLatency() <= nv.GPU().LinkLatency {
+		t.Error("switch traversal adds latency")
+	}
+	amd := ForSystem(hw.NewSystem(hw.MI250(), 4))
+	if amd.HopLatency() != amd.GPU().LinkLatency {
+		t.Error("direct mesh links have bare latency")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tp := ForSystem(hw.NewSystem(hw.H100(), 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range GPU")
+		}
+	}()
+	tp.P2PBW(0, 4)
+}
+
+func TestKindString(t *testing.T) {
+	if Switched.String() != "switched" || Mesh.String() != "mesh" {
+		t.Error("kind names")
+	}
+	if Kind(3).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

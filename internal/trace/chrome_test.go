@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"overlapsim/internal/sim"
+)
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tl := timelineOf(
+		iv(0, 1, sim.KindCompute, 0),
+		iv(0.5, 2, sim.KindComm, 0),
+		iv(1, 3, sim.KindCompute, 1),
+	)
+	var b bytes.Buffer
+	if err := tl.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	compute, comm, err := ReadChromeEventCount(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compute != 2 || comm != 1 {
+		t.Errorf("round trip: %d compute, %d comm", compute, comm)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := New().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadChromeEventCount(&b); err != nil {
+		t.Fatal(err)
+	}
+}

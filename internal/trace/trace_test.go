@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overlapsim/internal/sim"
+)
+
+func iv(a, b float64, k sim.Kind, dev int) Interval {
+	return Interval{Start: a, End: b, Kind: k, Device: dev}
+}
+
+func timelineOf(ivs ...Interval) *Timeline {
+	tl := New()
+	for _, i := range ivs {
+		tl.add(i)
+	}
+	tl.sortAll()
+	return tl
+}
+
+func TestUnionMerges(t *testing.T) {
+	u := Union([]Interval{iv(0, 2, 0, 0), iv(1, 3, 0, 0), iv(5, 6, 0, 0)})
+	if len(u) != 2 {
+		t.Fatalf("union = %v, want 2 spans", u)
+	}
+	if u[0].Start != 0 || u[0].End != 3 || u[1].Start != 5 || u[1].End != 6 {
+		t.Errorf("union = %v", u)
+	}
+	if got := UnionLen([]Interval{iv(0, 2, 0, 0), iv(1, 3, 0, 0)}); got != 3 {
+		t.Errorf("union length = %g, want 3", got)
+	}
+}
+
+func TestUnionEmpty(t *testing.T) {
+	if Union(nil) != nil {
+		t.Error("union of nothing should be nil")
+	}
+	if UnionLen(nil) != 0 {
+		t.Error("union length of nothing should be 0")
+	}
+}
+
+func TestKernelAndBusyTime(t *testing.T) {
+	tl := timelineOf(
+		iv(0, 2, sim.KindCompute, 0),
+		iv(1, 3, sim.KindCompute, 0), // overlapping kernels
+		iv(4, 5, sim.KindComm, 0),
+	)
+	if got := tl.KernelTime(0, sim.KindCompute); got != 4 {
+		t.Errorf("kernel time = %g, want 4 (durations add)", got)
+	}
+	if got := tl.BusyTime(0, sim.KindCompute); got != 3 {
+		t.Errorf("busy time = %g, want 3 (union)", got)
+	}
+	if got := tl.KernelTime(0, sim.KindComm); got != 1 {
+		t.Errorf("comm kernel time = %g, want 1", got)
+	}
+}
+
+func TestOverlappedTime(t *testing.T) {
+	tl := timelineOf(
+		iv(0, 10, sim.KindCompute, 0),
+		iv(2, 5, sim.KindComm, 0),
+		iv(8, 12, sim.KindComm, 0),
+	)
+	// compute ∩ comm = [2,5) + [8,10) = 5
+	if got := tl.OverlappedTime(0, sim.KindCompute, sim.KindComm); got != 5 {
+		t.Errorf("overlapped compute = %g, want 5", got)
+	}
+	// comm ∩ compute = same span lengths within comm = 5
+	if got := tl.OverlappedTime(0, sim.KindComm, sim.KindCompute); got != 5 {
+		t.Errorf("overlapped comm = %g, want 5", got)
+	}
+	if got := tl.OverlapRatio(0); got != 0.5 {
+		t.Errorf("overlap ratio = %g, want 0.5", got)
+	}
+}
+
+func TestOverlapRatioNoCompute(t *testing.T) {
+	tl := timelineOf(iv(0, 1, sim.KindComm, 0))
+	if tl.OverlapRatio(0) != 0 {
+		t.Error("no compute: ratio must be 0")
+	}
+}
+
+func TestDevicesIsolated(t *testing.T) {
+	tl := timelineOf(
+		iv(0, 1, sim.KindCompute, 0),
+		iv(0, 1, sim.KindComm, 1),
+	)
+	if got := tl.OverlappedTime(0, sim.KindCompute, sim.KindComm); got != 0 {
+		t.Errorf("cross-device overlap = %g, want 0", got)
+	}
+	devs := tl.Devices()
+	if len(devs) != 2 || devs[0] != 0 || devs[1] != 1 {
+		t.Errorf("devices = %v", devs)
+	}
+}
+
+func TestSpanAndKindSpan(t *testing.T) {
+	tl := timelineOf(
+		iv(1, 2, sim.KindComm, 0),
+		iv(3, 7, sim.KindCompute, 0),
+	)
+	s, e := tl.Span()
+	if s != 1 || e != 7 {
+		t.Errorf("span = [%g,%g]", s, e)
+	}
+	cs, ce, ok := tl.KindSpan(sim.KindCompute)
+	if !ok || cs != 3 || ce != 7 {
+		t.Errorf("compute span = [%g,%g] ok=%v", cs, ce, ok)
+	}
+	if _, _, ok := tl.KindSpan(sim.KindHost); ok {
+		t.Error("no host intervals: ok must be false")
+	}
+}
+
+// Property: overlapped time never exceeds either side's busy time.
+func TestQuickOverlapBounded(t *testing.T) {
+	f := func(spans []uint16) bool {
+		if len(spans) < 2 || len(spans) > 40 {
+			return true
+		}
+		tl := New()
+		for i, sp := range spans {
+			start := float64(sp % 500)
+			dur := float64(sp%97)/10 + 0.1
+			k := sim.KindCompute
+			if i%2 == 1 {
+				k = sim.KindComm
+			}
+			tl.add(iv(start, start+dur, k, 0))
+		}
+		tl.sortAll()
+		ov := tl.OverlappedTime(0, sim.KindCompute, sim.KindComm)
+		if ov < -1e-9 {
+			return false
+		}
+		if ov > tl.KernelTime(0, sim.KindCompute)+1e-9 {
+			return false
+		}
+		return ov <= tl.BusyTime(0, sim.KindComm)*100+1e-9 // many compute kernels may share one comm span
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnionLen is invariant under permutation and never exceeds the
+// summed durations.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(spans []uint16) bool {
+		if len(spans) == 0 || len(spans) > 40 {
+			return true
+		}
+		var ivs []Interval
+		sum := 0.0
+		for _, sp := range spans {
+			start := float64(sp % 300)
+			dur := float64(sp%31)/7 + 0.05
+			ivs = append(ivs, iv(start, start+dur, 0, 0))
+			sum += dur
+		}
+		u := UnionLen(ivs)
+		if u > sum+1e-9 {
+			return false
+		}
+		// Reverse and compare.
+		rev := make([]Interval, len(ivs))
+		for i, v := range ivs {
+			rev[len(ivs)-1-i] = v
+		}
+		return math.Abs(UnionLen(rev)-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+func TestGridsNonEmptyAndWellFormed(t *testing.T) {
+	grids := map[string][]core.Config{
+		"fig1a": Figure1a(),
+		"fig1b": Figure1b(),
+		"main":  MainGrid(),
+		"fig9":  Figure9(),
+		"fig10": Figure10(),
+		"fig11": Figure11(),
+	}
+	for name, g := range grids {
+		if len(g) == 0 {
+			t.Errorf("%s: empty grid", name)
+		}
+		for _, cfg := range g {
+			if cfg.System.GPU == nil || cfg.Batch <= 0 {
+				t.Errorf("%s: malformed config %+v", name, cfg.Label())
+			}
+		}
+	}
+}
+
+func TestMainGridSize(t *testing.T) {
+	want := len(Systems()) * len(model.Zoo()) * len(EvalBatches()) * 2
+	if got := len(MainGrid()); got != want {
+		t.Errorf("main grid has %d points, want %d", got, want)
+	}
+}
+
+func TestFigure9SweepsCaps(t *testing.T) {
+	caps := Figure9Caps()
+	grid := Figure9()
+	if len(grid) != len(caps) {
+		t.Fatalf("fig9 grid %d != caps %d", len(grid), len(caps))
+	}
+	for i, cfg := range grid {
+		if cfg.Caps.PowerW != caps[i] {
+			t.Errorf("point %d cap %g, want %g", i, cfg.Caps.PowerW, caps[i])
+		}
+	}
+}
+
+func TestFigure10PairsFormats(t *testing.T) {
+	for i := 0; i < len(Figure10()); i += 2 {
+		pair := Figure10()[i : i+2]
+		if pair[0].Format != precision.FP32 || pair[1].Format != precision.FP16 {
+			t.Errorf("pair %d formats: %v, %v", i/2, pair[0].Format, pair[1].Format)
+		}
+		if pair[0].MatrixUnits || !pair[1].MatrixUnits {
+			t.Errorf("pair %d datapaths wrong", i/2)
+		}
+	}
+}
+
+func TestFigure11TogglesMatrixUnits(t *testing.T) {
+	for i := 0; i < len(Figure11()); i += 2 {
+		pair := Figure11()[i : i+2]
+		if pair[0].Format != precision.FP32 || pair[1].Format != precision.FP32 {
+			t.Errorf("pair %d must both be FP32", i/2)
+		}
+		if pair[0].MatrixUnits == pair[1].MatrixUnits {
+			t.Errorf("pair %d must toggle matrix units", i/2)
+		}
+	}
+}
+
+func TestFigure7Config(t *testing.T) {
+	cfg := Figure7()
+	if cfg.System.GPU.Name != "MI250" || cfg.Model.Name != "LLaMA2 13B" {
+		t.Errorf("fig7 config = %s", cfg.Label())
+	}
+	if cfg.TraceInterval <= 0 {
+		t.Error("fig7 must record a trace")
+	}
+}
+
+func tinyConfig() core.Config {
+	return core.Config{
+		System: hw.SystemH100x4(),
+		Model: model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+			Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128},
+		Parallelism: core.FSDP,
+		Batch:       8,
+		Format:      precision.FP16,
+		MatrixUnits: true,
+	}
+}
+
+func TestRunPointOK(t *testing.T) {
+	pt := RunPoint(tinyConfig())
+	if pt.Err != nil || pt.Skipped() || pt.Res == nil {
+		t.Fatalf("point failed: %+v", pt.Err)
+	}
+}
+
+func TestRunPointOOMClassified(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.System = hw.SystemA100x4()
+	cfg.Model = model.GPT3_13B()
+	pt := RunPoint(cfg)
+	if !pt.Skipped() {
+		t.Fatalf("expected OOM classification, got err=%v res=%v", pt.Err, pt.Res != nil)
+	}
+	if pt.Err != nil {
+		t.Error("OOM must not also set Err")
+	}
+}
+
+func TestRunGridPreservesOrder(t *testing.T) {
+	cfgs := []core.Config{tinyConfig(), tinyConfig(), tinyConfig()}
+	cfgs[1].Batch = 16
+	pts := RunGrid(cfgs)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := range pts {
+		if pts[i].Cfg.Batch != cfgs[i].Batch {
+			t.Errorf("point %d out of order", i)
+		}
+		if pts[i].Res == nil {
+			t.Errorf("point %d missing result", i)
+		}
+	}
+}
