@@ -10,6 +10,7 @@
 package overlapsim_bench
 
 import (
+	"context"
 	"testing"
 
 	"overlapsim/internal/core"
@@ -54,7 +55,7 @@ func runPoints(b *testing.B, cfgs []core.Config) []workload.Point {
 	b.Helper()
 	var pts []workload.Point
 	for i := 0; i < b.N; i++ {
-		pts = workload.RunGrid(cfgs)
+		pts = workload.RunGrid(context.Background(), cfgs)
 	}
 	for _, p := range pts {
 		if p.Err != nil {
@@ -150,7 +151,7 @@ func BenchmarkFigure7PowerTrace(b *testing.B) {
 	var res *core.ModeResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = core.RunMode(workload.Figure7(), exec.Overlapped)
+		res, err = core.RunMode(context.Background(), workload.Figure7(), exec.Overlapped)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func BenchmarkFigure8Microbench(b *testing.B) {
 func BenchmarkFigure9PowerCap(b *testing.B) {
 	var pts []workload.Point
 	for i := 0; i < b.N; i++ {
-		pts = workload.RunGrid(workload.Figure9())
+		pts = workload.RunGrid(context.Background(), workload.Figure9())
 	}
 	var base, strict float64
 	for _, p := range pts {
@@ -276,7 +277,7 @@ func BenchmarkSingleIterationFSDP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunMode(cfg, exec.Overlapped); err != nil {
+		if _, err := core.RunMode(context.Background(), cfg, exec.Overlapped); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,11 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"overlapsim/internal/core"
 	"overlapsim/internal/hw"
@@ -31,7 +31,7 @@ func main() {
 		gpuName  = flag.String("gpu", "H100", "GPU model: A100, H100, MI210, MI250")
 		n        = flag.Int("n", 4, "number of GPUs in the node")
 		modelNm  = flag.String("model", "GPT-3 XL", `workload: "GPT-3 XL", "GPT-3 2.7B", "GPT-3 6.7B", "GPT-3 13B", "LLaMA2 13B"`)
-		par      = flag.String("parallelism", "fsdp", "distribution strategy: fsdp or pp")
+		par      = flag.String("parallelism", "fsdp", "distribution strategy: fsdp, pp or ddp")
 		batch    = flag.Int("batch", 8, "global batch size")
 		micro    = flag.Int("micro", 0, "pipeline microbatch size (0 = default)")
 		format   = flag.String("format", "fp16", "numeric format: fp32, tf32, fp16, bf16")
@@ -51,27 +51,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var f precision.Format
-	switch strings.ToLower(*format) {
-	case "fp32":
-		f = precision.FP32
-	case "tf32":
-		f = precision.TF32
-	case "fp16":
-		f = precision.FP16
-	case "bf16":
-		f = precision.BF16
-	default:
-		log.Fatalf("unknown format %q", *format)
+	f, err := precision.Parse(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var p core.Parallelism
-	switch strings.ToLower(*par) {
-	case "fsdp":
-		p = core.FSDP
-	case "pp", "pipeline":
-		p = core.Pipeline
-	default:
-		log.Fatalf("unknown parallelism %q", *par)
+	p, err := core.ParseParallelism(*par)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := core.Config{
@@ -87,7 +73,7 @@ func main() {
 		Caps:         power.Caps{PowerW: *powerCap, FreqFactor: *freqCap},
 	}
 
-	res, err := core.Run(cfg)
+	res, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		log.Println(err)
 		os.Exit(1)

@@ -1,0 +1,75 @@
+// Command overlapd serves the characterization harness over HTTP/JSON:
+// synchronous single experiments, asynchronous sweep jobs with progress
+// polling, and catalog discovery, all backed by one content-addressed
+// result cache (optionally persisted to disk).
+//
+// Example:
+//
+//	overlapd -addr :8080 -cache .sweepcache &
+//	curl -s localhost:8080/v1/catalog
+//	curl -s -X POST localhost:8080/v1/experiments \
+//	    -d '{"gpu":"H100","model":"GPT-3 XL","parallelism":"fsdp","batch":16}'
+//	curl -s -X POST localhost:8080/v1/sweeps -d @examples/sweeps/paper_grid.json
+//	curl -s localhost:8080/v1/sweeps/sweep-000001
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"overlapsim/internal/service"
+	"overlapsim/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overlapd: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
+		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
+		maxPts   = flag.Int("max-points", service.DefaultMaxSweepPoints, "largest sweep grid a job may submit")
+	)
+	flag.Parse()
+
+	var cache sweep.Cache
+	if *cacheDir != "" {
+		dc, err := sweep.NewDirCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache = dc
+	}
+
+	srv := service.New(service.Options{Cache: cache, Workers: *workers, MaxSweepPoints: *maxPts})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+		srv.Close()
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// drain (and the background sweep jobs) to actually finish.
+	<-done
+}

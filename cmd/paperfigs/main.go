@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,20 +43,20 @@ func main() {
 	needMain := want("fig4") || want("fig5") || want("fig6") || want("headline")
 	if needMain {
 		log.Println("running main evaluation grid (Figures 4-6)...")
-		mainPts = workload.RunGrid(workload.MainGrid())
+		mainPts = workload.RunGrid(context.Background(), workload.MainGrid())
 		reportErrors(mainPts)
 	}
 
 	if want("fig1a") {
 		section(w, "Figure 1(a) — overlapped computation, FSDP on H100x8")
-		pts := workload.RunGrid(workload.Figure1a())
+		pts := workload.RunGrid(context.Background(), workload.Figure1a())
 		reportErrors(pts)
 		check(report.OverlapFigure(w, pts))
 		writeCSV(*outDir, "fig1a.csv", pts)
 	}
 	if want("fig1b") {
 		section(w, "Figure 1(b) — overlapped computation, PP GPT-3 2.7B on A100x4")
-		pts := workload.RunGrid(workload.Figure1b())
+		pts := workload.RunGrid(context.Background(), workload.Figure1b())
 		reportErrors(pts)
 		check(report.OverlapFigure(w, pts))
 		writeCSV(*outDir, "fig1b.csv", pts)
@@ -79,13 +80,13 @@ func main() {
 	}
 	if want("fig9") {
 		section(w, "Figure 9 — impact of power capping (A100x4)")
-		pts := workload.RunGrid(workload.Figure9())
+		pts := workload.RunGrid(context.Background(), workload.Figure9())
 		reportErrors(pts)
 		check(report.PowerCapFigure(w, pts))
 	}
 	if want("fig10") {
 		section(w, "Figure 10 — numeric precision (FP32 vs FP16), H100x4")
-		pts := workload.RunGrid(workload.Figure10())
+		pts := workload.RunGrid(context.Background(), workload.Figure10())
 		reportErrors(pts)
 		check(report.AblationFigure(w, pts, func(p workload.Point) string {
 			return p.Cfg.Format.String()
@@ -93,7 +94,7 @@ func main() {
 	}
 	if want("fig11") {
 		section(w, "Figure 11 — Tensor Core utilization (FP32 vs TF32), H100x4")
-		pts := workload.RunGrid(workload.Figure11())
+		pts := workload.RunGrid(context.Background(), workload.Figure11())
 		reportErrors(pts)
 		check(report.AblationFigure(w, pts, func(p workload.Point) string {
 			if p.Cfg.MatrixUnits {
@@ -109,7 +110,7 @@ func main() {
 }
 
 func runFig7(w *os.File, outDir string) {
-	res, err := core.RunMode(workload.Figure7(), exec.Overlapped)
+	res, err := core.RunMode(context.Background(), workload.Figure7(), exec.Overlapped)
 	if err != nil {
 		log.Printf("fig7: %v", err)
 		return

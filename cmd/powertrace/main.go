@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,7 +39,7 @@ func main() {
 		MatrixUnits:   true,
 		TraceInterval: *interval / 1e3,
 	}
-	res, err := core.RunMode(cfg, exec.Overlapped)
+	res, err := core.RunMode(context.Background(), cfg, exec.Overlapped)
 	if err != nil {
 		log.Fatal(err)
 	}

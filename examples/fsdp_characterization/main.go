@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -45,7 +46,7 @@ func main() {
 	}
 
 	fmt.Printf("FSDP characterization on %sx%d (FP16, matrix units)\n\n", g.Name, *n)
-	pts := workload.RunGrid(cfgs)
+	pts := workload.RunGrid(context.Background(), cfgs)
 
 	headers := []string{"Model", "Batch", "Slowdown", "Overlap",
 		"Ideal(ms)", "Overlapped(ms)", "Sequential(ms)", "SeqPenalty"}

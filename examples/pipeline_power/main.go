@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,11 +36,11 @@ func main() {
 			MatrixUnits:   true,
 			TraceInterval: power.TraceInterval,
 		}
-		ovl, err := core.RunMode(cfg, exec.Overlapped)
+		ovl, err := core.RunMode(context.Background(), cfg, exec.Overlapped)
 		if err != nil {
 			log.Fatal(err)
 		}
-		seq, err := core.RunMode(cfg, exec.Sequential)
+		seq, err := core.RunMode(context.Background(), cfg, exec.Sequential)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,7 +26,7 @@ func main() {
 	var rows [][]string
 	var base float64
 	for _, capW := range []float64{0, 400, 300, 250, 200, 150, 100} {
-		res, err := core.Run(core.Config{
+		res, err := core.Run(context.Background(), core.Config{
 			System:      hw.SystemA100x4(),
 			Model:       model.GPT3_2_7B(),
 			Parallelism: core.FSDP,

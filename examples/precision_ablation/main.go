@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	for _, m := range []model.Config{model.GPT3XL(), model.GPT3_6_7B()} {
 		for _, bs := range []int{8, 16} {
 			for _, v := range variants {
-				res, err := core.Run(core.Config{
+				res, err := core.Run(context.Background(), core.Config{
 					System:      hw.SystemH100x4(),
 					Model:       m,
 					Parallelism: core.FSDP,

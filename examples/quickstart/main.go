@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		MatrixUnits: true,
 	}
 
-	res, err := core.Run(cfg)
+	res, err := core.Run(context.Background(), cfg)
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}

@@ -1,0 +1,3 @@
+module overlapsim
+
+go 1.24

@@ -4,6 +4,7 @@ package core
 // §II-B mitigation), the DDP baseline strategy, and frequency capping.
 
 import (
+	"context"
 	"testing"
 
 	"overlapsim/internal/hw"
@@ -43,7 +44,7 @@ func TestGradAccumReducesSlowdown(t *testing.T) {
 // ≈3×P of parameters+gradients).
 func TestDDPBaseline(t *testing.T) {
 	cfg := tinyCfg(DDP)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestDDPBaseline(t *testing.T) {
 func TestDDPMemoryWall(t *testing.T) {
 	cfg := Config{System: hw.SystemH100x4(), Model: model.GPT3_13B(), Parallelism: DDP,
 		Batch: 8, Format: precision.FP16, MatrixUnits: true}
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("13B under DDP must OOM on 80GB GPUs")
 	}
 	cfg.Parallelism = FSDP
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatalf("13B under FSDP must fit: %v", err)
 	}
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"overlapsim/internal/pipeline"
+)
+
+// fingerprintVersion is mixed into every fingerprint so that changes to
+// the canonical encoding (or to the semantics behind it) invalidate old
+// content-addressed cache entries instead of silently aliasing them.
+// Bump it whenever Canonicalize, the executors' default resolution, or
+// the simulation semantics behind a Config change.
+const fingerprintVersion = "overlapsim-config-v1"
+
+// Canonicalize returns the config with every implicit default made
+// explicit and every inert knob cleared, so that two configs that
+// describe the same experiment encode (and hash) identically:
+// Iterations/Warmup/GradAccumSteps/MicroBatch defaults are replaced by
+// the values the executors actually use, knobs the selected strategy
+// ignores are zeroed, and the jitter seed is cleared when jitter is
+// disabled (a seed without jitter changes nothing).
+func (c Config) Canonicalize() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1
+	} else if c.Warmup < 0 {
+		c.Warmup = 0 // the executors treat any negative as "no warmup"
+	}
+	if c.GradAccumSteps <= 0 {
+		c.GradAccumSteps = 1
+	}
+	if c.Parallelism != FSDP {
+		c.GradAccumSteps = 1 // only the FSDP executor reads it
+	}
+	if c.Parallelism == Pipeline {
+		if c.MicroBatch <= 0 {
+			c.MicroBatch = pipeline.DefaultMicroBatch(c.Batch)
+		}
+	} else {
+		c.MicroBatch = 0 // only the pipeline executor reads it
+	}
+	if c.JitterSigma == 0 {
+		c.Seed = 0
+	}
+	return c
+}
+
+// CanonicalJSON returns the deterministic serialization Fingerprint
+// hashes: the canonicalized config marshaled as JSON. The encoding
+// covers the full hardware spec (not just its name), so a config built
+// against a modified GPUSpec hashes differently from the catalog entry.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	// encoding/json sorts map keys, so the GPUSpec TFLOPS maps encode
+	// deterministically.
+	return json.Marshal(c.Canonicalize())
+}
+
+// Fingerprint returns the content address of the experiment: a SHA-256
+// over the versioned canonical encoding, in hex. Equal configs (up to
+// defaulting) share a fingerprint; any semantic field change produces a
+// different one.
+func (c Config) Fingerprint() (string, error) {
+	b, err := c.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("core: fingerprint %s: %w", c.Label(), err)
+	}
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+func mustFingerprint(t *testing.T, cfg Config) string {
+	t.Helper()
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := mustFingerprint(t, tinyCfg(FSDP))
+	b := mustFingerprint(t, tinyCfg(FSDP))
+	if a != b {
+		t.Errorf("same config hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex", a)
+	}
+}
+
+func TestFingerprintFieldSensitivity(t *testing.T) {
+	base := tinyCfg(FSDP)
+	seen := map[string]string{mustFingerprint(t, base): "base"}
+	mutations := map[string]func(*Config){
+		"parallelism":  func(c *Config) { c.Parallelism = Pipeline },
+		"batch":        func(c *Config) { c.Batch = 16 },
+		"micro":        func(c *Config) { c.Parallelism = Pipeline; c.MicroBatch = 4 },
+		"format":       func(c *Config) { c.Format = precision.BF16 },
+		"matrix units": func(c *Config) { c.MatrixUnits = false },
+		"checkpoint":   func(c *Config) { c.NoCheckpoint = true },
+		"grad accum":   func(c *Config) { c.GradAccumSteps = 4 },
+		"iterations":   func(c *Config) { c.Iterations = 5 },
+		"warmup":       func(c *Config) { c.Warmup = 3 },
+		"power cap":    func(c *Config) { c.Caps = power.Caps{PowerW: 400} },
+		"freq cap":     func(c *Config) { c.Caps = power.Caps{FreqFactor: 0.5} },
+		"jitter":       func(c *Config) { c.JitterSigma = 0.01 },
+		"system size":  func(c *Config) { c.System = hw.SystemH100x8() },
+		"gpu":          func(c *Config) { c.System = hw.SystemA100x4() },
+		"model layers": func(c *Config) { c.Model.Layers++ },
+		"model hidden": func(c *Config) { c.Model.Hidden *= 2 },
+		"seq len":      func(c *Config) { c.Model.SeqLen *= 2 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		fp := mustFingerprint(t, cfg)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collides with %q: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// A modified hardware spec must change the address even when the system
+// name stays the same — the hash covers the spec content, not the label.
+func TestFingerprintCoversGPUSpec(t *testing.T) {
+	a := tinyCfg(FSDP)
+	b := tinyCfg(FSDP)
+	g := *b.System.GPU
+	g.LinkBWGBs *= 2
+	b.System.GPU = &g
+	if mustFingerprint(t, a) == mustFingerprint(t, b) {
+		t.Error("changing the GPU spec did not change the fingerprint")
+	}
+}
+
+// Implicit defaults and the values they stand for must hash identically,
+// so cache keys do not split on spelling.
+func TestFingerprintNormalizesDefaults(t *testing.T) {
+	base := tinyCfg(FSDP)
+
+	explicit := base
+	explicit.Iterations = 2
+	explicit.Warmup = 1
+	explicit.GradAccumSteps = 1
+	if mustFingerprint(t, base) != mustFingerprint(t, explicit) {
+		t.Error("explicit defaults hash differently from zero values")
+	}
+
+	seeded := base
+	seeded.Seed = 42 // irrelevant without jitter
+	if mustFingerprint(t, base) != mustFingerprint(t, seeded) {
+		t.Error("seed changed the fingerprint despite jitter being disabled")
+	}
+	seeded.JitterSigma = 0.01
+	if mustFingerprint(t, base) == mustFingerprint(t, seeded) {
+		t.Error("seed ignored despite jitter being enabled")
+	}
+
+	// Every negative warmup means "no warmup" to the executors.
+	w1, w2 := base, base
+	w1.Warmup = -1
+	w2.Warmup = -2
+	if mustFingerprint(t, w1) != mustFingerprint(t, w2) {
+		t.Error("equivalent negative warmups hash differently")
+	}
+	if mustFingerprint(t, w1) == mustFingerprint(t, base) {
+		t.Error("disabled warmup hashes like default warmup")
+	}
+
+	// Knobs the selected strategy ignores must not split the address.
+	inert := base // FSDP: MicroBatch unused
+	inert.MicroBatch = 2
+	if mustFingerprint(t, base) != mustFingerprint(t, inert) {
+		t.Error("microbatch changed an FSDP fingerprint")
+	}
+	pp := base
+	pp.Parallelism = Pipeline
+	ppDefault := pp // pipeline default microbatch is min(2, batch)
+	ppDefault.MicroBatch = 2
+	if mustFingerprint(t, pp) != mustFingerprint(t, ppDefault) {
+		t.Error("explicit default microbatch hashes differently under pipeline")
+	}
+	accum := pp // non-FSDP: GradAccumSteps unused
+	accum.GradAccumSteps = 8
+	if mustFingerprint(t, pp) != mustFingerprint(t, accum) {
+		t.Error("grad accum changed a pipeline fingerprint")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinyCfg(FSDP)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on cancelled context: got %v, want context.Canceled", err)
+	}
+}

@@ -8,7 +8,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"overlapsim/internal/ddp"
 	"overlapsim/internal/exec"
@@ -49,6 +51,24 @@ func (p Parallelism) String() string {
 		return fmt.Sprintf("Parallelism(%d)", int(p))
 	}
 }
+
+// ParseParallelism maps the conventional CLI/API names onto a strategy:
+// "fsdp", "pp"/"pipeline" and "ddp" (case-insensitive).
+func ParseParallelism(name string) (Parallelism, error) {
+	switch strings.ToLower(name) {
+	case "fsdp":
+		return FSDP, nil
+	case "pp", "pipeline":
+		return Pipeline, nil
+	case "ddp":
+		return DDP, nil
+	default:
+		return 0, fmt.Errorf("core: unknown parallelism %q (have fsdp, pp, ddp)", name)
+	}
+}
+
+// Parallelisms lists the supported strategies in the paper's order.
+func Parallelisms() []Parallelism { return []Parallelism{FSDP, Pipeline, DDP} }
 
 // Config describes one characterization experiment.
 type Config struct {
@@ -129,7 +149,9 @@ type Result struct {
 }
 
 // RunMode executes the experiment in a single mode on a fresh cluster.
-func RunMode(cfg Config, mode exec.Mode) (*ModeResult, error) {
+// Cancelling ctx aborts the simulation between epochs and returns
+// ctx.Err().
+func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, error) {
 	cl, err := gpu.New(gpu.Config{
 		System:        cfg.System,
 		Caps:          cfg.Caps,
@@ -187,7 +209,7 @@ func RunMode(cfg Config, mode exec.Mode) (*ModeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := plan.Run(); err != nil {
+	if err := plan.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("core: %s (%v): %w", cfg.Label(), mode, err)
 	}
 
@@ -210,13 +232,14 @@ func RunMode(cfg Config, mode exec.Mode) (*ModeResult, error) {
 }
 
 // Run executes the experiment in both modes and derives the paper's
-// characterization metrics.
-func Run(cfg Config) (*Result, error) {
-	ovl, err := RunMode(cfg, exec.Overlapped)
+// characterization metrics. Cancelling ctx aborts the in-flight
+// simulation and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	ovl, err := RunMode(ctx, cfg, exec.Overlapped)
 	if err != nil {
 		return nil, err
 	}
-	seq, err := RunMode(cfg, exec.Sequential)
+	seq, err := RunMode(ctx, cfg, exec.Sequential)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"overlapsim/internal/exec"
@@ -27,7 +28,7 @@ func tinyCfg(par Parallelism) Config {
 }
 
 func TestRunFSDP(t *testing.T) {
-	res, err := Run(tinyCfg(FSDP))
+	res, err := Run(context.Background(), tinyCfg(FSDP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestRunFSDP(t *testing.T) {
 }
 
 func TestRunPipeline(t *testing.T) {
-	res, err := Run(tinyCfg(Pipeline))
+	res, err := Run(context.Background(), tinyCfg(Pipeline))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func checkResult(t *testing.T, res *Result) {
 func TestRunModeTrace(t *testing.T) {
 	cfg := tinyCfg(FSDP)
 	cfg.TraceInterval = power.TraceInterval
-	res, err := RunMode(cfg, exec.Overlapped)
+	res, err := RunMode(context.Background(), cfg, exec.Overlapped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,13 +88,13 @@ func TestRunModeTrace(t *testing.T) {
 }
 
 func TestPowerCapSlowsExecution(t *testing.T) {
-	base, err := Run(tinyCfg(FSDP))
+	base, err := Run(context.Background(), tinyCfg(FSDP))
 	if err != nil {
 		t.Fatal(err)
 	}
 	capped := tinyCfg(FSDP)
 	capped.Caps = power.Caps{PowerW: 150}
-	cres, err := Run(capped)
+	cres, err := Run(context.Background(), capped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestOOMPropagates(t *testing.T) {
 	cfg := tinyCfg(FSDP)
 	cfg.System = hw.SystemA100x4()
 	cfg.Model = model.GPT3_13B()
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("13B on A100x4 must OOM")
 	}
 }
@@ -118,7 +119,7 @@ func TestOOMPropagates(t *testing.T) {
 func TestUnknownParallelism(t *testing.T) {
 	cfg := tinyCfg(FSDP)
 	cfg.Parallelism = Parallelism(9)
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("unknown parallelism must fail")
 	}
 }
@@ -133,11 +134,11 @@ func TestJitterReproducible(t *testing.T) {
 	cfg := tinyCfg(FSDP)
 	cfg.JitterSigma = 0.03
 	cfg.Seed = 7
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package core
 // configurations. These are the reproduction's primary acceptance tests.
 
 import (
+	"context"
 	"testing"
 
 	"overlapsim/internal/hw"
@@ -15,7 +16,7 @@ import (
 
 func mustRun(t *testing.T, cfg Config) *Result {
 	t.Helper()
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", cfg.Label(), err)
 	}
@@ -202,10 +203,10 @@ func TestVendorOrdering(t *testing.T) {
 
 // Memory gating reproduces §V-A: the A100 runs up to GPT-3 2.7B only.
 func TestA100MemoryConstraint(t *testing.T) {
-	if _, err := Run(fsdpCfg(hw.SystemA100x4(), model.GPT3_2_7B(), 8)); err != nil {
+	if _, err := Run(context.Background(), fsdpCfg(hw.SystemA100x4(), model.GPT3_2_7B(), 8)); err != nil {
 		t.Errorf("2.7B must run on A100x4: %v", err)
 	}
-	if _, err := Run(fsdpCfg(hw.SystemA100x4(), model.GPT3_6_7B(), 8)); err == nil {
+	if _, err := Run(context.Background(), fsdpCfg(hw.SystemA100x4(), model.GPT3_6_7B(), 8)); err == nil {
 		t.Error("6.7B must OOM on A100x4")
 	}
 }

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"overlapsim/internal/gpu"
@@ -59,11 +60,17 @@ type Plan struct {
 
 // Run executes the simulation.
 func (p *Plan) Run() error {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the simulation, stopping early with ctx.Err() when
+// ctx is cancelled. A cancelled plan cannot be re-run.
+func (p *Plan) RunContext(ctx context.Context) error {
 	if p.ran {
 		return fmt.Errorf("exec: plan already ran")
 	}
 	p.ran = true
-	return p.Engine.Run()
+	return p.Engine.RunContext(ctx)
 }
 
 // MeasuredIterations returns the per-iteration measurements of the

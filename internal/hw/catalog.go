@@ -245,6 +245,16 @@ func Catalog() []*GPUSpec {
 	return []*GPUSpec{A100(), H100(), MI210(), MI250()}
 }
 
+// Names returns the catalog GPU names in the paper's order — the values
+// ByName accepts, enumerated by the service catalog endpoint.
+func Names() []string {
+	var out []string
+	for _, g := range Catalog() {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
 // ByName returns the catalog GPU with the given name, or nil.
 func ByName(name string) *GPUSpec {
 	for _, g := range Catalog() {

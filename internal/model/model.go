@@ -231,6 +231,16 @@ func Zoo() []Config {
 	return []Config{GPT3XL(), GPT3_2_7B(), GPT3_6_7B(), GPT3_13B(), LLaMA2_13B()}
 }
 
+// Names returns the zoo model names in the paper's order — the values
+// ByName accepts, enumerated by the service catalog endpoint.
+func Names() []string {
+	var out []string
+	for _, m := range Zoo() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
 // ByName returns the zoo model with the given name, or an error.
 func ByName(name string) (Config, error) {
 	for _, m := range Zoo() {

@@ -78,15 +78,22 @@ type Config struct {
 	SkipMemoryCheck bool
 }
 
+// DefaultMicroBatch returns the microbatch size used when none is
+// requested. Config canonicalization (core.Canonicalize) relies on this
+// being the single source of the default.
+func DefaultMicroBatch(batch int) int {
+	if batch < 2 {
+		return batch
+	}
+	return 2
+}
+
 func (c *Config) setDefaults() error {
 	if c.Batch <= 0 {
 		c.Batch = 8
 	}
 	if c.MicroBatch <= 0 {
-		c.MicroBatch = 2
-		if c.Batch < c.MicroBatch {
-			c.MicroBatch = c.Batch
-		}
+		c.MicroBatch = DefaultMicroBatch(c.Batch)
 	}
 	if c.Batch%c.MicroBatch != 0 {
 		return fmt.Errorf("pipeline: batch %d not divisible by microbatch %d", c.Batch, c.MicroBatch)

@@ -5,7 +5,10 @@
 // TF32 mode that routes FP32 inputs through the matrix units.
 package precision
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Format is a numeric storage format.
 type Format int
@@ -38,6 +41,20 @@ func (f Format) String() string {
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
 }
+
+// Parse maps the conventional lowercase CLI/API names ("fp32", "tf32",
+// "fp16", "bf16"; case-insensitive) onto a Format.
+func Parse(name string) (Format, error) {
+	for _, f := range Formats() {
+		if strings.EqualFold(name, f.String()) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("precision: unknown format %q (have fp32, tf32, fp16, bf16)", name)
+}
+
+// Formats lists the supported numeric formats.
+func Formats() []Format { return []Format{FP32, TF32, FP16, BF16} }
 
 // Bytes returns the storage size of one element in the format.
 func (f Format) Bytes() int {

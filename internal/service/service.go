@@ -1,0 +1,459 @@
+// Package service implements the overlapd HTTP/JSON API: synchronous
+// single experiments, asynchronous sweep jobs with progress polling and
+// cancellation, and catalog discovery. All endpoints share one
+// content-addressed result cache, so a result computed for any client is
+// served from memory for every later request with the same canonical
+// configuration.
+//
+//	POST   /v1/experiments  — run one experiment, return its point
+//	POST   /v1/sweeps       — submit a sweep spec, returns a job id
+//	GET    /v1/sweeps       — list jobs
+//	GET    /v1/sweeps/{id}  — job status, progress and (when done) results
+//	DELETE /v1/sweeps/{id}  — cancel a running job, or forget a finished one
+//	GET    /v1/catalog      — available GPUs, models, strategies, formats
+//	GET    /healthz         — liveness
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/report"
+	"overlapsim/internal/sweep"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Cache is the shared result cache; nil creates a fresh MemCache.
+	Cache sweep.Cache
+	// Workers bounds concurrent simulations per sweep (<= 0 means
+	// runtime.NumCPU()).
+	Workers int
+	// MaxSweepPoints rejects sweep specs that expand beyond this many
+	// points (0 means DefaultMaxSweepPoints).
+	MaxSweepPoints int
+}
+
+// DefaultMaxSweepPoints bounds the grid size one job may submit.
+const DefaultMaxSweepPoints = 4096
+
+// Server is the overlapd request handler.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	wg     sync.WaitGroup
+}
+
+// jobStatus is the lifecycle of a sweep job.
+type jobStatus string
+
+const (
+	statusRunning   jobStatus = "running"
+	statusDone      jobStatus = "done"
+	statusCancelled jobStatus = "cancelled"
+)
+
+// job is one asynchronous sweep.
+type job struct {
+	id      string
+	name    string
+	total   int
+	started time.Time
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	status    jobStatus
+	completed int
+	hits      int
+	ooms      int
+	failures  int
+	res       *sweep.Result
+	// aggregate is the precomputed summary of res; a finished job's
+	// result is immutable, so status polls never recompute it.
+	aggregate string
+}
+
+// New returns a ready-to-serve Server. Close releases its background
+// jobs.
+func New(opts Options) *Server {
+	if opts.Cache == nil {
+		opts.Cache = sweep.NewMemCache()
+	}
+	if opts.MaxSweepPoints <= 0 {
+		opts.MaxSweepPoints = DefaultMaxSweepPoints
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every running job and waits for their workers to exit.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// runner builds the sweep runner every endpoint shares.
+func (s *Server) runner(onPoint func(sweep.Point)) *sweep.Runner {
+	return &sweep.Runner{Workers: s.opts.Workers, Cache: s.opts.Cache, OnPoint: onPoint}
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// catalogGPU is one catalog GPU entry.
+type catalogGPU struct {
+	Name   string  `json:"name"`
+	Vendor string  `json:"vendor"`
+	Year   int     `json:"year"`
+	MemGB  float64 `json:"mem_gb"`
+	TDPW   float64 `json:"tdp_w"`
+	SMs    int     `json:"sms"`
+}
+
+// catalogModel is one catalog workload entry.
+type catalogModel struct {
+	Name    string  `json:"name"`
+	Arch    string  `json:"arch"`
+	ParamsB float64 `json:"params_b"`
+	Layers  int     `json:"layers"`
+	Hidden  int     `json:"hidden"`
+	SeqLen  int     `json:"seq_len"`
+}
+
+// catalogBody is the /v1/catalog response.
+type catalogBody struct {
+	GPUs         []catalogGPU   `json:"gpus"`
+	Models       []catalogModel `json:"models"`
+	Parallelisms []string       `json:"parallelisms"`
+	Formats      []string       `json:"formats"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	var body catalogBody
+	for _, g := range hw.Catalog() {
+		body.GPUs = append(body.GPUs, catalogGPU{
+			Name: g.Name, Vendor: g.Vendor.String(), Year: g.Year,
+			MemGB: g.MemGB, TDPW: g.TDPW, SMs: g.SMs,
+		})
+	}
+	for _, m := range model.Zoo() {
+		body.Models = append(body.Models, catalogModel{
+			Name: m.Name, Arch: m.Arch.String(), ParamsB: m.NominalParams / 1e9,
+			Layers: m.Layers, Hidden: m.Hidden, SeqLen: m.SeqLen,
+		})
+	}
+	for _, p := range core.Parallelisms() {
+		body.Parallelisms = append(body.Parallelisms, p.String())
+	}
+	for _, f := range precision.Formats() {
+		body.Formats = append(body.Formats, f.String())
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// experimentBody is the /v1/experiments response: the executed point
+// plus the compact metric summary the sweep reports use.
+type experimentBody struct {
+	Point   sweep.Point     `json:"point"`
+	Summary report.SweepRow `json:"summary"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var exp sweep.Experiment
+	if err := dec.Decode(&exp); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding experiment: %v", err)
+		return
+	}
+	cfg, err := exp.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Run under the request context so a disconnected client aborts the
+	// simulation, but bound by server lifetime.
+	ctx, cancel := mergeDone(r.Context(), s.ctx)
+	defer cancel()
+	res, err := s.runner(nil).Run(ctx, []core.Config{cfg})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "experiment cancelled: %v", err)
+		return
+	}
+	pt := res.Points[0]
+	if pt.Err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", pt.Err)
+		return
+	}
+	rows := sweep.Rows(res)
+	writeJSON(w, http.StatusOK, experimentBody{Point: pt, Summary: rows[0]})
+}
+
+// mergeDone returns a context cancelled when either parent is.
+func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// submitBody is the /v1/sweeps accepted response.
+type submitBody struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Points int    `json:"points"`
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := sweep.ParseSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Check the grid size arithmetically before materializing it, so an
+	// oversized spec is rejected without allocating its expansion.
+	if n := spec.Size(); n > s.opts.MaxSweepPoints {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep expands to %d points, limit %d", n, s.opts.MaxSweepPoints)
+		return
+	}
+	_, cfgs, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.ctx)
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("sweep-%06d", s.nextID),
+		name:    spec.Name,
+		total:   len(cfgs),
+		started: time.Now(),
+		cancel:  cancel,
+		status:  statusRunning,
+	}
+	s.jobs[j.id] = j
+	s.evictLocked()
+	s.mu.Unlock()
+
+	runner := s.runner(func(p sweep.Point) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.completed++
+		switch {
+		case p.OOM != nil:
+			j.ooms++
+		case p.Err != nil:
+			j.failures++
+		case p.CacheHit:
+			j.hits++
+		}
+	})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		res, err := runner.Run(ctx, cfgs)
+		res.Name = spec.Name
+		// Snapshot the final counters and aggregate once; the result is
+		// immutable from here on, so polls serve the snapshot.
+		aggregate := report.AggregateSweep(sweep.Rows(res)).String()
+		completed := 0
+		for i := range res.Points {
+			if res.Points[i].Key != "" { // dispatched (fingerprinted) points
+				completed++
+			}
+		}
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.res = res
+		j.aggregate = aggregate
+		j.completed = completed
+		j.hits = res.CacheHits
+		j.ooms = res.OOMs
+		j.failures = res.Failures
+		if err != nil {
+			j.status = statusCancelled
+		} else {
+			j.status = statusDone
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: spec.Name, Points: len(cfgs)})
+}
+
+// jobBody is the sweep job status payload.
+type jobBody struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	Status    jobStatus `json:"status"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	CacheHits int       `json:"cache_hits"`
+	OOMs      int       `json:"ooms"`
+	Failures  int       `json:"failures"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+
+	// Aggregate and Points are present once the job has finished.
+	Aggregate string        `json:"aggregate,omitempty"`
+	Points    []sweep.Point `json:"points,omitempty"`
+}
+
+// body snapshots the job under its lock. includePoints controls whether
+// the full per-point results ride along. Once the sweep has finished,
+// the counters are derived from its result so they agree with the
+// points and aggregate — in particular, points a cancellation left
+// undispatched are reported as failures carrying the context error,
+// and only dispatched points count as completed.
+func (j *job) body(includePoints bool) jobBody {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := jobBody{
+		ID: j.id, Name: j.name, Status: j.status,
+		Total: j.total, Completed: j.completed,
+		CacheHits: j.hits, OOMs: j.ooms, Failures: j.failures,
+		ElapsedMS: float64(time.Since(j.started)) / float64(time.Millisecond),
+	}
+	if j.res != nil {
+		b.ElapsedMS = float64(j.res.Elapsed) / float64(time.Millisecond)
+		b.Aggregate = j.aggregate
+		if includePoints {
+			b.Points = j.res.Points
+		}
+	}
+	return b
+}
+
+// maxRetainedJobs bounds how many jobs (and their retained results) the
+// server keeps; beyond it the oldest finished jobs are dropped, so a
+// long-lived daemon under steady sweep traffic has bounded memory.
+// Running jobs are never evicted.
+const maxRetainedJobs = 256
+
+// evictLocked drops the oldest finished jobs while the map exceeds
+// maxRetainedJobs. Callers must hold s.mu.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= maxRetainedJobs {
+		return
+	}
+	var finished []*job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		if st != statusRunning {
+			finished = append(finished, j)
+		}
+	}
+	// Sequential ids sort oldest-first.
+	sort.Slice(finished, func(i, k int) bool { return finished[i].id < finished[k].id })
+	for _, j := range finished {
+		if len(s.jobs) <= maxRetainedJobs {
+			break
+		}
+		delete(s.jobs, j.id)
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	bodies := make([]jobBody, len(jobs))
+	for i, j := range jobs {
+		bodies[i] = j.body(false)
+	}
+	writeJSON(w, http.StatusOK, map[string][]jobBody{"sweeps": bodies})
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.body(r.URL.Query().Get("points") != "0"))
+}
+
+// handleSweepCancel cancels a running job; on a finished job it instead
+// releases the job (and its retained results) from the server.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	body := j.body(false)
+	if body.Status != statusRunning {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, body)
+}

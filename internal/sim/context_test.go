@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	e := NewEngine(nil)
+	s := e.NewStream("s", 0)
+	e.NewTask("work", KindHost, 1, nil, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	e := NewEngine(nil)
+	s := e.NewStream("s", 0)
+	task := e.NewTask("work", KindHost, 1, nil, s)
+	if err := e.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Done() || task.End() != 1 {
+		t.Errorf("task done=%v end=%g, want done at t=1", task.Done(), task.End())
+	}
+}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -296,8 +297,19 @@ var ErrDeadlock = errors.New("sim: deadlock: unfinished tasks cannot make progre
 // Run executes the simulation until every task has completed. It returns
 // ErrDeadlock (wrapped with diagnostics) if progress stops.
 func (e *Engine) Run() error {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the simulation like Run, additionally stopping
+// between constant-rate epochs when ctx is cancelled. On cancellation it
+// returns ctx.Err(); completed tasks keep their measurements but the
+// simulation is not resumable.
+func (e *Engine) RunContext(ctx context.Context) error {
 	e.ran = true
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.admit()
 		if len(e.running) == 0 {
 			if e.pendingCount() == 0 {

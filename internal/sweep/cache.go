@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"overlapsim/internal/core"
+)
+
+// Cache stores characterization results addressed by the canonical
+// config fingerprint (core.Config.Fingerprint). Implementations must be
+// safe for concurrent use by the sweep worker pool.
+type Cache interface {
+	// Get returns the cached result for the key, or false.
+	Get(key string) (*core.Result, bool)
+	// Put stores the result under the key.
+	Put(key string, res *core.Result) error
+}
+
+// MemCache is an in-process content-addressed cache.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]*core.Result
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string]*core.Result)}
+}
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (*core.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	res, ok := c.m[key]
+	return res, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, res *core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = res
+	return nil
+}
+
+// Len returns the number of cached results.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DirCache is a content-addressed cache persisted as one JSON file per
+// fingerprint in a directory, so sweeps hit the cache across process
+// runs. Writes are atomic (temp file + rename); concurrent writers of
+// the same key converge because the content is a pure function of it.
+type DirCache struct {
+	dir string
+}
+
+// NewDirCache opens (creating if needed) a directory-backed cache.
+func NewDirCache(dir string) (*DirCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	return &DirCache{dir: dir}, nil
+}
+
+// path maps a fingerprint to its file, refusing anything that is not a
+// plain hex key (defense against path traversal via a crafted key).
+func (c *DirCache) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("sweep: invalid cache key %q", key)
+	}
+	return filepath.Join(c.dir, key+".json"), nil
+}
+
+// Get implements Cache. Unreadable or corrupt entries are treated as
+// misses so a damaged cache degrades to recomputation, never to failure.
+func (c *DirCache) Get(key string) (*core.Result, bool) {
+	p, err := c.path(key)
+	if err != nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var res core.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Put implements Cache.
+func (c *DirCache) Put(key string, res *core.Result) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	return nil
+}

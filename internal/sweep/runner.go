@@ -1,0 +1,212 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/model"
+)
+
+// Point is the outcome of one grid point.
+type Point struct {
+	// Index is the point's position in the expanded grid.
+	Index int `json:"index"`
+	// Config is the executed configuration.
+	Config core.Config `json:"config"`
+	// Key is the config's content address (canonical fingerprint).
+	Key string `json:"key"`
+	// Res is the characterization (nil when the point failed).
+	Res *core.Result `json:"result,omitempty"`
+	// CacheHit reports whether Res was served from the cache.
+	CacheHit bool `json:"cache_hit"`
+	// OOM is non-nil when the configuration did not fit in HBM — an
+	// expected outcome the paper reports as a skipped configuration.
+	OOM *model.ErrOOM `json:"oom,omitempty"`
+	// Err is any other failure, as fail-soft per-point collection: one
+	// bad point never aborts the sweep.
+	Err error `json:"-"`
+	// ErrString carries Err across JSON encoding.
+	ErrString string `json:"error,omitempty"`
+	// Note records non-fatal oddities (e.g. a failed cache write) on an
+	// otherwise successful point.
+	Note string `json:"note,omitempty"`
+}
+
+// Result is the outcome of a whole sweep.
+type Result struct {
+	// Name echoes the spec name, when the sweep came from one.
+	Name string `json:"name,omitempty"`
+	// Points are the per-point outcomes in grid order.
+	Points []Point `json:"points"`
+	// CacheHits and CacheMisses count how points were satisfied; their
+	// sum is len(Points). Only successful characterizations are cached:
+	// OOM and failed points are re-evaluated on every run (the HBM
+	// feasibility gate rejects an infeasible config before any
+	// simulation, so this costs microseconds). A re-run of an identical
+	// spec against a warm cache therefore reports CacheHits ==
+	// len(Points) − OOMs − Failures.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// OOMs counts infeasible configurations, Failures all other errors.
+	OOMs     int `json:"ooms"`
+	Failures int `json:"failures"`
+	// Elapsed is the wall-clock duration of the sweep.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Err returns an aggregate error describing the failed points, or nil.
+func (r *Result) Err() error {
+	if r.Failures == 0 {
+		return nil
+	}
+	var errs []error
+	for i := range r.Points {
+		if p := &r.Points[i]; p.Err != nil {
+			errs = append(errs, fmt.Errorf("point %d (%s): %w", p.Index, p.Config.Label(), p.Err))
+		}
+	}
+	return fmt.Errorf("sweep: %d/%d points failed: %w", r.Failures, len(r.Points), errors.Join(errs...))
+}
+
+// Runner executes grids on a bounded worker pool with content-addressed
+// memoization.
+type Runner struct {
+	// Workers bounds concurrent simulations; <= 0 means runtime.NumCPU().
+	Workers int
+	// Cache memoizes results by config fingerprint; nil disables caching.
+	Cache Cache
+	// OnPoint, when set, is called from worker goroutines as each point
+	// completes (for progress reporting). It must be safe for concurrent
+	// use.
+	OnPoint func(Point)
+}
+
+// RunSpec expands the spec and runs the resulting grid.
+func (r *Runner) RunSpec(ctx context.Context, spec *Spec) (*Result, error) {
+	_, cfgs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Run(ctx, cfgs)
+	if res != nil {
+		res.Name = spec.Name
+	}
+	return res, err
+}
+
+// Run executes the configurations and returns per-point outcomes in
+// input order. Point errors are collected, not propagated; the returned
+// error is non-nil only when ctx was cancelled, in which case the
+// partial Result marks every unstarted point with the context error.
+func (r *Runner) Run(ctx context.Context, cfgs []core.Config) (*Result, error) {
+	start := time.Now()
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	res := &Result{Points: make([]Point, len(cfgs))}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res.Points[i] = r.runPoint(ctx, i, cfgs[i])
+				if r.OnPoint != nil {
+					r.OnPoint(res.Points[i])
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range cfgs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched; in-flight points
+			// abort inside the engine and record the error themselves.
+			for j := i; j < len(cfgs); j++ {
+				if res.Points[j].Key == "" && res.Points[j].Err == nil {
+					res.Points[j] = Point{Index: j, Config: cfgs[j], Err: ctx.Err(), ErrString: ctx.Err().Error()}
+				}
+			}
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := range res.Points {
+		p := &res.Points[i]
+		switch {
+		case p.OOM != nil:
+			res.OOMs++
+			res.CacheMisses++
+		case p.Err != nil:
+			res.Failures++
+			res.CacheMisses++
+		case p.CacheHit:
+			res.CacheHits++
+		default:
+			res.CacheMisses++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runPoint satisfies one grid point from the cache or by simulation.
+func (r *Runner) runPoint(ctx context.Context, i int, cfg core.Config) Point {
+	pt := Point{Index: i, Config: cfg}
+	key, err := cfg.Fingerprint()
+	if err != nil {
+		pt.Err = err
+		pt.ErrString = err.Error()
+		return pt
+	}
+	pt.Key = key
+	if r.Cache != nil {
+		if cached, ok := r.Cache.Get(key); ok {
+			pt.Res = cached
+			pt.CacheHit = true
+			return pt
+		}
+	}
+	res, err := core.Run(ctx, cfg)
+	if err != nil {
+		var oom *model.ErrOOM
+		if errors.As(err, &oom) {
+			pt.OOM = oom
+		} else {
+			pt.Err = err
+			pt.ErrString = err.Error()
+		}
+		return pt
+	}
+	pt.Res = res
+	if r.Cache != nil {
+		if err := r.Cache.Put(key, res); err != nil {
+			// A cache write failure costs recomputation later, not
+			// correctness now — the point stays successful.
+			pt.Note = fmt.Sprintf("cache put: %v", err)
+		}
+	}
+	return pt
+}

@@ -1,0 +1,263 @@
+// Package sweep is the design-space exploration engine: a declarative
+// sweep specification expands cartesian grids over the characterization
+// axes the paper studies (GPU, model, parallelism, batch size, precision,
+// power cap) into core.Configs, a bounded worker pool executes them
+// concurrently with fail-soft per-point error collection, and a
+// content-addressed cache keyed by the canonical config fingerprint makes
+// repeated and overlapping sweeps near-free.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+// Experiment names one experiment in the catalog vocabulary the API and
+// CLIs share: GPUs and models by name, strategies and formats by their
+// conventional lowercase spellings. The zero value of every optional
+// field selects the paper's base configuration (4 GPUs, FSDP, batch 8,
+// FP16 on matrix units, uncapped power).
+type Experiment struct {
+	// GPU is the catalog GPU name: "A100", "H100", "MI210", "MI250".
+	GPU string `json:"gpu"`
+	// GPUCount is the number of GPUs in the node (default 4).
+	GPUCount int `json:"gpu_count,omitempty"`
+	// Model is the Table II workload name ("GPT-3 XL", ...).
+	Model string `json:"model"`
+	// Parallelism is "fsdp", "pp" or "ddp" (default "fsdp").
+	Parallelism string `json:"parallelism,omitempty"`
+	// Batch is the global batch size (default 8).
+	Batch int `json:"batch,omitempty"`
+	// MicroBatch is the pipeline microbatch size (0 picks the default).
+	MicroBatch int `json:"micro_batch,omitempty"`
+	// Format is "fp32", "tf32", "fp16" or "bf16" (default "fp16").
+	Format string `json:"format,omitempty"`
+	// VectorOnly disables Tensor/Matrix cores (the Fig. 11 ablation).
+	VectorOnly bool `json:"vector_only,omitempty"`
+	// NoCheckpoint disables activation recomputation.
+	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
+	// GradAccumSteps enables gradient accumulation under FSDP.
+	GradAccumSteps int `json:"grad_accum_steps,omitempty"`
+	// Iterations and Warmup override the measured/unmeasured iteration
+	// counts (0 keeps the §IV-D defaults).
+	Iterations int `json:"iterations,omitempty"`
+	Warmup     int `json:"warmup,omitempty"`
+	// PowerCapW is the per-GPU power cap in watts (0 = uncapped).
+	PowerCapW float64 `json:"power_cap_w,omitempty"`
+	// FreqCap is the DVFS frequency cap factor in (0,1] (0 = uncapped).
+	FreqCap float64 `json:"freq_cap,omitempty"`
+	// SkipMemoryCheck disables the HBM feasibility gate.
+	SkipMemoryCheck bool `json:"skip_memory_check,omitempty"`
+}
+
+// Config resolves the experiment against the hardware and model catalogs
+// into a runnable core.Config.
+func (e Experiment) Config() (core.Config, error) {
+	g := hw.ByName(e.GPU)
+	if g == nil {
+		return core.Config{}, fmt.Errorf("sweep: unknown GPU %q (have %v)", e.GPU, hw.Names())
+	}
+	n := e.GPUCount
+	if n == 0 {
+		n = 4
+	}
+	if n < 1 {
+		return core.Config{}, fmt.Errorf("sweep: invalid GPU count %d", n)
+	}
+	m, err := model.ByName(e.Model)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("sweep: %w (have %v)", err, model.Names())
+	}
+	parName := e.Parallelism
+	if parName == "" {
+		parName = "fsdp"
+	}
+	par, err := core.ParseParallelism(parName)
+	if err != nil {
+		return core.Config{}, err
+	}
+	fmtName := e.Format
+	if fmtName == "" {
+		fmtName = "fp16"
+	}
+	f, err := precision.Parse(fmtName)
+	if err != nil {
+		return core.Config{}, err
+	}
+	batch := e.Batch
+	if batch == 0 {
+		batch = 8
+	}
+	if batch < 1 {
+		return core.Config{}, fmt.Errorf("sweep: invalid batch %d", batch)
+	}
+	caps := power.Caps{PowerW: e.PowerCapW, FreqFactor: e.FreqCap}
+	if err := caps.Validate(g); err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		System:          hw.NewSystem(g, n),
+		Model:           m,
+		Parallelism:     par,
+		Batch:           batch,
+		MicroBatch:      e.MicroBatch,
+		Format:          f,
+		MatrixUnits:     !e.VectorOnly,
+		NoCheckpoint:    e.NoCheckpoint,
+		GradAccumSteps:  e.GradAccumSteps,
+		Iterations:      e.Iterations,
+		Warmup:          e.Warmup,
+		Caps:            caps,
+		SkipMemoryCheck: e.SkipMemoryCheck,
+	}, nil
+}
+
+// Spec is a declarative sweep: the cartesian product of the axis fields,
+// with the Base experiment supplying every knob an axis does not cover.
+// Empty axes default to the corresponding Base value, so the smallest
+// valid spec lists only GPUs and Models.
+type Spec struct {
+	// Name labels the sweep in reports and job listings.
+	Name string `json:"name,omitempty"`
+	// GPUs are catalog GPU names (required).
+	GPUs []string `json:"gpus"`
+	// GPUCounts are node sizes (default: Base.GPUCount or 4).
+	GPUCounts []int `json:"gpu_counts,omitempty"`
+	// Models are Table II workload names (required).
+	Models []string `json:"models"`
+	// Parallelisms are strategy names (default: Base.Parallelism or fsdp).
+	Parallelisms []string `json:"parallelisms,omitempty"`
+	// Batches are global batch sizes (default: Base.Batch or 8).
+	Batches []int `json:"batches,omitempty"`
+	// Formats are numeric format names (default: Base.Format or fp16).
+	Formats []string `json:"formats,omitempty"`
+	// PowerCapsW are per-GPU power caps in watts; 0 means uncapped
+	// (default: Base.PowerCapW).
+	PowerCapsW []float64 `json:"power_caps_w,omitempty"`
+	// MatrixUnits sweeps the Tensor/Matrix-core toggle (default: the
+	// complement of Base.VectorOnly).
+	MatrixUnits []bool `json:"matrix_units,omitempty"`
+	// Base supplies the non-swept knobs (microbatch, checkpointing,
+	// iteration counts, frequency cap, ...). Its GPU/Model fields are
+	// ignored — the axes above own them.
+	Base Experiment `json:"base,omitempty"`
+}
+
+// ParseSpec decodes a JSON sweep spec, rejecting unknown fields so typos
+// in axis names fail loudly instead of silently shrinking the grid.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Size returns the number of grid points the spec expands to,
+// saturating at math.MaxInt so adversarially long axes cannot wrap the
+// product past a size limit.
+func (s *Spec) Size() int {
+	n := satMul(len(s.GPUs), len(s.Models))
+	for _, k := range []int{
+		len(s.GPUCounts), len(s.Parallelisms), len(s.Batches),
+		len(s.Formats), len(s.PowerCapsW), len(s.MatrixUnits),
+	} {
+		if k > 0 {
+			n = satMul(n, k)
+		}
+	}
+	return n
+}
+
+// satMul multiplies non-negative ints, saturating at math.MaxInt.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// Expand resolves the spec into one Experiment per grid point, in
+// deterministic row-major axis order (GPU outermost, matrix units
+// innermost). It fails on an empty grid or any name that does not
+// resolve against the catalogs.
+func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
+	if len(s.GPUs) == 0 {
+		return nil, nil, fmt.Errorf("sweep: spec %q lists no GPUs", s.Name)
+	}
+	if len(s.Models) == 0 {
+		return nil, nil, fmt.Errorf("sweep: spec %q lists no models", s.Name)
+	}
+	counts := s.GPUCounts
+	if len(counts) == 0 {
+		counts = []int{s.Base.GPUCount}
+	}
+	pars := s.Parallelisms
+	if len(pars) == 0 {
+		pars = []string{s.Base.Parallelism}
+	}
+	batches := s.Batches
+	if len(batches) == 0 {
+		batches = []int{s.Base.Batch}
+	}
+	formats := s.Formats
+	if len(formats) == 0 {
+		formats = []string{s.Base.Format}
+	}
+	caps := s.PowerCapsW
+	if len(caps) == 0 {
+		caps = []float64{s.Base.PowerCapW}
+	}
+	matrix := s.MatrixUnits
+	if len(matrix) == 0 {
+		matrix = []bool{!s.Base.VectorOnly}
+	}
+
+	var exps []Experiment
+	var cfgs []core.Config
+	for _, gpu := range s.GPUs {
+		for _, n := range counts {
+			for _, mdl := range s.Models {
+				for _, par := range pars {
+					for _, bs := range batches {
+						for _, f := range formats {
+							for _, cap := range caps {
+								for _, mu := range matrix {
+									e := s.Base
+									e.GPU = gpu
+									e.GPUCount = n
+									e.Model = mdl
+									e.Parallelism = par
+									e.Batch = bs
+									e.Format = f
+									e.PowerCapW = cap
+									e.VectorOnly = !mu
+									cfg, err := e.Config()
+									if err != nil {
+										return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
+									}
+									exps = append(exps, e)
+									cfgs = append(cfgs, cfg)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return exps, cfgs, nil
+}

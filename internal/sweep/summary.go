@@ -1,0 +1,42 @@
+package sweep
+
+import "overlapsim/internal/report"
+
+// Rows converts a sweep result into report rows, in grid order.
+func Rows(res *Result) []report.SweepRow {
+	rows := make([]report.SweepRow, len(res.Points))
+	for i := range res.Points {
+		rows[i] = row(&res.Points[i])
+	}
+	return rows
+}
+
+func row(p *Point) report.SweepRow {
+	r := report.SweepRow{Label: p.Config.Label()}
+	switch {
+	case p.OOM != nil:
+		r.Status = "OOM"
+		r.Detail = p.OOM.Error()
+	case p.Err != nil:
+		r.Status = "error"
+		r.Detail = p.Err.Error()
+	case p.Res == nil:
+		r.Status = "error"
+		r.Detail = p.ErrString
+	default:
+		r.Status = "ok"
+		if p.CacheHit {
+			r.Status = "hit"
+		}
+		c := p.Res.Char
+		r.E2EOvl = p.Res.Overlapped.Mean.E2E
+		r.E2ESeq = p.Res.Sequential.Mean.E2E
+		r.SeqPenalty = c.SeqPenalty
+		r.OverlapRatio = c.OverlapRatio
+		r.ComputeSlowdown = c.ComputeSlowdown
+		r.AvgTDP = p.Res.Overlapped.AvgTDP
+		r.PeakTDP = p.Res.Overlapped.PeakTDP
+		r.EnergyJ = p.Res.Overlapped.EnergyJ
+	}
+	return r
+}

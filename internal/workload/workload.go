@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -183,7 +184,7 @@ func Figure11() []core.Config {
 
 // RunGrid executes the configurations concurrently (one simulation per
 // worker) and returns points in input order.
-func RunGrid(cfgs []core.Config) []Point {
+func RunGrid(ctx context.Context, cfgs []core.Config) []Point {
 	pts := make([]Point, len(cfgs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cfgs) {
@@ -199,7 +200,7 @@ func RunGrid(cfgs []core.Config) []Point {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				pts[i] = RunPoint(cfgs[i])
+				pts[i] = RunPoint(ctx, cfgs[i])
 			}
 		}()
 	}
@@ -212,8 +213,8 @@ func RunGrid(cfgs []core.Config) []Point {
 }
 
 // RunPoint executes one configuration, classifying OOM separately.
-func RunPoint(cfg core.Config) Point {
-	res, err := core.Run(cfg)
+func RunPoint(ctx context.Context, cfg core.Config) Point {
+	res, err := core.Run(ctx, cfg)
 	pt := Point{Cfg: cfg, Res: res}
 	if err != nil {
 		var oom *model.ErrOOM

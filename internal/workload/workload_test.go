@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"overlapsim/internal/core"
@@ -97,7 +98,7 @@ func tinyConfig() core.Config {
 }
 
 func TestRunPointOK(t *testing.T) {
-	pt := RunPoint(tinyConfig())
+	pt := RunPoint(context.Background(), tinyConfig())
 	if pt.Err != nil || pt.Skipped() || pt.Res == nil {
 		t.Fatalf("point failed: %+v", pt.Err)
 	}
@@ -107,7 +108,7 @@ func TestRunPointOOMClassified(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.System = hw.SystemA100x4()
 	cfg.Model = model.GPT3_13B()
-	pt := RunPoint(cfg)
+	pt := RunPoint(context.Background(), cfg)
 	if !pt.Skipped() {
 		t.Fatalf("expected OOM classification, got err=%v res=%v", pt.Err, pt.Res != nil)
 	}
@@ -119,7 +120,7 @@ func TestRunPointOOMClassified(t *testing.T) {
 func TestRunGridPreservesOrder(t *testing.T) {
 	cfgs := []core.Config{tinyConfig(), tinyConfig(), tinyConfig()}
 	cfgs[1].Batch = 16
-	pts := RunGrid(cfgs)
+	pts := RunGrid(context.Background(), cfgs)
 	if len(pts) != 3 {
 		t.Fatalf("got %d points", len(pts))
 	}
