@@ -268,7 +268,7 @@ func BenchmarkSingleIterationFSDP(b *testing.B) {
 	cfg := core.Config{
 		System:      hw.SystemMI250x4(),
 		Model:       model.GPT3_13B(),
-		Parallelism: core.FSDP,
+		Parallelism: "fsdp",
 		Batch:       8,
 		Format:      precision.FP16,
 		MatrixUnits: true,

@@ -7,6 +7,9 @@
 //
 //	overlapchar -gpu H100 -n 4 -model "GPT-3 13B" -parallelism fsdp \
 //	    -batch 16 -format fp16 -powercap 400
+//
+// The -parallelism flag accepts any registered strategy name, including
+// tensor parallelism ("tp", with -tp-degree).
 package main
 
 import (
@@ -15,12 +18,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"overlapsim/internal/core"
 	"overlapsim/internal/hw"
 	"overlapsim/internal/model"
 	"overlapsim/internal/power"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
 )
 
 func main() {
@@ -31,9 +36,10 @@ func main() {
 		gpuName  = flag.String("gpu", "H100", "GPU model: A100, H100, MI210, MI250")
 		n        = flag.Int("n", 4, "number of GPUs in the node")
 		modelNm  = flag.String("model", "GPT-3 XL", `workload: "GPT-3 XL", "GPT-3 2.7B", "GPT-3 6.7B", "GPT-3 13B", "LLaMA2 13B"`)
-		par      = flag.String("parallelism", "fsdp", "distribution strategy: fsdp, pp or ddp")
+		par      = flag.String("parallelism", "fsdp", "distribution strategy: "+strings.Join(strategy.Names(), ", "))
 		batch    = flag.Int("batch", 8, "global batch size")
 		micro    = flag.Int("micro", 0, "pipeline microbatch size (0 = default)")
+		tpDeg    = flag.Int("tp-degree", 0, "tensor-parallel group size (tp only; 0 = whole node)")
 		format   = flag.String("format", "fp16", "numeric format: fp32, tf32, fp16, bf16")
 		vector   = flag.Bool("vector-only", false, "disable Tensor/Matrix cores (general datapath)")
 		noCkpt   = flag.Bool("no-checkpoint", false, "disable activation checkpointing")
@@ -66,6 +72,7 @@ func main() {
 		Parallelism:  p,
 		Batch:        *batch,
 		MicroBatch:   *micro,
+		TPDegree:     *tpDeg,
 		Format:       f,
 		MatrixUnits:  !*vector,
 		NoCheckpoint: *noCkpt,

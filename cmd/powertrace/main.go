@@ -33,7 +33,7 @@ func main() {
 	cfg := core.Config{
 		System:        hw.SystemMI250x4(),
 		Model:         model.LLaMA2_13B(),
-		Parallelism:   core.FSDP,
+		Parallelism:   "fsdp",
 		Batch:         8,
 		Format:        precision.FP16,
 		MatrixUnits:   true,

@@ -34,6 +34,16 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		quiet    = flag.Bool("q", false, "suppress the result table (summary only)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sweep -spec <spec.json> [flags]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+example specs:
+  examples/sweeps/paper_grid.json   the paper's GPU x model x strategy grid
+  examples/sweeps/powercap.json     power capping (Fig. 9 style)
+  examples/sweeps/tp_grid.json      tensor-parallel degree x batch x precision
+`)
+	}
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()

@@ -37,7 +37,7 @@ func main() {
 			cfgs = append(cfgs, core.Config{
 				System:      hw.NewSystem(g, *n),
 				Model:       m,
-				Parallelism: core.FSDP,
+				Parallelism: "fsdp",
 				Batch:       bs,
 				Format:      precision.FP16,
 				MatrixUnits: true,

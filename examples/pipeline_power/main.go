@@ -30,7 +30,7 @@ func main() {
 		cfg := core.Config{
 			System:        hw.SystemA100x4(),
 			Model:         model.GPT3_2_7B(),
-			Parallelism:   core.Pipeline,
+			Parallelism:   "pp",
 			Batch:         bs,
 			Format:        precision.FP16,
 			MatrixUnits:   true,

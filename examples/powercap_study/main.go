@@ -29,7 +29,7 @@ func main() {
 		res, err := core.Run(context.Background(), core.Config{
 			System:      hw.SystemA100x4(),
 			Model:       model.GPT3_2_7B(),
-			Parallelism: core.FSDP,
+			Parallelism: "fsdp",
 			Batch:       16,
 			Format:      precision.FP16,
 			MatrixUnits: true,

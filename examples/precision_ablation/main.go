@@ -41,7 +41,7 @@ func main() {
 				res, err := core.Run(context.Background(), core.Config{
 					System:      hw.SystemH100x4(),
 					Model:       m,
-					Parallelism: core.FSDP,
+					Parallelism: "fsdp",
 					Batch:       bs,
 					Format:      v.format,
 					MatrixUnits: v.matrix,

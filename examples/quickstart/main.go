@@ -20,7 +20,7 @@ func main() {
 	cfg := core.Config{
 		System:      hw.SystemH100x4(),
 		Model:       model.GPT3XL(),
-		Parallelism: core.FSDP,
+		Parallelism: "fsdp",
 		Batch:       8,
 		Format:      precision.FP16,
 		MatrixUnits: true,

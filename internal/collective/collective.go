@@ -86,8 +86,16 @@ type Desc struct {
 	// AllReduce/AllGather/ReduceScatter/Broadcast, the per-rank buffer for
 	// AllToAll, and the message size for SendRecv.
 	Bytes float64
-	// N is the number of participating ranks (2 for SendRecv).
+	// N is the number of ranks the collective algorithm runs over (2 for
+	// SendRecv).
 	N int
+	// Ranks, when non-nil, lists the device indices the operation
+	// occupies, overriding the default 0..N-1. Subgroup collectives
+	// (tensor-parallel groups, data-parallel replica sets) use this; the
+	// algorithm's cost still follows N, so a Desc may occupy more devices
+	// than its group size when several symmetric groups run the same
+	// operation as one fluid task.
+	Ranks []int
 	// Src and Dst identify the endpoints of a SendRecv.
 	Src, Dst int
 	// Gate, when non-nil, marks the operation as posted early: the kernel
@@ -116,6 +124,21 @@ func (d Desc) Validate() error {
 	}
 	if d.Op == SendRecv && d.Src == d.Dst {
 		return fmt.Errorf("collective: %q sends to itself (rank %d)", d.Name, d.Src)
+	}
+	if d.Ranks != nil {
+		if len(d.Ranks) == 0 {
+			return fmt.Errorf("collective: %q has an empty rank set", d.Name)
+		}
+		seen := make(map[int]bool, len(d.Ranks))
+		for _, r := range d.Ranks {
+			if r < 0 {
+				return fmt.Errorf("collective: %q lists negative rank %d", d.Name, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("collective: %q lists rank %d twice", d.Name, r)
+			}
+			seen[r] = true
+		}
 	}
 	return nil
 }
@@ -227,10 +250,14 @@ func HBMDraw(d Desc, g *hw.GPUSpec, wireRate float64) float64 {
 }
 
 // Participants returns the rank indices the collective occupies. For
-// SendRecv these are the two endpoints; otherwise ranks 0..N-1.
+// SendRecv these are the two endpoints; with an explicit Ranks set those
+// ranks; otherwise ranks 0..N-1.
 func (d Desc) Participants() []int {
 	if d.Op == SendRecv {
 		return []int{d.Src, d.Dst}
+	}
+	if d.Ranks != nil {
+		return d.Ranks
 	}
 	ranks := make([]int, d.N)
 	for i := range ranks {

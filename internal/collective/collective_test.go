@@ -193,3 +193,35 @@ func TestP2PUsesP2PBandwidth(t *testing.T) {
 		t.Error("mesh point-to-point bandwidth should be below ring bandwidth")
 	}
 }
+
+// Subgroup collectives (TP groups, DP replica sets) carry an explicit
+// rank set that overrides the default 0..N-1 occupancy.
+func TestExplicitRanks(t *testing.T) {
+	d := Desc{Name: "tp.ag", Op: AllGather, Bytes: 1 << 20, N: 2, Ranks: []int{4, 5}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Participants()
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("participants %v, want [4 5]", got)
+	}
+	// A larger occupancy than the algorithm group size models several
+	// symmetric groups running the operation as one fluid task.
+	dp := Desc{Name: "dp.ar", Op: AllReduce, Bytes: 1 << 20, N: 2, Ranks: []int{0, 1, 2, 3}}
+	if err := dp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Participants()) != 4 {
+		t.Errorf("participants %v, want all four ranks", dp.Participants())
+	}
+
+	for name, bad := range map[string]Desc{
+		"empty rank set": {Name: "x", Op: AllGather, Bytes: 1, N: 2, Ranks: []int{}},
+		"negative rank":  {Name: "x", Op: AllGather, Bytes: 1, N: 2, Ranks: []int{-1, 0}},
+		"duplicate rank": {Name: "x", Op: AllGather, Bytes: 1, N: 2, Ranks: []int{1, 1}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"overlapsim/internal/pipeline"
+	"overlapsim/internal/strategy"
 )
 
 // fingerprintVersion is mixed into every fingerprint so that changes to
@@ -14,15 +14,23 @@ import (
 // content-addressed cache entries instead of silently aliasing them.
 // Bump it whenever Canonicalize, the executors' default resolution, or
 // the simulation semantics behind a Config change.
+//
+// The strategy-registry redesign deliberately did NOT bump it: the three
+// legacy strategies encode exactly as before (Parallelism marshals to the
+// historical enum integer, new knobs are omitted when inert), so every
+// pre-redesign cache entry stays addressable.
 const fingerprintVersion = "overlapsim-config-v1"
 
 // Canonicalize returns the config with every implicit default made
 // explicit and every inert knob cleared, so that two configs that
-// describe the same experiment encode (and hash) identically:
-// Iterations/Warmup/GradAccumSteps/MicroBatch defaults are replaced by
-// the values the executors actually use, knobs the selected strategy
-// ignores are zeroed, and the jitter seed is cleared when jitter is
-// disabled (a seed without jitter changes nothing).
+// describe the same experiment encode (and hash) identically: the
+// strategy name is resolved to its canonical registry spelling,
+// Iterations/Warmup defaults are replaced by the values the executors
+// actually use, knobs the selected strategy ignores (per its registry
+// Info) are zeroed, strategy-specific defaults (pipeline microbatch, TP
+// degree) are made explicit by the strategy itself, and the jitter seed
+// is cleared when jitter is disabled (a seed without jitter changes
+// nothing).
 func (c Config) Canonicalize() Config {
 	if c.Iterations <= 0 {
 		c.Iterations = 2
@@ -35,15 +43,32 @@ func (c Config) Canonicalize() Config {
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1
 	}
-	if c.Parallelism != FSDP {
-		c.GradAccumSteps = 1 // only the FSDP executor reads it
-	}
-	if c.Parallelism == Pipeline {
-		if c.MicroBatch <= 0 {
-			c.MicroBatch = pipeline.DefaultMicroBatch(c.Batch)
-		}
+	c.Parallelism = c.Parallelism.Canonical()
+	s, err := strategy.Lookup(string(c.Parallelism))
+	if err != nil {
+		// Unregistered strategies cannot run; clear their knobs so the
+		// (unrunnable) config at least hashes deterministically.
+		c.MicroBatch, c.TPDegree, c.GradAccumSteps = 0, 0, 1
 	} else {
-		c.MicroBatch = 0 // only the pipeline executor reads it
+		info := s.Describe()
+		if !info.GradAccum {
+			c.GradAccumSteps = 1
+		}
+		if !info.MicroBatch {
+			c.MicroBatch = 0
+		}
+		if !info.TPDegree {
+			c.TPDegree = 0
+		}
+		if canon, ok := s.(strategy.Canonicalizer); ok {
+			p := canon.CanonicalParams(c.params(0), c.System.N)
+			if info.MicroBatch {
+				c.MicroBatch = p.MicroBatch
+			}
+			if info.TPDegree {
+				c.TPDegree = p.TPDegree
+			}
+		}
 	}
 	if c.JitterSigma == 0 {
 		c.Seed = 0

@@ -35,6 +35,8 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 	seen := map[string]string{mustFingerprint(t, base): "base"}
 	mutations := map[string]func(*Config){
 		"parallelism":  func(c *Config) { c.Parallelism = Pipeline },
+		"tp":           func(c *Config) { c.Parallelism = "tp" },
+		"tp degree":    func(c *Config) { c.Parallelism = "tp"; c.TPDegree = 2 },
 		"batch":        func(c *Config) { c.Batch = 16 },
 		"micro":        func(c *Config) { c.Parallelism = Pipeline; c.MicroBatch = 4 },
 		"format":       func(c *Config) { c.Format = precision.BF16 },
@@ -127,6 +129,26 @@ func TestFingerprintNormalizesDefaults(t *testing.T) {
 	accum.GradAccumSteps = 8
 	if mustFingerprint(t, pp) != mustFingerprint(t, accum) {
 		t.Error("grad accum changed a pipeline fingerprint")
+	}
+
+	// TPDegree is inert for every strategy but tp; under tp the implicit
+	// whole-node default and its explicit spelling must share an address.
+	deg := base // FSDP: TPDegree unused
+	deg.TPDegree = 2
+	if mustFingerprint(t, base) != mustFingerprint(t, deg) {
+		t.Error("TP degree changed an FSDP fingerprint")
+	}
+	tp := base
+	tp.Parallelism = "tp"
+	tpDefault := tp
+	tpDefault.TPDegree = tp.System.N // the implicit default is the whole node
+	if mustFingerprint(t, tp) != mustFingerprint(t, tpDefault) {
+		t.Error("explicit whole-node TP degree hashes differently from the default")
+	}
+	tpHalf := tp
+	tpHalf.TPDegree = 2
+	if mustFingerprint(t, tp) == mustFingerprint(t, tpHalf) {
+		t.Error("TP degree ignored under tp")
 	}
 }
 

@@ -5,70 +5,134 @@
 // overlapped and sequential modes on the simulated cluster, measures
 // kernel times, overlap, power and energy exactly as §IV-D prescribes, and
 // derives the paper's metrics (Equations 1–5).
+//
+// Strategies are resolved by name through the strategy registry, so a new
+// scheme plugs into Run (and everything downstream: sweeps, the service
+// catalog) by registering itself — core needs no edits. The stock set is
+// linked via internal/strategy/all.
 package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
-	"strings"
+	"sync"
 
-	"overlapsim/internal/ddp"
 	"overlapsim/internal/exec"
-	"overlapsim/internal/fsdp"
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/hw"
 	"overlapsim/internal/metrics"
 	"overlapsim/internal/model"
-	"overlapsim/internal/pipeline"
 	"overlapsim/internal/power"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
+	_ "overlapsim/internal/strategy/all" // register the stock strategies
 )
 
-// Parallelism selects the distribution strategy.
-type Parallelism int
+// Parallelism names a distribution strategy in the registry vocabulary
+// ("fsdp", "pp", "ddp", "tp", ...). The empty value selects FSDP, the
+// paper's primary strategy. Lookup is case-insensitive and resolves
+// aliases ("pipeline" → "pp").
+//
+// Parallelism used to be a closed int enum over the paper's three
+// strategies; it is now an open registry name. The FSDP/Pipeline/DDP
+// constants remain as aliases, and the canonical JSON encoding of the
+// three legacy names is still their historical enum integer, so
+// fingerprints (and content-addressed caches) of pre-redesign configs
+// are unchanged.
+type Parallelism string
 
-// Distribution strategies (§II-B).
+// Legacy strategy names (§II-B).
+//
+// Deprecated: use the registry name strings directly ("fsdp", "pp",
+// "ddp"); these constants remain for source compatibility.
 const (
 	// FSDP is fully sharded data parallelism (ZeRO-3).
-	FSDP Parallelism = iota
+	FSDP Parallelism = "fsdp"
 	// Pipeline is pipeline parallelism.
-	Pipeline
+	Pipeline Parallelism = "pp"
 	// DDP is classic replicated data parallelism with bucketed gradient
 	// all-reduce — the baseline strategy FSDP improves on.
-	DDP
+	DDP Parallelism = "ddp"
 )
 
-// String returns the strategy name.
+// Canonical resolves the name to the registry's canonical spelling:
+// lowercased, aliases resolved, the empty value defaulted to FSDP.
+// Unknown names pass through lowercased (they fail at Run/Lookup time
+// with the registry's error, not here).
+func (p Parallelism) Canonical() Parallelism {
+	if p == "" {
+		return FSDP
+	}
+	return Parallelism(strategy.CanonicalName(string(p)))
+}
+
+// String returns the strategy's display label ("FSDP", "PP", ...), the
+// spelling the paper's tables use.
 func (p Parallelism) String() string {
-	switch p {
-	case FSDP:
-		return "FSDP"
-	case Pipeline:
-		return "PP"
-	case DDP:
-		return "DDP"
-	default:
-		return fmt.Sprintf("Parallelism(%d)", int(p))
+	if s, err := strategy.Lookup(string(p.Canonical())); err == nil {
+		return s.Describe().Display
 	}
+	return string(p)
 }
 
-// ParseParallelism maps the conventional CLI/API names onto a strategy:
-// "fsdp", "pp"/"pipeline" and "ddp" (case-insensitive).
+// legacyEnum maps the paper's three strategies onto their historical enum
+// values, keeping the canonical JSON encoding — and therefore every
+// pre-redesign fingerprint — byte-identical.
+var legacyEnum = map[Parallelism]int{FSDP: 0, Pipeline: 1, DDP: 2}
+
+// MarshalJSON encodes the three legacy strategies as their historical
+// enum integers and every other strategy as its canonical name.
+func (p Parallelism) MarshalJSON() ([]byte, error) {
+	c := p.Canonical()
+	if v, ok := legacyEnum[c]; ok {
+		return json.Marshal(v)
+	}
+	return json.Marshal(string(c))
+}
+
+// UnmarshalJSON accepts both encodings: a legacy enum integer or a
+// registry name.
+func (p *Parallelism) UnmarshalJSON(b []byte) error {
+	var n int
+	if err := json.Unmarshal(b, &n); err == nil {
+		for name, v := range legacyEnum {
+			if v == n {
+				*p = name
+				return nil
+			}
+		}
+		return fmt.Errorf("core: unknown legacy parallelism enum %d", n)
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("core: parallelism must be a name or legacy enum: %s", b)
+	}
+	*p = Parallelism(s).Canonical()
+	return nil
+}
+
+// ParseParallelism resolves a strategy name against the registry,
+// returning its canonical spelling. It accepts the conventional
+// lowercase names ("fsdp", "pp"/"pipeline", "ddp", "tp"),
+// case-insensitively.
 func ParseParallelism(name string) (Parallelism, error) {
-	switch strings.ToLower(name) {
-	case "fsdp":
-		return FSDP, nil
-	case "pp", "pipeline":
-		return Pipeline, nil
-	case "ddp":
-		return DDP, nil
-	default:
-		return 0, fmt.Errorf("core: unknown parallelism %q (have fsdp, pp, ddp)", name)
+	s, err := strategy.Lookup(name)
+	if err != nil {
+		return "", fmt.Errorf("core: %w", err)
 	}
+	return Parallelism(s.Name()), nil
 }
 
-// Parallelisms lists the supported strategies in the paper's order.
-func Parallelisms() []Parallelism { return []Parallelism{FSDP, Pipeline, DDP} }
+// Parallelisms lists the registered strategies by canonical name.
+func Parallelisms() []Parallelism {
+	var out []Parallelism
+	for _, n := range strategy.Names() {
+		out = append(out, Parallelism(n))
+	}
+	return out
+}
 
 // Config describes one characterization experiment.
 type Config struct {
@@ -76,7 +140,7 @@ type Config struct {
 	System hw.System
 	// Model is the workload (Table II).
 	Model model.Config
-	// Parallelism is the distribution strategy.
+	// Parallelism is the distribution strategy's registry name.
 	Parallelism Parallelism
 	// Batch is the batch size: per-GPU for FSDP, per-pipeline for
 	// pipeline parallelism.
@@ -95,6 +159,11 @@ type Config struct {
 	// GradAccumSteps enables gradient accumulation under FSDP (§II-B
 	// mitigation; 0 or 1 disables).
 	GradAccumSteps int
+	// TPDegree is the tensor-parallel group size (tp only; 0 selects the
+	// whole node). The field is omitted from the canonical encoding when
+	// zero, so configs of strategies that ignore it fingerprint exactly
+	// as before the field existed.
+	TPDegree int `json:"TPDegree,omitempty"`
 	// Iterations is the number of measured iterations (0 means 2).
 	Iterations int
 	// Warmup is the number of unmeasured iterations (0 means 1).
@@ -114,6 +183,25 @@ type Config struct {
 // Label returns a compact human-readable description of the experiment.
 func (c Config) Label() string {
 	return fmt.Sprintf("%s %s %s bs=%d %s", c.System.Name, c.Parallelism, c.Model.Name, c.Batch, c.Format)
+}
+
+// params maps the config onto the shared strategy parameter set for the
+// given execution mode.
+func (c Config) params(mode exec.Mode) strategy.Params {
+	return strategy.Params{
+		Model:           c.Model,
+		Batch:           c.Batch,
+		MicroBatch:      c.MicroBatch,
+		Format:          c.Format,
+		MatrixUnits:     c.MatrixUnits,
+		Checkpoint:      !c.NoCheckpoint,
+		GradAccumSteps:  c.GradAccumSteps,
+		TPDegree:        c.TPDegree,
+		Iterations:      c.Iterations,
+		Warmup:          c.Warmup,
+		Mode:            mode,
+		SkipMemoryCheck: c.SkipMemoryCheck,
+	}
 }
 
 // ModeResult is the measurement of one execution mode.
@@ -148,10 +236,14 @@ type Result struct {
 	Char metrics.Characterization
 }
 
-// RunMode executes the experiment in a single mode on a fresh cluster.
-// Cancelling ctx aborts the simulation between epochs and returns
-// ctx.Err().
+// RunMode executes the experiment in a single mode on a fresh cluster,
+// resolving the strategy through the registry. Cancelling ctx aborts the
+// simulation between epochs and returns ctx.Err().
 func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, error) {
+	s, err := strategy.Lookup(string(cfg.Parallelism.Canonical()))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	cl, err := gpu.New(gpu.Config{
 		System:        cfg.System,
 		Caps:          cfg.Caps,
@@ -163,49 +255,7 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 		return nil, err
 	}
 
-	var plan *exec.Plan
-	switch cfg.Parallelism {
-	case FSDP:
-		plan, err = fsdp.Build(cl, fsdp.Config{
-			Model:           cfg.Model,
-			Batch:           cfg.Batch,
-			Format:          cfg.Format,
-			MatrixUnits:     cfg.MatrixUnits,
-			Checkpoint:      !cfg.NoCheckpoint,
-			GradAccumSteps:  cfg.GradAccumSteps,
-			Iterations:      cfg.Iterations,
-			Warmup:          cfg.Warmup,
-			Mode:            mode,
-			SkipMemoryCheck: cfg.SkipMemoryCheck,
-		})
-	case DDP:
-		plan, err = ddp.Build(cl, ddp.Config{
-			Model:           cfg.Model,
-			Batch:           cfg.Batch,
-			Format:          cfg.Format,
-			MatrixUnits:     cfg.MatrixUnits,
-			Checkpoint:      !cfg.NoCheckpoint,
-			Iterations:      cfg.Iterations,
-			Warmup:          cfg.Warmup,
-			Mode:            mode,
-			SkipMemoryCheck: cfg.SkipMemoryCheck,
-		})
-	case Pipeline:
-		plan, err = pipeline.Build(cl, pipeline.Config{
-			Model:           cfg.Model,
-			Batch:           cfg.Batch,
-			MicroBatch:      cfg.MicroBatch,
-			Format:          cfg.Format,
-			MatrixUnits:     cfg.MatrixUnits,
-			Checkpoint:      !cfg.NoCheckpoint,
-			Iterations:      cfg.Iterations,
-			Warmup:          cfg.Warmup,
-			Mode:            mode,
-			SkipMemoryCheck: cfg.SkipMemoryCheck,
-		})
-	default:
-		return nil, fmt.Errorf("core: unknown parallelism %v", cfg.Parallelism)
-	}
+	plan, err := s.Build(cl, cfg.params(mode))
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +263,11 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 		return nil, fmt.Errorf("core: %s (%v): %w", cfg.Label(), mode, err)
 	}
 
-	res := &ModeResult{Mode: mode, Iterations: plan.MeasuredIterations()}
+	its, err := plan.MeasuredIterations()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s (%v): %w", cfg.Label(), mode, err)
+	}
+	res := &ModeResult{Mode: mode, Iterations: its}
 	res.Mean = metrics.Mean(res.Iterations)
 	res.OverlapRatio = res.Mean.OverlapRatio()
 	for i := 0; i < cl.N(); i++ {
@@ -232,15 +286,32 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 }
 
 // Run executes the experiment in both modes and derives the paper's
-// characterization metrics. Cancelling ctx aborts the in-flight
-// simulation and returns ctx.Err().
+// characterization metrics. The two modes simulate concurrently on
+// independent clusters (halving wall-clock per characterization); the
+// first failure cancels the sibling. Cancelling ctx aborts both
+// simulations and returns ctx.Err().
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	ovl, err := RunMode(ctx, cfg, exec.Overlapped)
-	if err != nil {
-		return nil, err
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg             sync.WaitGroup
+		ovl, seq       *ModeResult
+		ovlErr, seqErr error
+	)
+	run := func(mode exec.Mode, res **ModeResult, errp *error) {
+		defer wg.Done()
+		*res, *errp = RunMode(ctx, cfg, mode)
+		if *errp != nil {
+			cancel() // fail fast: stop the sibling mode
+		}
 	}
-	seq, err := RunMode(ctx, cfg, exec.Sequential)
-	if err != nil {
+	wg.Add(2)
+	go run(exec.Overlapped, &ovl, &ovlErr)
+	go run(exec.Sequential, &seq, &seqErr)
+	wg.Wait()
+
+	if err := firstError(ovlErr, seqErr); err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -249,4 +320,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Sequential: *seq,
 		Char:       metrics.Characterize(seq.Mean, ovl.Mean),
 	}, nil
+}
+
+// firstError picks the error to report from the concurrent modes,
+// preferring a root cause over the sibling's induced cancellation.
+func firstError(errs ...error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"overlapsim/internal/exec"
@@ -118,9 +119,13 @@ func TestOOMPropagates(t *testing.T) {
 
 func TestUnknownParallelism(t *testing.T) {
 	cfg := tinyCfg(FSDP)
-	cfg.Parallelism = Parallelism(9)
-	if _, err := Run(context.Background(), cfg); err == nil {
-		t.Error("unknown parallelism must fail")
+	cfg.Parallelism = "warp" // not in the registry
+	_, err := Run(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("unknown parallelism must fail")
+	}
+	if !strings.Contains(err.Error(), `"warp"`) || !strings.Contains(err.Error(), "fsdp") {
+		t.Errorf("error %v should name the unknown strategy and list registered ones", err)
 	}
 }
 

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/power"
+	"overlapsim/internal/precision"
+)
+
+// The strategy-registry redesign changed Parallelism from a closed int
+// enum to a registry-name string. Canonical fingerprints are content
+// addresses for persisted caches, so the encoding of every pre-redesign
+// config must stay byte-identical: the values below were produced by the
+// enum-based implementation (PR 1) and must never change. A failure here
+// means existing DirCache entries silently stopped resolving.
+func TestFingerprintStableAcrossRedesign(t *testing.T) {
+	cases := map[string]struct {
+		cfg  Config
+		want string
+	}{
+		"fsdp-tiny": {tinyCfg(FSDP), "58a2ac4a1ae98dddd5a760a8d09b47a28f504651de154485f523b105d9c97eec"},
+		"pp-tiny":   {tinyCfg(Pipeline), "7bd08185eeab6d60c88d3acbd5e569720fc8a7bc41b948b4306115dcba95382a"},
+		"ddp-tiny":  {tinyCfg(DDP), "5c60d828ee99077a4f8e5a84f5a6edd1e99f70e8525d3701b9fd9c9f01185889"},
+		"fsdp-knobs": {
+			Config{System: hw.SystemH100x8(), Model: model.GPT3XL(), Parallelism: FSDP, Batch: 16,
+				Format: precision.BF16, MatrixUnits: true, GradAccumSteps: 4, Caps: power.Caps{PowerW: 400}},
+			"02e7114ba518e252a0c70781943da1ea585cc82bcee0cff954e3a30af5b96c7e",
+		},
+		"pp-micro": {
+			Config{System: hw.SystemA100x4(), Model: model.GPT3_2_7B(), Parallelism: Pipeline, Batch: 32,
+				MicroBatch: 4, Format: precision.FP16, MatrixUnits: true},
+			"0ee2bef51fc6b884d4aeb077573443e92dd2ad8fbe8c6fb7930ec0a40c57d79c",
+		},
+		"ddp-vec": {
+			Config{System: hw.SystemMI250x4(), Model: model.GPT3XL(), Parallelism: DDP, Batch: 8,
+				Format: precision.FP32, MatrixUnits: false, NoCheckpoint: true},
+			"5ddf7b48945f2fabd2f442f8ce7e56a9add92bb126a957cce6ed5140d2206d5c",
+		},
+		"fsdp-jitter": {
+			Config{System: hw.SystemH100x4(), Model: model.LLaMA2_13B(), Parallelism: FSDP, Batch: 8,
+				Format: precision.FP16, MatrixUnits: true, JitterSigma: 0.02, Seed: 9, Iterations: 3, Warmup: 2},
+			"ccd1a2182d3b694eeb68dec9fa61cb474d5cb71d589cb7e9eb7c08d5019b0fd4",
+		},
+	}
+	for name, tc := range cases {
+		got := mustFingerprint(t, tc.cfg)
+		if got != tc.want {
+			t.Errorf("%s: fingerprint drifted from pre-redesign value:\n got %s\nwant %s", name, got, tc.want)
+		}
+	}
+
+	// Registry names, their legacy constants and alias spellings are the
+	// same experiment, so they must share an address.
+	ppName := tinyCfg(Pipeline)
+	ppName.Parallelism = "pipeline" // alias
+	if mustFingerprint(t, ppName) != cases["pp-tiny"].want {
+		t.Error("alias spelling \"pipeline\" hashes differently from the pp constant")
+	}
+	upper := tinyCfg(FSDP)
+	upper.Parallelism = "FSDP"
+	if mustFingerprint(t, upper) != cases["fsdp-tiny"].want {
+		t.Error("case variant \"FSDP\" hashes differently from \"fsdp\"")
+	}
+}
+
+// The canonical JSON of legacy strategies must carry the historical enum
+// integer — the literal bytes the fingerprint covers — and a config must
+// round-trip through JSON with its strategy intact.
+func TestParallelismJSONRoundTrip(t *testing.T) {
+	for p, want := range map[Parallelism]string{FSDP: "0", Pipeline: "1", DDP: "2"} {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != want {
+			t.Errorf("%s marshals to %s, want legacy enum %s", p, b, want)
+		}
+		var back Parallelism
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != p {
+			t.Errorf("%s round-tripped to %s", p, back)
+		}
+	}
+	b, err := json.Marshal(Parallelism("tp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"tp"` {
+		t.Errorf("tp marshals to %s, want its registry name", b)
+	}
+	var back Parallelism
+	if err := json.Unmarshal([]byte(`"PIPELINE"`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != Pipeline {
+		t.Errorf("alias unmarshalled to %q, want pp", back)
+	}
+	if err := json.Unmarshal([]byte(`7`), &back); err == nil {
+		t.Error("unknown legacy enum must fail to unmarshal")
+	}
+}

@@ -6,6 +6,8 @@
 // are measured against. It reuses the same cluster, kernel and collective
 // substrates, so DDP results are directly comparable with the paper's two
 // strategies.
+//
+// The package registers itself with the strategy registry under "ddp".
 package ddp
 
 import (
@@ -18,50 +20,37 @@ import (
 	"overlapsim/internal/model"
 	"overlapsim/internal/precision"
 	"overlapsim/internal/sim"
+	"overlapsim/internal/strategy"
 )
 
-// Config configures one DDP training simulation.
-type Config struct {
-	// Model is the workload.
-	Model model.Config
-	// Batch is the global batch size (split across GPUs).
-	Batch int
-	// Format is the training numeric format.
-	Format precision.Format
-	// MatrixUnits enables Tensor-Core/Matrix-Core GEMMs.
-	MatrixUnits bool
-	// Checkpoint enables activation recomputation.
-	Checkpoint bool
-	// BucketBytes is the gradient-bucket size triggering an all-reduce
-	// (0 means DDP's default of 25 MiB).
-	BucketBytes float64
-	// Iterations is the number of measured iterations (0 means 2).
-	Iterations int
-	// Warmup is the number of unmeasured iterations (0 means 1, negative
-	// means none).
-	Warmup int
-	// Mode selects overlapped or sequential execution.
-	Mode exec.Mode
-	// SkipMemoryCheck disables the HBM-capacity gate.
-	SkipMemoryCheck bool
+// Strategy implements strategy.Strategy for DDP.
+type Strategy struct{}
+
+func init() { strategy.Register(Strategy{}) }
+
+// Name implements strategy.Strategy.
+func (Strategy) Name() string { return "ddp" }
+
+// Describe implements strategy.Strategy.
+func (Strategy) Describe() strategy.Info {
+	return strategy.Info{
+		Name:    "ddp",
+		Display: "DDP",
+		Summary: "replicated data parallelism: bucketed gradient all-reduce overlapping the backward pass",
+	}
 }
 
-func (c *Config) setDefaults() {
-	if c.BucketBytes <= 0 {
-		c.BucketBytes = 25 << 20
+// Build implements strategy.Strategy.
+func (Strategy) Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	return Build(cl, p)
+}
+
+func withDefaults(p strategy.Params) strategy.Params {
+	p = p.WithCommonDefaults()
+	if p.BucketBytes <= 0 {
+		p.BucketBytes = 25 << 20
 	}
-	if c.Iterations <= 0 {
-		c.Iterations = 2
-	}
-	if c.Warmup == 0 {
-		c.Warmup = 1
-	}
-	if c.Warmup < 0 {
-		c.Warmup = 0
-	}
-	if c.Batch <= 0 {
-		c.Batch = 8
-	}
+	return p
 }
 
 // FootprintDDP estimates per-GPU memory: the full (unsharded) replica
@@ -74,22 +63,22 @@ func FootprintDDP(m model.Config, local int, f precision.Format, checkpoint bool
 
 // Build constructs the multi-iteration DDP task graph on a fresh engine
 // bound to the cluster.
-func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
-	cfg.setDefaults()
-	if err := cfg.Model.Validate(); err != nil {
+func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	p = withDefaults(p)
+	if err := p.Model.Validate(); err != nil {
 		return nil, err
 	}
 	g := cl.GPU()
 	n := cl.N()
-	if cfg.Batch%n != 0 {
-		return nil, fmt.Errorf("ddp: global batch %d not divisible by %d GPUs", cfg.Batch, n)
+	if p.Batch%n != 0 {
+		return nil, fmt.Errorf("ddp: global batch %d not divisible by %d GPUs", p.Batch, n)
 	}
-	local := cfg.Batch / n
-	if !cfg.SkipMemoryCheck {
-		est := FootprintDDP(cfg.Model, local, cfg.Format, cfg.Checkpoint)
+	local := p.Batch / n
+	if !p.SkipMemoryCheck {
+		est := FootprintDDP(p.Model, local, p.Format, p.Checkpoint)
 		if est.Total() > g.MemBytes() {
 			return nil, &model.ErrOOM{
-				Model:     fmt.Sprintf("%s (DDP bs=%d %s)", cfg.Model.Name, cfg.Batch, cfg.Format),
+				Model:     fmt.Sprintf("%s (DDP bs=%d %s)", p.Model.Name, p.Batch, p.Format),
 				GPU:       g.Name,
 				NeedBytes: est.Total(),
 				HaveBytes: g.MemBytes(),
@@ -99,17 +88,17 @@ func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
 
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
-	b := &builder{cfg: cfg, eng: eng, cl: cl, n: n, local: local}
+	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local}
 	b.prepare()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
-	for it := 0; it < cfg.Warmup+cfg.Iterations; it++ {
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
+	for it := 0; it < p.Warmup+p.Iterations; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
 	return plan, nil
 }
 
 type builder struct {
-	cfg   Config
+	cfg   strategy.Params
 	eng   *sim.Engine
 	cl    *gpu.Cluster
 	n     int

@@ -7,8 +7,10 @@ import (
 	"overlapsim/internal/exec"
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/hw"
+	"overlapsim/internal/metrics"
 	"overlapsim/internal/model"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
 )
 
 func tinyModel() model.Config {
@@ -28,7 +30,7 @@ func cluster(t *testing.T, g *hw.GPUSpec, n int) *gpu.Cluster {
 func run(t *testing.T, mode exec.Mode, bucket float64) *exec.Plan {
 	t.Helper()
 	cl := cluster(t, hw.H100(), 4)
-	plan, err := Build(cl, Config{
+	plan, err := Build(cl, strategy.Params{
 		Model: tinyModel(), Batch: 8, Format: precision.FP16, MatrixUnits: true,
 		Checkpoint: true, BucketBytes: bucket, Iterations: 2, Warmup: 1, Mode: mode,
 	})
@@ -41,10 +43,19 @@ func run(t *testing.T, mode exec.Mode, bucket float64) *exec.Plan {
 	return plan
 }
 
+func measured(t *testing.T, plan *exec.Plan) []metrics.Iteration {
+	t.Helper()
+	its, err := plan.MeasuredIterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return its
+}
+
 func TestOverlappedRuns(t *testing.T) {
 	// 1 MiB buckets so the tiny model produces several overlapping
 	// all-reduces (its whole gradient fits one default 25 MiB bucket).
-	its := run(t, exec.Overlapped, 1<<20).MeasuredIterations()
+	its := measured(t, run(t, exec.Overlapped, 1<<20))
 	if len(its) != 2 {
 		t.Fatalf("measured %d iterations", len(its))
 	}
@@ -58,8 +69,8 @@ func TestOverlappedRuns(t *testing.T) {
 }
 
 func TestSequentialNoOverlapAndSlower(t *testing.T) {
-	seq := run(t, exec.Sequential, 1<<20).MeasuredIterations()[0]
-	ovl := run(t, exec.Overlapped, 1<<20).MeasuredIterations()[0]
+	seq := measured(t, run(t, exec.Sequential, 1<<20))[0]
+	ovl := measured(t, run(t, exec.Overlapped, 1<<20))[0]
 	if seq.OverlapRatio() > 0.01 {
 		t.Errorf("sequential overlap %g", seq.OverlapRatio())
 	}
@@ -69,8 +80,8 @@ func TestSequentialNoOverlapAndSlower(t *testing.T) {
 }
 
 func TestSmallerBucketsMoreCollectives(t *testing.T) {
-	coarse := run(t, exec.Overlapped, 1<<30).MeasuredIterations()[0]
-	fine := run(t, exec.Overlapped, 1<<20).MeasuredIterations()[0]
+	coarse := measured(t, run(t, exec.Overlapped, 1<<30))[0]
+	fine := measured(t, run(t, exec.Overlapped, 1<<20))[0]
 	// Finer buckets add per-collective latency overhead.
 	if fine.CommKernelTime <= coarse.CommKernelTime {
 		t.Errorf("finer buckets should not reduce comm kernel time: %g vs %g",
@@ -82,7 +93,7 @@ func TestMemoryGateFullReplica(t *testing.T) {
 	// DDP holds a full replica, so models FSDP can train will OOM under
 	// DDP on the same GPUs — the reason FSDP exists.
 	cl := cluster(t, hw.H100(), 4)
-	_, err := Build(cl, Config{
+	_, err := Build(cl, strategy.Params{
 		Model: model.GPT3_13B(), Batch: 8, Format: precision.FP16, Checkpoint: true,
 	})
 	var oom *model.ErrOOM
@@ -93,7 +104,7 @@ func TestMemoryGateFullReplica(t *testing.T) {
 
 func TestBatchDivisibility(t *testing.T) {
 	cl := cluster(t, hw.H100(), 4)
-	if _, err := Build(cl, Config{Model: tinyModel(), Batch: 9}); err == nil {
+	if _, err := Build(cl, strategy.Params{Model: tinyModel(), Batch: 9}); err == nil {
 		t.Error("batch 9 over 4 GPUs must fail")
 	}
 }
@@ -103,7 +114,7 @@ func TestDDPCommLessThanFSDPPattern(t *testing.T) {
 	// (two gathers + one reduce-scatter). DDP comm kernel time should be
 	// well below what an FSDP run of the same model shows. Here we just
 	// sanity-check DDP's total comm against the model's gradient volume.
-	its := run(t, exec.Overlapped, 0).MeasuredIterations()
+	its := measured(t, run(t, exec.Overlapped, 0))
 	if its[0].CommKernelTime <= 0 {
 		t.Fatal("no communication measured")
 	}

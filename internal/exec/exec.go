@@ -1,4 +1,4 @@
-// Package exec holds the plumbing shared by the FSDP and pipeline
+// Package exec holds the plumbing shared by the distribution-strategy
 // executors: execution modes (overlapped versus sequential), the plan a
 // built schedule produces, per-iteration measurement extraction, and the
 // dependency chaining used to serialize communication against computation
@@ -7,6 +7,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"overlapsim/internal/gpu"
@@ -73,26 +74,32 @@ func (p *Plan) RunContext(ctx context.Context) error {
 	return p.Engine.RunContext(ctx)
 }
 
+// ErrNotRun is returned when a plan's measurements are requested before
+// the plan has executed.
+var ErrNotRun = errors.New("exec: plan has not run")
+
 // MeasuredIterations returns the per-iteration measurements of the
 // non-warmup iterations. Kernel times are per-GPU means (devices are
 // symmetric under FSDP; under pipeline parallelism the mean is the paper's
-// per-GPU aggregation); E2E is the span of the iteration's tasks.
-func (p *Plan) MeasuredIterations() []metrics.Iteration {
+// per-GPU aggregation); E2E is the span of the iteration's tasks. It
+// returns ErrNotRun if the plan has not executed yet.
+func (p *Plan) MeasuredIterations() ([]metrics.Iteration, error) {
 	if !p.ran {
-		panic("exec: MeasuredIterations before Run")
+		return nil, fmt.Errorf("MeasuredIterations: %w", ErrNotRun)
 	}
 	var out []metrics.Iteration
 	for i := p.Warmup; i < len(p.Iterations); i++ {
 		out = append(out, IterationMeasurement(p.Iterations[i]))
 	}
-	return out
+	return out, nil
 }
 
 // MeasuredTimeline returns the merged kernel timeline of the measured
-// iterations (for overlap-ratio and trace reporting).
-func (p *Plan) MeasuredTimeline() *trace.Timeline {
+// iterations (for overlap-ratio and trace reporting). It returns
+// ErrNotRun if the plan has not executed yet.
+func (p *Plan) MeasuredTimeline() (*trace.Timeline, error) {
 	if !p.ran {
-		panic("exec: MeasuredTimeline before Run")
+		return nil, fmt.Errorf("MeasuredTimeline: %w", ErrNotRun)
 	}
 	tl := trace.New()
 	for i := p.Warmup; i < len(p.Iterations); i++ {
@@ -100,7 +107,7 @@ func (p *Plan) MeasuredTimeline() *trace.Timeline {
 			tl.AddTask(t)
 		}
 	}
-	return tl
+	return tl, nil
 }
 
 // IterationMeasurement extracts the paper's per-iteration measurement from

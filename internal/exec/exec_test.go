@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"testing"
 
 	"overlapsim/internal/kernels"
@@ -87,16 +88,22 @@ func TestIterationMeasurementEmpty(t *testing.T) {
 
 func TestPlanGuards(t *testing.T) {
 	p := &Plan{Engine: sim.NewEngine(nil)}
+	if _, err := p.MeasuredIterations(); !errors.Is(err, ErrNotRun) {
+		t.Errorf("MeasuredIterations before Run: got %v, want ErrNotRun", err)
+	}
+	if _, err := p.MeasuredTimeline(); !errors.Is(err, ErrNotRun) {
+		t.Errorf("MeasuredTimeline before Run: got %v, want ErrNotRun", err)
+	}
 	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.Run(); err == nil {
 		t.Error("second Run must fail")
 	}
-	func() {
-		defer func() { recover() }()
-		q := &Plan{}
-		q.MeasuredIterations()
-		t.Error("MeasuredIterations before Run must panic")
-	}()
+	if _, err := p.MeasuredIterations(); err != nil {
+		t.Errorf("MeasuredIterations after Run: %v", err)
+	}
+	if _, err := p.MeasuredTimeline(); err != nil {
+		t.Errorf("MeasuredTimeline after Run: %v", err)
+	}
 }

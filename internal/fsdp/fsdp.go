@@ -6,6 +6,8 @@
 // mode the gathers are prefetched on a dedicated communication stream
 // (bounded lookahead, as PyTorch FSDP and DeepSpeed do); in sequential mode
 // every collective is serialized against computation.
+//
+// The package registers itself with the strategy registry under "fsdp".
 package fsdp
 
 import (
@@ -16,83 +18,64 @@ import (
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/kernels"
 	"overlapsim/internal/model"
-	"overlapsim/internal/precision"
 	"overlapsim/internal/sim"
+	"overlapsim/internal/strategy"
 )
 
-// Config configures one FSDP training simulation.
-type Config struct {
-	// Model is the workload.
-	Model model.Config
-	// Batch is the global batch size; each GPU computes Batch/N samples
-	// (Batch must be divisible by the GPU count).
-	Batch int
-	// Format is the training numeric format.
-	Format precision.Format
-	// MatrixUnits enables Tensor-Core/Matrix-Core execution of GEMMs.
-	MatrixUnits bool
-	// Checkpoint enables full activation recomputation.
-	Checkpoint bool
-	// PrefetchDepth bounds how many layers ahead parameter gathers may
-	// run in overlapped mode (0 means the default of 2).
-	PrefetchDepth int
-	// GradAccumSteps accumulates gradients over this many micro-steps
-	// before the reduce-scatter, the communication-mitigation technique
-	// of §II-B (0 or 1 means no accumulation). Each micro-step processes
-	// the full local batch; gradient communication happens only on the
-	// last step, shrinking the overlap region per unit of compute.
-	GradAccumSteps int
-	// Iterations is the number of measured iterations (0 means 2).
-	Iterations int
-	// Warmup is the number of unmeasured leading iterations (negative
-	// means 0; the default is 1).
-	Warmup int
-	// Mode selects overlapped or sequential execution.
-	Mode exec.Mode
-	// SkipMemoryCheck disables the HBM-capacity feasibility gate.
-	SkipMemoryCheck bool
+// Strategy implements strategy.Strategy for FSDP.
+type Strategy struct{}
+
+func init() { strategy.Register(Strategy{}) }
+
+// Name implements strategy.Strategy.
+func (Strategy) Name() string { return "fsdp" }
+
+// Describe implements strategy.Strategy.
+func (Strategy) Describe() strategy.Info {
+	return strategy.Info{
+		Name:      "fsdp",
+		Display:   "FSDP",
+		Summary:   "fully sharded data parallelism (ZeRO-3): per-layer parameter all-gathers with bounded prefetch, gradient reduce-scatters",
+		Knobs:     []string{"grad_accum_steps"},
+		GradAccum: true,
+	}
 }
 
-func (c *Config) setDefaults() {
-	if c.PrefetchDepth <= 0 {
-		c.PrefetchDepth = 2
+// Build implements strategy.Strategy.
+func (Strategy) Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	return Build(cl, p)
+}
+
+func withDefaults(p strategy.Params) strategy.Params {
+	p = p.WithCommonDefaults()
+	if p.PrefetchDepth <= 0 {
+		p.PrefetchDepth = 2
 	}
-	if c.Iterations <= 0 {
-		c.Iterations = 2
+	if p.GradAccumSteps <= 0 {
+		p.GradAccumSteps = 1
 	}
-	if c.Warmup == 0 {
-		c.Warmup = 1
-	}
-	if c.Warmup < 0 {
-		c.Warmup = 0
-	}
-	if c.Batch <= 0 {
-		c.Batch = 8
-	}
-	if c.GradAccumSteps <= 0 {
-		c.GradAccumSteps = 1
-	}
+	return p
 }
 
 // Build constructs the full multi-iteration task graph on a fresh engine
 // bound to the cluster. It returns a model.ErrOOM if the configuration
 // does not fit in device memory (the paper's A100 constraint).
-func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
-	cfg.setDefaults()
-	if err := cfg.Model.Validate(); err != nil {
+func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	p = withDefaults(p)
+	if err := p.Model.Validate(); err != nil {
 		return nil, err
 	}
 	g := cl.GPU()
 	n := cl.N()
-	if cfg.Batch%n != 0 {
-		return nil, fmt.Errorf("fsdp: global batch %d not divisible by %d GPUs", cfg.Batch, n)
+	if p.Batch%n != 0 {
+		return nil, fmt.Errorf("fsdp: global batch %d not divisible by %d GPUs", p.Batch, n)
 	}
-	local := cfg.Batch / n
-	if !cfg.SkipMemoryCheck {
-		est := cfg.Model.FootprintFSDP(local, n, cfg.Format, cfg.Checkpoint)
+	local := p.Batch / n
+	if !p.SkipMemoryCheck {
+		est := p.Model.FootprintFSDP(local, n, p.Format, p.Checkpoint)
 		if est.Total() > g.MemBytes() {
 			return nil, &model.ErrOOM{
-				Model:     fmt.Sprintf("%s (FSDP bs=%d %s)", cfg.Model.Name, cfg.Batch, cfg.Format),
+				Model:     fmt.Sprintf("%s (FSDP bs=%d %s)", p.Model.Name, p.Batch, p.Format),
 				GPU:       g.Name,
 				NeedBytes: est.Total(),
 				HaveBytes: g.MemBytes(),
@@ -103,10 +86,10 @@ func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
 
-	b := &builder{cfg: cfg, eng: eng, cl: cl, n: n, local: local}
+	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local}
 	b.makeStreams()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
-	total := cfg.Warmup + cfg.Iterations
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
+	total := p.Warmup + p.Iterations
 	for it := 0; it < total; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -115,7 +98,7 @@ func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
 
 // builder holds the incremental graph-construction state.
 type builder struct {
-	cfg   Config
+	cfg   strategy.Params
 	eng   *sim.Engine
 	cl    *gpu.Cluster
 	n     int

@@ -7,8 +7,10 @@ import (
 	"overlapsim/internal/exec"
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/hw"
+	"overlapsim/internal/metrics"
 	"overlapsim/internal/model"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
 )
 
 func tinyModel() model.Config {
@@ -28,7 +30,7 @@ func cluster(t *testing.T, g *hw.GPUSpec, n int) *gpu.Cluster {
 func runMode(t *testing.T, mode exec.Mode) *exec.Plan {
 	t.Helper()
 	cl := cluster(t, hw.H100(), 4)
-	plan, err := Build(cl, Config{
+	plan, err := Build(cl, strategy.Params{
 		Model: tinyModel(), Batch: 8, Format: precision.FP16, MatrixUnits: true,
 		Checkpoint: true, Iterations: 2, Warmup: 1, Mode: mode,
 	})
@@ -41,9 +43,18 @@ func runMode(t *testing.T, mode exec.Mode) *exec.Plan {
 	return plan
 }
 
+func measured(t *testing.T, plan *exec.Plan) []metrics.Iteration {
+	t.Helper()
+	its, err := plan.MeasuredIterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return its
+}
+
 func TestOverlappedRuns(t *testing.T) {
 	plan := runMode(t, exec.Overlapped)
-	its := plan.MeasuredIterations()
+	its := measured(t, plan)
 	if len(its) != 2 {
 		t.Fatalf("measured %d iterations, want 2", len(its))
 	}
@@ -59,7 +70,7 @@ func TestOverlappedRuns(t *testing.T) {
 
 func TestSequentialHasNoOverlap(t *testing.T) {
 	plan := runMode(t, exec.Sequential)
-	for _, it := range plan.MeasuredIterations() {
+	for _, it := range measured(t, plan) {
 		if ratio := it.OverlapRatio(); ratio > 0.01 {
 			t.Errorf("sequential mode overlap ratio = %g, want ≈0", ratio)
 		}
@@ -67,8 +78,8 @@ func TestSequentialHasNoOverlap(t *testing.T) {
 }
 
 func TestSequentialSlowerOverlappedComputeFaster(t *testing.T) {
-	seq := runMode(t, exec.Sequential).MeasuredIterations()
-	ovl := runMode(t, exec.Overlapped).MeasuredIterations()
+	seq := measured(t, runMode(t, exec.Sequential))
+	ovl := measured(t, runMode(t, exec.Overlapped))
 	if seq[0].E2E <= ovl[0].E2E {
 		t.Errorf("sequential E2E %g must exceed overlapped %g", seq[0].E2E, ovl[0].E2E)
 	}
@@ -80,7 +91,7 @@ func TestSequentialSlowerOverlappedComputeFaster(t *testing.T) {
 
 func TestIterationsAreConsistent(t *testing.T) {
 	// With no jitter, measured iterations are identical.
-	its := runMode(t, exec.Overlapped).MeasuredIterations()
+	its := measured(t, runMode(t, exec.Overlapped))
 	if d := its[0].E2E - its[1].E2E; d > its[0].E2E*1e-6 || d < -its[0].E2E*1e-6 {
 		t.Errorf("deterministic iterations differ: %g vs %g", its[0].E2E, its[1].E2E)
 	}
@@ -88,7 +99,7 @@ func TestIterationsAreConsistent(t *testing.T) {
 
 func TestOOMGate(t *testing.T) {
 	cl := cluster(t, hw.A100(), 4)
-	_, err := Build(cl, Config{
+	_, err := Build(cl, strategy.Params{
 		Model: model.GPT3_13B(), Batch: 8, Format: precision.FP16,
 		MatrixUnits: true, Checkpoint: true,
 	})
@@ -97,7 +108,7 @@ func TestOOMGate(t *testing.T) {
 		t.Fatalf("want ErrOOM, got %v", err)
 	}
 	// SkipMemoryCheck bypasses the gate.
-	if _, err := Build(cluster(t, hw.A100(), 4), Config{
+	if _, err := Build(cluster(t, hw.A100(), 4), strategy.Params{
 		Model: tinyModel(), Batch: 8, Format: precision.FP16, SkipMemoryCheck: true,
 	}); err != nil {
 		t.Errorf("skip-check build failed: %v", err)
@@ -106,7 +117,7 @@ func TestOOMGate(t *testing.T) {
 
 func TestBatchDivisibility(t *testing.T) {
 	cl := cluster(t, hw.H100(), 4)
-	if _, err := Build(cl, Config{Model: tinyModel(), Batch: 6, Format: precision.FP16}); err == nil {
+	if _, err := Build(cl, strategy.Params{Model: tinyModel(), Batch: 6, Format: precision.FP16}); err == nil {
 		t.Error("batch 6 over 4 GPUs must fail")
 	}
 }
@@ -115,14 +126,14 @@ func TestInvalidModelRejected(t *testing.T) {
 	cl := cluster(t, hw.H100(), 4)
 	m := tinyModel()
 	m.Layers = 0
-	if _, err := Build(cl, Config{Model: m, Batch: 8}); err == nil {
+	if _, err := Build(cl, strategy.Params{Model: m, Batch: 8}); err == nil {
 		t.Error("invalid model must fail")
 	}
 }
 
 func TestTaskCounts(t *testing.T) {
 	cl := cluster(t, hw.H100(), 4)
-	plan, err := Build(cl, Config{
+	plan, err := Build(cl, strategy.Params{
 		Model: tinyModel(), Batch: 8, Format: precision.FP16,
 		Iterations: 1, Warmup: 0, Mode: exec.Overlapped,
 	})
@@ -146,7 +157,7 @@ func TestPrefetchBoundsOverlapWindows(t *testing.T) {
 	// time (more gathers may run early).
 	run := func(depth int) float64 {
 		cl := cluster(t, hw.MI250(), 4)
-		plan, err := Build(cl, Config{
+		plan, err := Build(cl, strategy.Params{
 			Model: tinyModel(), Batch: 8, Format: precision.FP16, MatrixUnits: true,
 			PrefetchDepth: depth, Iterations: 2, Warmup: 1, Mode: exec.Overlapped,
 		})
@@ -156,7 +167,7 @@ func TestPrefetchBoundsOverlapWindows(t *testing.T) {
 		if err := plan.Run(); err != nil {
 			t.Fatal(err)
 		}
-		its := plan.MeasuredIterations()
+		its := measured(t, plan)
 		return its[0].E2E
 	}
 	shallow := run(1)

@@ -117,6 +117,33 @@ func (c Config) FootprintPipeline(b, micro, n int, f precision.Format, checkpoin
 	return MemoryEstimate{States: states, Activations: act, Working: working, Reserve: frameworkReserveBytes}
 }
 
+// FootprintTP estimates per-GPU memory for tensor parallelism of degree d
+// (Megatron-style, sequence-parallel) at per-group batch b. Parameters,
+// gradients and optimizer state shard 1/d within the group (replicated
+// across data-parallel groups); stored activations shard 1/d along the
+// sequence dimension; the working set holds one layer's fully gathered
+// activations plus the vocab-parallel logits shard.
+func (c Config) FootprintTP(b, d int, f precision.Format, checkpoint bool) MemoryEstimate {
+	e := float64(f.Bytes())
+	dd := float64(d)
+
+	states := c.TotalParams() / dd * (e + e + adamStateBytesPerParam)
+	states *= stateOverheadFactor
+
+	tokens := float64(b) * float64(c.SeqLen)
+	act := float64(c.Layers) * tokens * c.activationBytesPerToken(f, checkpoint) / dd
+
+	// Working set: the current layer's gathered (unsharded) activations,
+	// a recompute buffer when checkpointing, and the logits shard.
+	working := tokens * c.activationBytesPerToken(f, false) / dd
+	if checkpoint {
+		working += tokens * c.activationBytesPerToken(f, false) / dd
+	}
+	working += tokens * float64(c.Vocab) * e / dd
+
+	return MemoryEstimate{States: states, Activations: act, Working: working, Reserve: frameworkReserveBytes}
+}
+
 // ErrOOM is the error type reported when a configuration exceeds device
 // memory.
 type ErrOOM struct {

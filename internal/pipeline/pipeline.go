@@ -11,6 +11,9 @@
 // by construction, which is why real frameworks require async P2P; the
 // GPipe wavefront has identical bubble fraction, so the sequential
 // baseline remains temporally comparable.)
+//
+// The package registers itself with the strategy registry under "pp"
+// (alias "pipeline").
 package pipeline
 
 import (
@@ -21,8 +24,8 @@ import (
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/kernels"
 	"overlapsim/internal/model"
-	"overlapsim/internal/precision"
 	"overlapsim/internal/sim"
+	"overlapsim/internal/strategy"
 )
 
 // Schedule selects the pipeline schedule for overlapped execution.
@@ -48,39 +51,50 @@ func (s Schedule) String() string {
 	}
 }
 
-// Config configures one pipeline-parallel training simulation.
-type Config struct {
-	// Model is the workload.
-	Model model.Config
-	// Batch is the per-pipeline batch size (all microbatches of one
-	// iteration).
-	Batch int
-	// MicroBatch is the microbatch size; Batch must be a multiple
-	// (0 means min(Batch, 2)).
-	MicroBatch int
-	// Format is the training numeric format.
-	Format precision.Format
-	// MatrixUnits enables Tensor-Core/Matrix-Core GEMMs.
-	MatrixUnits bool
-	// Checkpoint enables full activation recomputation.
-	Checkpoint bool
+// Strategy implements strategy.Strategy for pipeline parallelism. The
+// zero value schedules 1F1B in overlapped mode; a custom instance can
+// carry a different overlapped-mode schedule.
+type Strategy struct {
 	// Schedule selects the overlapped-mode schedule (sequential mode
-	// always uses the blocking GPipe wavefront).
+	// always runs the blocking GPipe wavefront).
 	Schedule Schedule
-	// Iterations is the number of measured iterations (0 means 2).
-	Iterations int
-	// Warmup is the number of unmeasured leading iterations (negative
-	// means 0; the default is 1).
-	Warmup int
-	// Mode selects overlapped or sequential execution.
-	Mode exec.Mode
-	// SkipMemoryCheck disables the HBM-capacity feasibility gate.
-	SkipMemoryCheck bool
+}
+
+func init() { strategy.Register(Strategy{}) }
+
+// Name implements strategy.Strategy.
+func (Strategy) Name() string { return "pp" }
+
+// Describe implements strategy.Strategy.
+func (Strategy) Describe() strategy.Info {
+	return strategy.Info{
+		Name:       "pp",
+		Aliases:    []string{"pipeline"},
+		Display:    "PP",
+		Summary:    "pipeline parallelism: layer stages with 1F1B microbatch scheduling and early-posted P2P transfers",
+		Knobs:      []string{"micro_batch"},
+		MicroBatch: true,
+	}
+}
+
+// Build implements strategy.Strategy.
+func (s Strategy) Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	return BuildSchedule(cl, p, s.Schedule)
+}
+
+// CanonicalParams implements strategy.Canonicalizer: it makes the
+// implicit microbatch default explicit so equivalent configs fingerprint
+// identically (core.Canonicalize relies on this being the single source
+// of the default).
+func (Strategy) CanonicalParams(p strategy.Params, gpus int) strategy.Params {
+	if p.MicroBatch <= 0 {
+		p.MicroBatch = DefaultMicroBatch(p.Batch)
+	}
+	return p
 }
 
 // DefaultMicroBatch returns the microbatch size used when none is
-// requested. Config canonicalization (core.Canonicalize) relies on this
-// being the single source of the default.
+// requested.
 func DefaultMicroBatch(batch int) int {
 	if batch < 2 {
 		return batch
@@ -88,26 +102,15 @@ func DefaultMicroBatch(batch int) int {
 	return 2
 }
 
-func (c *Config) setDefaults() error {
-	if c.Batch <= 0 {
-		c.Batch = 8
+// withDefaults resolves the implicit defaults; the microbatch default
+// has a single source in CanonicalParams so runtime behavior and
+// fingerprint canonicalization cannot drift apart.
+func withDefaults(p strategy.Params) (strategy.Params, error) {
+	p = Strategy{}.CanonicalParams(p.WithCommonDefaults(), 0)
+	if p.Batch%p.MicroBatch != 0 {
+		return p, fmt.Errorf("pipeline: batch %d not divisible by microbatch %d", p.Batch, p.MicroBatch)
 	}
-	if c.MicroBatch <= 0 {
-		c.MicroBatch = DefaultMicroBatch(c.Batch)
-	}
-	if c.Batch%c.MicroBatch != 0 {
-		return fmt.Errorf("pipeline: batch %d not divisible by microbatch %d", c.Batch, c.MicroBatch)
-	}
-	if c.Iterations <= 0 {
-		c.Iterations = 2
-	}
-	if c.Warmup == 0 {
-		c.Warmup = 1
-	}
-	if c.Warmup < 0 {
-		c.Warmup = 0
-	}
-	return nil
+	return p, nil
 }
 
 // op is one scheduled step of a stage.
@@ -147,9 +150,15 @@ func stageSchedule(sched Schedule, s, nStages, m int) []op {
 }
 
 // Build constructs the multi-iteration pipeline task graph on a fresh
-// engine bound to the cluster.
-func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
-	if err := cfg.setDefaults(); err != nil {
+// engine bound to the cluster with the default 1F1B overlapped schedule.
+func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
+	return BuildSchedule(cl, p, OneFOneB)
+}
+
+// BuildSchedule is Build with an explicit overlapped-mode schedule.
+func BuildSchedule(cl *gpu.Cluster, cfg strategy.Params, sched Schedule) (*exec.Plan, error) {
+	cfg, err := withDefaults(cfg)
+	if err != nil {
 		return nil, err
 	}
 	if err := cfg.Model.Validate(); err != nil {
@@ -178,7 +187,7 @@ func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
 
-	b := &builder{cfg: cfg, eng: eng, cl: cl, n: n}
+	b := &builder{cfg: cfg, sched: sched, eng: eng, cl: cl, n: n}
 	b.prepare()
 	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
 	total := cfg.Warmup + cfg.Iterations
@@ -189,10 +198,11 @@ func Build(cl *gpu.Cluster, cfg Config) (*exec.Plan, error) {
 }
 
 type builder struct {
-	cfg Config
-	eng *sim.Engine
-	cl  *gpu.Cluster
-	n   int
+	cfg   strategy.Params
+	sched Schedule
+	eng   *sim.Engine
+	cl    *gpu.Cluster
+	n     int
 
 	computeS []*sim.Stream
 	fwdLink  []*sim.Stream // fwdLink[s]: transfers stage s -> s+1
@@ -332,7 +342,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 		gates[k].task = producer
 	}
 
-	sched := b.cfg.Schedule
+	sched := b.sched
 	if b.sequential() {
 		sched = GPipe
 	}

@@ -8,8 +8,10 @@ import (
 	"overlapsim/internal/exec"
 	"overlapsim/internal/gpu"
 	"overlapsim/internal/hw"
+	"overlapsim/internal/metrics"
 	"overlapsim/internal/model"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
 )
 
 func tinyModel() model.Config {
@@ -29,11 +31,11 @@ func cluster(t *testing.T, g *hw.GPUSpec, n int) *gpu.Cluster {
 func build(t *testing.T, mode exec.Mode, sched Schedule, batch int) *exec.Plan {
 	t.Helper()
 	cl := cluster(t, hw.A100(), 4)
-	plan, err := Build(cl, Config{
+	plan, err := BuildSchedule(cl, strategy.Params{
 		Model: tinyModel(), Batch: batch, MicroBatch: 2, Format: precision.FP16,
-		MatrixUnits: true, Checkpoint: true, Schedule: sched,
+		MatrixUnits: true, Checkpoint: true,
 		Iterations: 2, Warmup: 1, Mode: mode,
-	})
+	}, sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +43,15 @@ func build(t *testing.T, mode exec.Mode, sched Schedule, batch int) *exec.Plan {
 		t.Fatal(err)
 	}
 	return plan
+}
+
+func measured(t *testing.T, plan *exec.Plan) []metrics.Iteration {
+	t.Helper()
+	its, err := plan.MeasuredIterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return its
 }
 
 func TestStageScheduleOneFOneB(t *testing.T) {
@@ -120,7 +131,7 @@ func TestSplitLayers(t *testing.T) {
 
 func TestOverlappedRuns(t *testing.T) {
 	plan := build(t, exec.Overlapped, OneFOneB, 8)
-	its := plan.MeasuredIterations()
+	its := measured(t, plan)
 	if len(its) != 2 {
 		t.Fatalf("measured %d iterations", len(its))
 	}
@@ -137,7 +148,7 @@ func TestSequentialBlockingGPipeCompletes(t *testing.T) {
 	// The blocking wavefront must be deadlock-free for several shapes.
 	for _, batch := range []int{4, 8, 16} {
 		plan := build(t, exec.Sequential, OneFOneB, batch)
-		for _, it := range plan.MeasuredIterations() {
+		for _, it := range measured(t, plan) {
 			if ratio := it.OverlapRatio(); ratio > 0.01 {
 				t.Errorf("batch %d: sequential overlap ratio %g", batch, ratio)
 			}
@@ -147,14 +158,14 @@ func TestSequentialBlockingGPipeCompletes(t *testing.T) {
 
 func TestGPipeOverlappedCompletes(t *testing.T) {
 	plan := build(t, exec.Overlapped, GPipe, 8)
-	if len(plan.MeasuredIterations()) != 2 {
+	if len(measured(t, plan)) != 2 {
 		t.Fatal("GPipe overlapped did not measure")
 	}
 }
 
 func TestSequentialSlower(t *testing.T) {
-	seq := build(t, exec.Sequential, OneFOneB, 8).MeasuredIterations()[0]
-	ovl := build(t, exec.Overlapped, OneFOneB, 8).MeasuredIterations()[0]
+	seq := measured(t, build(t, exec.Sequential, OneFOneB, 8))[0]
+	ovl := measured(t, build(t, exec.Overlapped, OneFOneB, 8))[0]
 	if seq.E2E <= ovl.E2E {
 		t.Errorf("sequential %g not slower than overlapped %g", seq.E2E, ovl.E2E)
 	}
@@ -162,26 +173,26 @@ func TestSequentialSlower(t *testing.T) {
 
 func TestBatchDivisibility(t *testing.T) {
 	cl := cluster(t, hw.A100(), 4)
-	_, err := Build(cl, Config{Model: tinyModel(), Batch: 7, MicroBatch: 2})
+	_, err := Build(cl, strategy.Params{Model: tinyModel(), Batch: 7, MicroBatch: 2})
 	if err == nil {
 		t.Error("batch 7 with microbatch 2 must fail")
 	}
 }
 
 func TestTooFewGPUsOrLayers(t *testing.T) {
-	if _, err := Build(cluster(t, hw.A100(), 1), Config{Model: tinyModel(), Batch: 8}); err == nil {
+	if _, err := Build(cluster(t, hw.A100(), 1), strategy.Params{Model: tinyModel(), Batch: 8}); err == nil {
 		t.Error("1 GPU cannot pipeline")
 	}
 	m := tinyModel()
 	m.Layers = 2
-	if _, err := Build(cluster(t, hw.A100(), 4), Config{Model: m, Batch: 8}); err == nil {
+	if _, err := Build(cluster(t, hw.A100(), 4), strategy.Params{Model: m, Batch: 8}); err == nil {
 		t.Error("2 layers cannot fill 4 stages")
 	}
 }
 
 func TestOOMGate(t *testing.T) {
 	cl := cluster(t, hw.A100(), 4)
-	_, err := Build(cl, Config{
+	_, err := Build(cl, strategy.Params{
 		Model: model.GPT3_13B(), Batch: 8, MicroBatch: 2, Format: precision.FP16, Checkpoint: true,
 	})
 	var oom *model.ErrOOM
@@ -191,8 +202,8 @@ func TestOOMGate(t *testing.T) {
 }
 
 func TestMoreMicrobatchesLongerIteration(t *testing.T) {
-	small := build(t, exec.Overlapped, OneFOneB, 4).MeasuredIterations()[0]
-	big := build(t, exec.Overlapped, OneFOneB, 16).MeasuredIterations()[0]
+	small := measured(t, build(t, exec.Overlapped, OneFOneB, 4))[0]
+	big := measured(t, build(t, exec.Overlapped, OneFOneB, 16))[0]
 	if big.E2E <= small.E2E {
 		t.Errorf("batch 16 iteration %g not longer than batch 4 %g", big.E2E, small.E2E)
 	}

@@ -93,14 +93,14 @@ func samplePoints(t *testing.T) []workload.Point {
 	tiny := model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
 		Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
 	ok := workload.RunPoint(context.Background(), core.Config{
-		System: hw.SystemH100x4(), Model: tiny, Parallelism: core.FSDP,
+		System: hw.SystemH100x4(), Model: tiny, Parallelism: "fsdp",
 		Batch: 8, Format: precision.FP16, MatrixUnits: true,
 	})
 	if ok.Err != nil {
 		t.Fatal(ok.Err)
 	}
 	oom := workload.RunPoint(context.Background(), core.Config{
-		System: hw.SystemA100x4(), Model: model.GPT3_13B(), Parallelism: core.FSDP,
+		System: hw.SystemA100x4(), Model: model.GPT3_13B(), Parallelism: "fsdp",
 		Batch: 8, Format: precision.FP16, MatrixUnits: true,
 	})
 	return []workload.Point{ok, oom}

@@ -28,6 +28,7 @@ import (
 	"overlapsim/internal/model"
 	"overlapsim/internal/precision"
 	"overlapsim/internal/report"
+	"overlapsim/internal/strategy"
 	"overlapsim/internal/sweep"
 )
 
@@ -174,12 +175,31 @@ type catalogModel struct {
 	SeqLen  int     `json:"seq_len"`
 }
 
-// catalogBody is the /v1/catalog response.
+// catalogStrategy is one registry-derived strategy entry: its name,
+// display label, knobs and capability flags, so clients can discover
+// what a deployment's build links in instead of assuming the paper's
+// three strategies.
+type catalogStrategy struct {
+	Name       string   `json:"name"`
+	Aliases    []string `json:"aliases,omitempty"`
+	Display    string   `json:"display"`
+	Summary    string   `json:"summary"`
+	Knobs      []string `json:"knobs,omitempty"`
+	MicroBatch bool     `json:"micro_batch"`
+	GradAccum  bool     `json:"grad_accum"`
+	TPDegree   bool     `json:"tp_degree"`
+}
+
+// catalogBody is the /v1/catalog response. Strategies carries the full
+// registry metadata; Parallelisms is the flat list of registry names —
+// the exact spellings POST /v1/experiments and sweep specs accept
+// (earlier releases served display labels like "FSDP" here).
 type catalogBody struct {
-	GPUs         []catalogGPU   `json:"gpus"`
-	Models       []catalogModel `json:"models"`
-	Parallelisms []string       `json:"parallelisms"`
-	Formats      []string       `json:"formats"`
+	GPUs         []catalogGPU      `json:"gpus"`
+	Models       []catalogModel    `json:"models"`
+	Strategies   []catalogStrategy `json:"strategies"`
+	Parallelisms []string          `json:"parallelisms"`
+	Formats      []string          `json:"formats"`
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
@@ -196,8 +216,15 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 			Layers: m.Layers, Hidden: m.Hidden, SeqLen: m.SeqLen,
 		})
 	}
-	for _, p := range core.Parallelisms() {
-		body.Parallelisms = append(body.Parallelisms, p.String())
+	for _, st := range strategy.All() {
+		info := st.Describe()
+		body.Strategies = append(body.Strategies, catalogStrategy{
+			Name: info.Name, Aliases: info.Aliases, Display: info.Display,
+			Summary: info.Summary, Knobs: info.Knobs,
+			MicroBatch: info.MicroBatch, GradAccum: info.GradAccum,
+			TPDegree: info.TPDegree,
+		})
+		body.Parallelisms = append(body.Parallelisms, info.Name)
 	}
 	for _, f := range precision.Formats() {
 		body.Formats = append(body.Formats, f.String())

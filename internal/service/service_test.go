@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"overlapsim/internal/strategy"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -50,8 +52,55 @@ func TestCatalog(t *testing.T) {
 	if body.GPUs[0].Name != "A100" || body.GPUs[0].Vendor != "NVIDIA" {
 		t.Errorf("first GPU %+v", body.GPUs[0])
 	}
-	if len(body.Parallelisms) != 3 || len(body.Formats) != 4 {
-		t.Errorf("catalog lists %v / %v", body.Parallelisms, body.Formats)
+	if len(body.Formats) != 4 {
+		t.Errorf("catalog lists formats %v", body.Formats)
+	}
+}
+
+// The catalog must round-trip the strategy registry: every registered
+// strategy — including TP, which core never names — appears with its
+// metadata, and every served name resolves back through the registry.
+func TestCatalogServesStrategyRegistry(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[catalogBody](t, resp, http.StatusOK)
+
+	names := strategy.Names()
+	if len(body.Strategies) != len(names) || len(body.Parallelisms) != len(names) {
+		t.Fatalf("catalog lists %d strategies / %d parallelisms, registry has %d",
+			len(body.Strategies), len(body.Parallelisms), len(names))
+	}
+	served := make(map[string]catalogStrategy, len(body.Strategies))
+	for _, cs := range body.Strategies {
+		served[cs.Name] = cs
+	}
+	for _, name := range names {
+		cs, ok := served[name]
+		if !ok {
+			t.Errorf("registered strategy %q missing from catalog", name)
+			continue
+		}
+		s, err := strategy.Lookup(cs.Name)
+		if err != nil {
+			t.Errorf("served name %q does not resolve: %v", cs.Name, err)
+			continue
+		}
+		info := s.Describe()
+		if cs.Display != info.Display || cs.Summary != info.Summary ||
+			cs.MicroBatch != info.MicroBatch || cs.GradAccum != info.GradAccum ||
+			cs.TPDegree != info.TPDegree {
+			t.Errorf("catalog entry %q diverges from registry info:\n got %+v\nwant %+v", name, cs, info)
+		}
+	}
+	tp, ok := served["tp"]
+	if !ok {
+		t.Fatal("tensor parallelism missing from the catalog")
+	}
+	if !tp.TPDegree || tp.Display != "TP" {
+		t.Errorf("tp entry %+v", tp)
 	}
 }
 

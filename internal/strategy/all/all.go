@@ -1,0 +1,14 @@
+// Package all links the stock distribution strategies into a binary: a
+// blank import of this package registers FSDP, pipeline parallelism, DDP
+// and tensor parallelism with the strategy registry (database/sql driver
+// style). internal/core imports it so every consumer of the harness sees
+// the full strategy set; a new strategy joins every binary by adding its
+// package here — no edits to internal/core.
+package all
+
+import (
+	_ "overlapsim/internal/ddp"
+	_ "overlapsim/internal/fsdp"
+	_ "overlapsim/internal/pipeline"
+	_ "overlapsim/internal/tp"
+)

@@ -1,0 +1,113 @@
+package strategy_test
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/exec"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/strategy"
+	_ "overlapsim/internal/strategy/all" // the stock set under test
+)
+
+// fake is a minimal registrable strategy for registration-failure tests.
+type fake struct{ name string }
+
+func (f fake) Name() string { return f.name }
+func (f fake) Describe() strategy.Info {
+	return strategy.Info{Name: strings.ToLower(strings.TrimSpace(f.name))}
+}
+func (f fake) Build(*gpu.Cluster, strategy.Params) (*exec.Plan, error) { return nil, nil }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s must panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterRejectsEmptyName(t *testing.T) {
+	mustPanic(t, "empty-name registration", func() { strategy.Register(fake{name: ""}) })
+	mustPanic(t, "blank-name registration", func() { strategy.Register(fake{name: "   "}) })
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	// "fsdp" is registered by the stock set; a second registration under
+	// the same name (any case) must fail loudly at init time.
+	mustPanic(t, "duplicate registration", func() { strategy.Register(fake{name: "fsdp"}) })
+	mustPanic(t, "case-variant duplicate registration", func() { strategy.Register(fake{name: "FSDP"}) })
+	// An alias is part of the namespace too.
+	mustPanic(t, "registration under an existing alias", func() { strategy.Register(fake{name: "pipeline"}) })
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := strategy.Lookup("warp")
+	if err == nil {
+		t.Fatal("unknown strategy must not resolve")
+	}
+	for _, want := range []string{`"warp"`, "fsdp", "pp", "ddp", "tp"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %s", err, want)
+		}
+	}
+	if _, err := strategy.Lookup(""); err == nil {
+		t.Error("empty name must not resolve")
+	}
+}
+
+func TestLookupStockSet(t *testing.T) {
+	for _, name := range []string{"fsdp", "pp", "ddp", "tp", "FSDP", "Pipeline", "pipeline", " tp "} {
+		s, err := strategy.Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != s.Describe().Name {
+			t.Errorf("%q: Name() %q disagrees with Describe().Name %q", name, s.Name(), s.Describe().Name)
+		}
+	}
+}
+
+func TestNamesAndAll(t *testing.T) {
+	names := strategy.Names()
+	want := []string{"ddp", "fsdp", "pp", "tp"}
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", names, want)
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("stock strategy %q missing from Names() = %v", w, names)
+		}
+	}
+	all := strategy.All()
+	if len(all) != len(names) {
+		t.Fatalf("All() returns %d strategies for %d names", len(all), len(names))
+	}
+	for i, s := range all {
+		if s.Name() != names[i] {
+			t.Errorf("All()[%d] = %q, want %q (sorted-name order)", i, s.Name(), names[i])
+		}
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	for in, want := range map[string]string{
+		"pipeline": "pp",
+		"PIPELINE": "pp",
+		"fsdp":     "fsdp",
+		"TP":       "tp",
+		"warp":     "warp", // unknown names pass through lowercased
+		"WARP":     "warp",
+	} {
+		if got := strategy.CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

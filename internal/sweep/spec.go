@@ -1,7 +1,8 @@
 // Package sweep is the design-space exploration engine: a declarative
 // sweep specification expands cartesian grids over the characterization
 // axes the paper studies (GPU, model, parallelism, batch size, precision,
-// power cap) into core.Configs, a bounded worker pool executes them
+// power cap — strategy names validated against the registry) into
+// core.Configs, a bounded worker pool executes them
 // concurrently with fail-soft per-point error collection, and a
 // content-addressed cache keyed by the canonical config fingerprint makes
 // repeated and overlapping sweeps near-free.
@@ -18,6 +19,7 @@ import (
 	"overlapsim/internal/model"
 	"overlapsim/internal/power"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
 )
 
 // Experiment names one experiment in the catalog vocabulary the API and
@@ -32,12 +34,16 @@ type Experiment struct {
 	GPUCount int `json:"gpu_count,omitempty"`
 	// Model is the Table II workload name ("GPT-3 XL", ...).
 	Model string `json:"model"`
-	// Parallelism is "fsdp", "pp" or "ddp" (default "fsdp").
+	// Parallelism is a registered strategy name — "fsdp", "pp", "ddp",
+	// "tp", or any strategy a build links in (default "fsdp").
 	Parallelism string `json:"parallelism,omitempty"`
 	// Batch is the global batch size (default 8).
 	Batch int `json:"batch,omitempty"`
 	// MicroBatch is the pipeline microbatch size (0 picks the default).
 	MicroBatch int `json:"micro_batch,omitempty"`
+	// TPDegree is the tensor-parallel group size (0 picks the default of
+	// the whole node).
+	TPDegree int `json:"tp_degree,omitempty"`
 	// Format is "fp32", "tf32", "fp16" or "bf16" (default "fp16").
 	Format string `json:"format,omitempty"`
 	// VectorOnly disables Tensor/Matrix cores (the Fig. 11 ablation).
@@ -99,6 +105,9 @@ func (e Experiment) Config() (core.Config, error) {
 	if batch < 1 {
 		return core.Config{}, fmt.Errorf("sweep: invalid batch %d", batch)
 	}
+	if e.TPDegree < 0 {
+		return core.Config{}, fmt.Errorf("sweep: invalid TP degree %d", e.TPDegree)
+	}
 	caps := power.Caps{PowerW: e.PowerCapW, FreqFactor: e.FreqCap}
 	if err := caps.Validate(g); err != nil {
 		return core.Config{}, err
@@ -109,6 +118,7 @@ func (e Experiment) Config() (core.Config, error) {
 		Parallelism:     par,
 		Batch:           batch,
 		MicroBatch:      e.MicroBatch,
+		TPDegree:        e.TPDegree,
 		Format:          f,
 		MatrixUnits:     !e.VectorOnly,
 		NoCheckpoint:    e.NoCheckpoint,
@@ -133,10 +143,17 @@ type Spec struct {
 	GPUCounts []int `json:"gpu_counts,omitempty"`
 	// Models are Table II workload names (required).
 	Models []string `json:"models"`
-	// Parallelisms are strategy names (default: Base.Parallelism or fsdp).
+	// Parallelisms are registered strategy names (default:
+	// Base.Parallelism or fsdp); expansion validates each against the
+	// strategy registry.
 	Parallelisms []string `json:"parallelisms,omitempty"`
 	// Batches are global batch sizes (default: Base.Batch or 8).
 	Batches []int `json:"batches,omitempty"`
+	// TPDegrees are tensor-parallel group sizes (default: Base.TPDegree).
+	// The axis applies only to strategies whose registry Info reads the
+	// knob; for every other strategy one point is expanded at the base
+	// degree, so a mixed fsdp+tp spec does not duplicate fsdp points.
+	TPDegrees []int `json:"tp_degrees,omitempty"`
 	// Formats are numeric format names (default: Base.Format or fp16).
 	Formats []string `json:"formats,omitempty"`
 	// PowerCapsW are per-GPU power caps in watts; 0 means uncapped
@@ -163,20 +180,60 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 	return &s, nil
 }
 
-// Size returns the number of grid points the spec expands to,
-// saturating at math.MaxInt so adversarially long axes cannot wrap the
+// effectiveStrategy resolves a parallelism axis value in the experiment
+// vocabulary, where the empty name means the fsdp default.
+func effectiveStrategy(name string) (strategy.Strategy, error) {
+	if name == "" {
+		name = "fsdp"
+	}
+	return strategy.Lookup(name)
+}
+
+// degreeAxisLen returns how many TP-degree points the axis contributes
+// for one strategy: its full length for strategies that read the knob
+// (and for unknown names, keeping Size an upper bound), one otherwise.
+func (s *Spec) degreeAxisLen(par string) int {
+	if len(s.TPDegrees) == 0 {
+		return 1
+	}
+	if st, err := effectiveStrategy(par); err == nil && !st.Describe().TPDegree {
+		return 1
+	}
+	return len(s.TPDegrees)
+}
+
+// Size returns the number of grid points the spec expands to — exact,
+// including the per-strategy TP-degree axis collapse, so the service's
+// pre-materialization limit check never falsely rejects a valid spec. It
+// saturates at math.MaxInt so adversarially long axes cannot wrap the
 // product past a size limit.
 func (s *Spec) Size() int {
-	n := satMul(len(s.GPUs), len(s.Models))
+	base := satMul(len(s.GPUs), len(s.Models))
 	for _, k := range []int{
-		len(s.GPUCounts), len(s.Parallelisms), len(s.Batches),
-		len(s.Formats), len(s.PowerCapsW), len(s.MatrixUnits),
+		len(s.GPUCounts), len(s.Batches), len(s.Formats),
+		len(s.PowerCapsW), len(s.MatrixUnits),
 	} {
 		if k > 0 {
-			n = satMul(n, k)
+			base = satMul(base, k)
 		}
 	}
-	return n
+	pars := s.Parallelisms
+	if len(pars) == 0 {
+		pars = []string{s.Base.Parallelism}
+	}
+	total := 0
+	for _, par := range pars {
+		total = satAdd(total, satMul(base, s.degreeAxisLen(par)))
+	}
+	return total
+}
+
+// satAdd adds non-negative ints, saturating at math.MaxInt.
+func satAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
 }
 
 // satMul multiplies non-negative ints, saturating at math.MaxInt.
@@ -193,7 +250,8 @@ func satMul(a, b int) int {
 // Expand resolves the spec into one Experiment per grid point, in
 // deterministic row-major axis order (GPU outermost, matrix units
 // innermost). It fails on an empty grid or any name that does not
-// resolve against the catalogs.
+// resolve against the catalogs — including strategy names unknown to
+// the registry.
 func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 	if len(s.GPUs) == 0 {
 		return nil, nil, fmt.Errorf("sweep: spec %q lists no GPUs", s.Name)
@@ -212,6 +270,10 @@ func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 	batches := s.Batches
 	if len(batches) == 0 {
 		batches = []int{s.Base.Batch}
+	}
+	degrees := s.TPDegrees
+	if len(degrees) == 0 {
+		degrees = []int{s.Base.TPDegree}
 	}
 	formats := s.Formats
 	if len(formats) == 0 {
@@ -232,25 +294,35 @@ func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 		for _, n := range counts {
 			for _, mdl := range s.Models {
 				for _, par := range pars {
+					parDegrees := degrees
+					if st, err := effectiveStrategy(par); err == nil && !st.Describe().TPDegree {
+						// The degree axis is inert for this strategy; a
+						// single point at the base degree avoids expanding
+						// duplicates that canonicalize to one fingerprint.
+						parDegrees = []int{s.Base.TPDegree}
+					}
 					for _, bs := range batches {
-						for _, f := range formats {
-							for _, cap := range caps {
-								for _, mu := range matrix {
-									e := s.Base
-									e.GPU = gpu
-									e.GPUCount = n
-									e.Model = mdl
-									e.Parallelism = par
-									e.Batch = bs
-									e.Format = f
-									e.PowerCapW = cap
-									e.VectorOnly = !mu
-									cfg, err := e.Config()
-									if err != nil {
-										return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
+						for _, deg := range parDegrees {
+							for _, f := range formats {
+								for _, cap := range caps {
+									for _, mu := range matrix {
+										e := s.Base
+										e.GPU = gpu
+										e.GPUCount = n
+										e.Model = mdl
+										e.Parallelism = par
+										e.Batch = bs
+										e.TPDegree = deg
+										e.Format = f
+										e.PowerCapW = cap
+										e.VectorOnly = !mu
+										cfg, err := e.Config()
+										if err != nil {
+											return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
+										}
+										exps = append(exps, e)
+										cfgs = append(cfgs, cfg)
 									}
-									exps = append(exps, e)
-									cfgs = append(cfgs, cfg)
 								}
 							}
 						}

@@ -59,6 +59,70 @@ func TestSpecExpansionCount(t *testing.T) {
 	}
 }
 
+// The TP-degree axis multiplies the grid and threads through to the
+// configs; strategy names resolve against the registry, so "tp" expands
+// without sweep (or core) naming it.
+func TestSpecExpansionTPDegrees(t *testing.T) {
+	spec := Spec{
+		GPUs:         []string{"H100"},
+		GPUCounts:    []int{8},
+		Models:       []string{"GPT-3 XL"},
+		Parallelisms: []string{"tp"},
+		TPDegrees:    []int{2, 4, 8},
+		Batches:      []int{8},
+	}
+	if got := spec.Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+	exps, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range exps {
+		if cfgs[i].TPDegree != e.TPDegree || cfgs[i].TPDegree != []int{2, 4, 8}[i] {
+			t.Errorf("point %d: degree %d / %d", i, e.TPDegree, cfgs[i].TPDegree)
+		}
+		if cfgs[i].Parallelism != "tp" {
+			t.Errorf("point %d: parallelism %q", i, cfgs[i].Parallelism)
+		}
+	}
+	bad := spec
+	bad.TPDegrees = []int{-2}
+	if _, _, err := bad.Expand(); err == nil {
+		t.Error("negative TP degree accepted")
+	}
+
+	// The axis is inert for strategies that ignore the knob: a mixed
+	// fsdp+tp spec expands one fsdp point, not one per degree.
+	mixed := spec
+	mixed.Parallelisms = []string{"fsdp", "tp"}
+	exps, cfgs, err = mixed.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 1+3 {
+		t.Fatalf("mixed spec expanded to %d points, want 4", len(exps))
+	}
+	var fsdpPts, tpPts int
+	for i := range cfgs {
+		switch cfgs[i].Parallelism {
+		case "fsdp":
+			fsdpPts++
+			if cfgs[i].TPDegree != 0 {
+				t.Errorf("fsdp point carries TP degree %d", cfgs[i].TPDegree)
+			}
+		case "tp":
+			tpPts++
+		}
+	}
+	if fsdpPts != 1 || tpPts != 3 {
+		t.Errorf("mixed spec: %d fsdp / %d tp points, want 1 / 3", fsdpPts, tpPts)
+	}
+	if mixed.Size() != len(exps) {
+		t.Errorf("Size() = %d, want the exact expansion count %d", mixed.Size(), len(exps))
+	}
+}
+
 func TestSpecExpansionErrors(t *testing.T) {
 	cases := map[string]Spec{
 		"no gpus":     {Models: []string{"GPT-3 XL"}},
@@ -200,7 +264,7 @@ func TestRunnerFailSoftErrorAggregation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := good[0]
-	bad.Parallelism = core.Parallelism(99) // rejected by core.RunMode
+	bad.Parallelism = "warp" // not registered; rejected by core.RunMode
 	cfgs := []core.Config{good[0], bad, good[1]}
 
 	res, err := (&Runner{Workers: 2, Cache: NewMemCache()}).Run(context.Background(), cfgs)

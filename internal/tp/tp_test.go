@@ -1,0 +1,195 @@
+package tp
+
+import (
+	"errors"
+	"testing"
+
+	"overlapsim/internal/exec"
+	"overlapsim/internal/gpu"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/metrics"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/strategy"
+)
+
+func tinyModel() model.Config {
+	return model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+		Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
+}
+
+func cluster(t *testing.T, g *hw.GPUSpec, n int) *gpu.Cluster {
+	t.Helper()
+	cl, err := gpu.New(gpu.Config{System: hw.NewSystem(g, n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func run(t *testing.T, mode exec.Mode, n, degree int) *exec.Plan {
+	t.Helper()
+	cl := cluster(t, hw.H100(), n)
+	plan, err := Build(cl, strategy.Params{
+		Model: tinyModel(), Batch: 8, TPDegree: degree, Format: precision.FP16,
+		MatrixUnits: true, Checkpoint: true, Iterations: 2, Warmup: 1, Mode: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func measured(t *testing.T, plan *exec.Plan) []metrics.Iteration {
+	t.Helper()
+	its, err := plan.MeasuredIterations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return its
+}
+
+func TestOverlappedRuns(t *testing.T) {
+	its := measured(t, run(t, exec.Overlapped, 4, 4))
+	if len(its) != 2 {
+		t.Fatalf("measured %d iterations, want 2", len(its))
+	}
+	for _, it := range its {
+		if it.E2E <= 0 || it.ComputeKernelTime <= 0 || it.CommKernelTime <= 0 {
+			t.Errorf("degenerate iteration: %+v", it)
+		}
+	}
+}
+
+func TestSequentialHasNoOverlapAndIsSlower(t *testing.T) {
+	seq := measured(t, run(t, exec.Sequential, 4, 4))[0]
+	ovl := measured(t, run(t, exec.Overlapped, 4, 4))[0]
+	if seq.OverlapRatio() > 0.01 {
+		t.Errorf("sequential overlap ratio %g, want ≈0", seq.OverlapRatio())
+	}
+	if seq.E2E < ovl.E2E {
+		t.Errorf("sequential E2E %g below overlapped %g", seq.E2E, ovl.E2E)
+	}
+}
+
+// TP's collectives sit on the critical path, so its overlap ratio must
+// be low — this is the worst-case scenario the related work targets. The
+// backward weight-gradient window still yields nonzero overlap.
+func TestOverlapIsWorstCase(t *testing.T) {
+	it := measured(t, run(t, exec.Overlapped, 4, 4))[0]
+	ratio := it.OverlapRatio()
+	if ratio <= 0 {
+		t.Error("weight-gradient window must produce some overlap")
+	}
+	if ratio > 0.6 {
+		t.Errorf("TP overlap ratio %g too high for critical-path collectives", ratio)
+	}
+}
+
+// With degree < node size, the data-parallel groups split the batch and
+// add cross-group gradient all-reduces; the plan must still execute in
+// both modes.
+func TestHybridTPDataParallel(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.Overlapped, exec.Sequential} {
+		its := measured(t, run(t, mode, 4, 2))
+		if len(its) != 2 {
+			t.Fatalf("mode %v: measured %d iterations", mode, len(its))
+		}
+		if its[0].CommKernelTime <= 0 {
+			t.Errorf("mode %v: no communication measured", mode)
+		}
+	}
+}
+
+// Sharding more ways moves less compute per GPU but keeps the same
+// activation collectives: degree 4 must show a worse comm:compute
+// balance than degree 2 on the same node.
+func TestHigherDegreeShiftsBalanceTowardComm(t *testing.T) {
+	d2 := measured(t, run(t, exec.Overlapped, 4, 2))[0]
+	d4 := measured(t, run(t, exec.Overlapped, 4, 4))[0]
+	r2 := d2.CommKernelTime / d2.ComputeKernelTime
+	r4 := d4.CommKernelTime / d4.ComputeKernelTime
+	if r4 <= r2 {
+		t.Errorf("comm/compute ratio should grow with degree: d2=%g d4=%g", r2, r4)
+	}
+}
+
+func TestDegreeDefaultsToNode(t *testing.T) {
+	cl := cluster(t, hw.H100(), 4)
+	plan, err := Build(cl, strategy.Params{Model: tinyModel(), Batch: 8, Format: precision.FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	cases := map[string]strategy.Params{
+		"degree does not divide node":  {Model: tinyModel(), Batch: 8, TPDegree: 3},
+		"degree does not divide heads": {Model: model.Config{Name: "odd", Arch: model.GPT3, Layers: 4, Heads: 6, Hidden: 252, FFN: 1024, Vocab: 2048, SeqLen: 128}, Batch: 8, TPDegree: 4},
+		"batch not divisible":          {Model: tinyModel(), Batch: 9, TPDegree: 2},
+		"negative degree":              {Model: tinyModel(), Batch: 8, TPDegree: -3},
+		"invalid model":                {Model: model.Config{Name: "bad"}, Batch: 8},
+	}
+	for name, p := range cases {
+		if _, err := Build(cluster(t, hw.H100(), 4), p); err == nil {
+			t.Errorf("%s: Build succeeded, want error", name)
+		}
+	}
+	if _, err := Build(cluster(t, hw.H100(), 1), strategy.Params{Model: tinyModel(), Batch: 8}); err == nil {
+		t.Error("single GPU cannot tensor-parallelize")
+	}
+}
+
+func TestOOMGate(t *testing.T) {
+	cl := cluster(t, hw.A100(), 2)
+	_, err := Build(cl, strategy.Params{
+		Model: model.GPT3_13B(), Batch: 8, Format: precision.FP16, Checkpoint: true,
+	})
+	var oom *model.ErrOOM
+	if !errors.As(err, &oom) {
+		t.Fatalf("13B at TP degree 2 on 40 GB must OOM, got %v", err)
+	}
+	if _, err := Build(cluster(t, hw.A100(), 2), strategy.Params{
+		Model: model.GPT3_13B(), Batch: 8, Format: precision.FP16, Checkpoint: true, SkipMemoryCheck: true,
+	}); err != nil {
+		t.Errorf("skip-check build failed: %v", err)
+	}
+}
+
+func TestRegisteredWithoutCoreEdits(t *testing.T) {
+	s, err := strategy.Lookup("tp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Describe()
+	if info.Display != "TP" || !info.TPDegree || info.MicroBatch || info.GradAccum {
+		t.Errorf("info %+v", info)
+	}
+	// The canonical default degree is the whole node.
+	canon, ok := s.(strategy.Canonicalizer)
+	if !ok {
+		t.Fatal("tp must implement strategy.Canonicalizer")
+	}
+	if p := canon.CanonicalParams(strategy.Params{}, 8); p.TPDegree != 8 {
+		t.Errorf("default degree %d, want 8", p.TPDegree)
+	}
+	if p := canon.CanonicalParams(strategy.Params{TPDegree: 2}, 8); p.TPDegree != 2 {
+		t.Errorf("explicit degree overridden to %d", p.TPDegree)
+	}
+}
+
+// Jitter-free runs must be deterministic (the registry redesign must not
+// introduce scheduling nondeterminism).
+func TestDeterministic(t *testing.T) {
+	a := measured(t, run(t, exec.Overlapped, 4, 2))[0]
+	b := measured(t, run(t, exec.Overlapped, 4, 2))[0]
+	if a.E2E != b.E2E {
+		t.Errorf("identical configs diverge: %g vs %g", a.E2E, b.E2E)
+	}
+}

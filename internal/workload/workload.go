@@ -56,7 +56,7 @@ func Figure1a() []core.Config {
 			out = append(out, core.Config{
 				System:      hw.SystemH100x8(),
 				Model:       m,
-				Parallelism: core.FSDP,
+				Parallelism: "fsdp",
 				Batch:       bs,
 				Format:      precision.FP16,
 				MatrixUnits: true,
@@ -74,7 +74,7 @@ func Figure1b() []core.Config {
 		out = append(out, core.Config{
 			System:      hw.SystemA100x4(),
 			Model:       model.GPT3_2_7B(),
-			Parallelism: core.Pipeline,
+			Parallelism: "pp",
 			Batch:       bs,
 			Format:      precision.FP16,
 			MatrixUnits: true,
@@ -91,7 +91,7 @@ func MainGrid() []core.Config {
 	for _, sys := range Systems() {
 		for _, m := range model.Zoo() {
 			for _, bs := range EvalBatches() {
-				for _, par := range []core.Parallelism{core.FSDP, core.Pipeline} {
+				for _, par := range []core.Parallelism{"fsdp", "pp"} {
 					out = append(out, core.Config{
 						System:      sys,
 						Model:       m,
@@ -113,7 +113,7 @@ func Figure7() core.Config {
 	return core.Config{
 		System:        hw.SystemMI250x4(),
 		Model:         model.LLaMA2_13B(),
-		Parallelism:   core.FSDP,
+		Parallelism:   "fsdp",
 		Batch:         8,
 		Format:        precision.FP16,
 		MatrixUnits:   true,
@@ -132,7 +132,7 @@ func Figure9() []core.Config {
 		out = append(out, core.Config{
 			System:      hw.SystemA100x4(),
 			Model:       model.GPT3_2_7B(),
-			Parallelism: core.FSDP,
+			Parallelism: "fsdp",
 			Batch:       16,
 			Format:      precision.FP16,
 			MatrixUnits: true,
@@ -155,9 +155,9 @@ func Figure10() []core.Config {
 	for _, m := range PrecisionModels() {
 		for _, bs := range []int{8, 16} {
 			out = append(out,
-				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: core.FSDP,
+				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: "fsdp",
 					Batch: bs, Format: precision.FP32, MatrixUnits: false},
-				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: core.FSDP,
+				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: "fsdp",
 					Batch: bs, Format: precision.FP16, MatrixUnits: true},
 			)
 		}
@@ -172,9 +172,9 @@ func Figure11() []core.Config {
 	for _, m := range PrecisionModels() {
 		for _, bs := range []int{8, 16} {
 			out = append(out,
-				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: core.FSDP,
+				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: "fsdp",
 					Batch: bs, Format: precision.FP32, MatrixUnits: false},
-				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: core.FSDP,
+				core.Config{System: hw.SystemH100x4(), Model: m, Parallelism: "fsdp",
 					Batch: bs, Format: precision.FP32, MatrixUnits: true},
 			)
 		}

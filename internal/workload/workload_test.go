@@ -90,7 +90,7 @@ func tinyConfig() core.Config {
 		System: hw.SystemH100x4(),
 		Model: model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
 			Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128},
-		Parallelism: core.FSDP,
+		Parallelism: "fsdp",
 		Batch:       8,
 		Format:      precision.FP16,
 		MatrixUnits: true,
