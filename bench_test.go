@@ -283,6 +283,36 @@ func BenchmarkSingleIterationFSDP(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiNodeFSDP measures engine throughput beyond one node: an
+// overlapped FSDP iteration of GPT-3 13B on a 4-node × 8-GPU H100
+// cluster (32 ranks, hierarchical NVLink+NIC fabric). Alongside
+// BenchmarkSingleIterationFSDP it tracks how simulation cost scales with
+// cluster size, and its characterization metrics expose the NIC tier:
+// the overlap ratio reported here should exceed the single-node runs'.
+func BenchmarkMultiNodeFSDP(b *testing.B) {
+	cfg := core.Config{
+		System:      hw.NewMultiNode(hw.H100(), 8, 4),
+		Model:       model.GPT3_13B(),
+		Parallelism: "fsdp",
+		Batch:       64,
+		Format:      precision.FP16,
+		MatrixUnits: true,
+		Iterations:  1,
+		Warmup:      0,
+	}
+	var res *core.ModeResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, err = core.RunMode(context.Background(), cfg, exec.Overlapped); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.System.TotalGPUs()), "gpus")
+	b.ReportMetric(res.Mean.E2E*1e3, "e2e_ms")
+	b.ReportMetric(res.OverlapRatio*100, "overlap_%")
+}
+
 // BenchmarkPowerSampling measures telemetry overhead.
 func BenchmarkPowerSampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,7 +9,13 @@
 //	    -batch 16 -format fp16 -powercap 400
 //
 // The -parallelism flag accepts any registered strategy name, including
-// tensor parallelism ("tp", with -tp-degree).
+// tensor parallelism ("tp", with -tp-degree). The platform is equally
+// open: -hw-file loads user-defined GPUs and systems (JSON, see
+// examples/custom_hardware), -system selects any registered system by
+// name, and -nodes scales the -gpu/-n node out over the NIC tier:
+//
+//	overlapchar -hw-file my_gpus.json -system MyPod -model "GPT-3 13B"
+//	overlapchar -gpu H100 -n 8 -nodes 4 -model "GPT-3 13B" -batch 64
 package main
 
 import (
@@ -33,8 +39,11 @@ func main() {
 	log.SetPrefix("overlapchar: ")
 
 	var (
-		gpuName  = flag.String("gpu", "H100", "GPU model: A100, H100, MI210, MI250")
-		n        = flag.Int("n", 4, "number of GPUs in the node")
+		hwFile   = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file first")
+		sysName  = flag.String("system", "", "registered system name (overrides -gpu/-n/-nodes)")
+		gpuName  = flag.String("gpu", "H100", "registered GPU name: A100, H100, MI210, MI250, ...")
+		n        = flag.Int("n", 4, "number of GPUs per node")
+		nodes    = flag.Int("nodes", 1, "number of nodes joined by the NIC tier")
 		modelNm  = flag.String("model", "GPT-3 XL", `workload: "GPT-3 XL", "GPT-3 2.7B", "GPT-3 6.7B", "GPT-3 13B", "LLaMA2 13B"`)
 		par      = flag.String("parallelism", "fsdp", "distribution strategy: "+strings.Join(strategy.Names(), ", "))
 		batch    = flag.Int("batch", 8, "global batch size")
@@ -49,9 +58,28 @@ func main() {
 	)
 	flag.Parse()
 
-	g := hw.ByName(*gpuName)
-	if g == nil {
-		log.Fatalf("unknown GPU %q (have A100, H100, MI210, MI250)", *gpuName)
+	if *hwFile != "" {
+		if err := hw.LoadFile(*hwFile); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var sys hw.System
+	if *sysName != "" {
+		var err error
+		sys, err = hw.SystemByName(*sysName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		g, err := hw.GPUByName(*gpuName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *nodes > 1 {
+			sys = hw.NewMultiNode(g, *n, *nodes)
+		} else {
+			sys = hw.NewSystem(g, *n)
+		}
 	}
 	m, err := model.ByName(*modelNm)
 	if err != nil {
@@ -67,7 +95,7 @@ func main() {
 	}
 
 	cfg := core.Config{
-		System:       hw.NewSystem(g, *n),
+		System:       sys,
 		Model:        m,
 		Parallelism:  p,
 		Batch:        *batch,

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"overlapsim/internal/hw"
 	"overlapsim/internal/service"
 	"overlapsim/internal/sweep"
 )
@@ -34,11 +35,18 @@ func main() {
 
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		hwFile   = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file into the served catalog")
 		cacheDir = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
 		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
 		maxPts   = flag.Int("max-points", service.DefaultMaxSweepPoints, "largest sweep grid a job may submit")
 	)
 	flag.Parse()
+
+	if *hwFile != "" {
+		if err := hw.LoadFile(*hwFile); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var cache sweep.Cache
 	if *cacheDir != "" {

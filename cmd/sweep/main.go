@@ -4,9 +4,17 @@
 // an aggregate summary. Re-running the same spec against a warm cache
 // directory is near-free: every point reports a cache hit.
 //
+// -hw-file loads user-defined GPUs and systems (JSON, see
+// examples/custom_hardware) into the platform registry before the spec
+// resolves, so custom hardware names work as sweep axes. -validate
+// parses and validates the spec — axes, strategy names, system and GPU
+// names, shapes — without running anything; CI validates every example
+// spec this way.
+//
 // Example:
 //
 //	sweep -spec examples/sweeps/paper_grid.json -cache .sweepcache -csv out.csv
+//	sweep -validate -spec examples/sweeps/multinode_grid.json
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"overlapsim/internal/hw"
 	"overlapsim/internal/report"
 	"overlapsim/internal/sweep"
 )
@@ -29,6 +38,8 @@ func main() {
 
 	var (
 		specPath = flag.String("spec", "", `sweep spec JSON file ("-" reads stdin)`)
+		hwFile   = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file before resolving the spec")
+		validate = flag.Bool("validate", false, "parse and validate the spec (axes, names, shapes) without running it")
 		cacheDir = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
@@ -39,15 +50,21 @@ func main() {
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), `
 example specs:
-  examples/sweeps/paper_grid.json   the paper's GPU x model x strategy grid
-  examples/sweeps/powercap.json     power capping (Fig. 9 style)
-  examples/sweeps/tp_grid.json      tensor-parallel degree x batch x precision
+  examples/sweeps/paper_grid.json      the paper's GPU x model x strategy grid
+  examples/sweeps/powercap.json        power capping (Fig. 9 style)
+  examples/sweeps/tp_grid.json         tensor-parallel degree x batch x precision
+  examples/sweeps/multinode_grid.json  node-count scaling over the NIC tier
 `)
 	}
 	flag.Parse()
 	if *specPath == "" {
 		flag.Usage()
 		log.Fatal("missing -spec")
+	}
+	if *hwFile != "" {
+		if err := hw.LoadFile(*hwFile); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var in io.Reader = os.Stdin
@@ -62,6 +79,15 @@ example specs:
 	spec, err := sweep.ParseSpec(in)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *validate {
+		n, err := spec.Validate()
+		if err != nil {
+			log.Fatalf("invalid spec: %v", err)
+		}
+		fmt.Printf("spec %q ok: %d points\n", spec.Name, n)
+		return
 	}
 
 	var cache sweep.Cache = sweep.NewMemCache()

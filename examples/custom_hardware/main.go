@@ -1,0 +1,62 @@
+// Command custom_hardware is the end-to-end proof that the platform
+// layer is open: it loads a user-defined GPU ("X200") and two systems
+// from hardware.json, then characterizes the multi-node pod through the
+// unmodified core harness — no edits to internal/core (or anything else)
+// were needed to teach the simulator this hardware.
+//
+// Run from the repository root:
+//
+//	go run ./examples/custom_hardware
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("custom_hardware: ")
+	hwFile := flag.String("hw-file", "examples/custom_hardware/hardware.json", "hardware definition to load")
+	flag.Parse()
+
+	if err := hw.LoadFile(*hwFile); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered systems: %v\n\n", hw.SystemNames())
+
+	for _, name := range []string{"X200x8", "X200-pod"} {
+		cfg := core.Config{
+			Model:       model.GPT3_13B(),
+			Parallelism: "fsdp",
+			Batch:       64,
+			Format:      precision.FP16,
+			MatrixUnits: true,
+			Iterations:  2,
+		}
+		cfg, err := cfg.ResolveSystem(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(context.Background(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys := cfg.System
+		fmt.Printf("%s (%d GPUs = %d node(s) x %d, %s fabric)\n",
+			sys.Name, sys.TotalGPUs(), sys.NodeCount(), sys.N, sys.FabricKind())
+		fmt.Printf("  E2E iteration     : %8.2f ms overlapped, %8.2f ms sequential\n",
+			res.Overlapped.Mean.E2E*1e3, res.Sequential.Mean.E2E*1e3)
+		fmt.Printf("  compute slowdown  : %6.2f %%   overlap ratio: %6.2f %%\n",
+			res.Char.ComputeSlowdown*100, res.Char.OverlapRatio*100)
+		fmt.Printf("  avg / peak power  : %.2f / %.2f x TDP\n\n",
+			res.Overlapped.AvgTDP, res.Overlapped.PeakTDP)
+	}
+}

@@ -67,15 +67,35 @@ func TreeSteps(d Desc) int {
 	return depth
 }
 
+// treeTime returns the completion time of the tree algorithm on the
+// fabric. The full payload crosses every tier (an interior node forwards
+// it up and down), paying the tier's bandwidth and log-depth latency; on
+// a single-tier fabric this is the classic closed form.
+func treeTime(d Desc, f topo.Fabric) float64 {
+	tiers := f.Tiers()
+	spans := tierSpans(d, tiers)
+	total := 0.0
+	for i, k := range spans {
+		if k < 2 {
+			continue
+		}
+		steps := treeDepth(k)
+		if d.Op == AllReduce {
+			steps *= 2
+		}
+		total += TreeWireBytesPerRank(d)/tiers[i].BW + float64(steps)*tiers[i].StepLatency
+	}
+	return total
+}
+
 // TimeWith returns the completion time of the collective under the given
 // algorithm. Auto picks the faster supported variant.
-func TimeWith(d Desc, t *topo.Topology, a Algo) float64 {
-	ring := Time(d, t)
+func TimeWith(d Desc, f topo.Fabric, a Algo) float64 {
+	ring := Time(d, f)
 	if a == Ring || !treeSupported(d.Op) {
 		return ring
 	}
-	bw := BW(d, t)
-	tree := TreeWireBytesPerRank(d)/bw + float64(TreeSteps(d))*t.HopLatency()
+	tree := treeTime(d, f)
 	if a == Tree {
 		return tree
 	}
@@ -86,11 +106,11 @@ func TimeWith(d Desc, t *topo.Topology, a Algo) float64 {
 }
 
 // BestAlgo returns the algorithm Auto would choose for the collective.
-func BestAlgo(d Desc, t *topo.Topology) Algo {
+func BestAlgo(d Desc, f topo.Fabric) Algo {
 	if !treeSupported(d.Op) {
 		return Ring
 	}
-	if TimeWith(d, t, Tree) < TimeWith(d, t, Ring) {
+	if TimeWith(d, f, Tree) < TimeWith(d, f, Ring) {
 		return Tree
 	}
 	return Ring

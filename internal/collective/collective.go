@@ -5,10 +5,14 @@
 //
 // Collectives follow the standard ring algorithm α-β cost model: an
 // operation over payload S on N ranks moves a well-defined number of wire
-// bytes per rank in a fixed number of latency-bound steps. On top of pure
-// transfer time the package exposes the on-GPU resources a resident
-// collective kernel consumes — SM/CU occupancy and HBM bandwidth — which is
-// what couples communication to compute slowdown in the device model.
+// bytes per rank in a fixed number of latency-bound steps. On a
+// hierarchical (multi-node) fabric the cost decomposes per tier — an
+// intra-node ring phase followed by an inter-node phase over the NIC
+// tier, the NCCL hierarchical algorithms — and reduces exactly to the
+// single-ring closed form on one node. On top of pure transfer time the
+// package exposes the on-GPU resources a resident collective kernel
+// consumes — SM/CU occupancy and HBM bandwidth — which is what couples
+// communication to compute slowdown in the device model.
 package collective
 
 import (
@@ -96,6 +100,14 @@ type Desc struct {
 	// than its group size when several symmetric groups run the same
 	// operation as one fluid task.
 	Ranks []int
+	// Group, when non-nil, lists the device indices of one
+	// representative algorithm group (length N). Hierarchical fabrics
+	// read its placement to decide which tiers the ring crosses; it
+	// defaults to the first N Ranks (or 0..N-1), which is right for
+	// contiguous groups. Strided symmetric groups — tp's cross-group
+	// gradient all-reduce, whose N peers sit one per TP group — must set
+	// it, or a spanning collective would be costed entirely intra-node.
+	Group []int
 	// Src and Dst identify the endpoints of a SendRecv.
 	Src, Dst int
 	// Gate, when non-nil, marks the operation as posted early: the kernel
@@ -140,7 +152,39 @@ func (d Desc) Validate() error {
 			seen[r] = true
 		}
 	}
+	if d.Group != nil {
+		if len(d.Group) != d.N {
+			return fmt.Errorf("collective: %q group lists %d ranks, algorithm runs over %d", d.Name, len(d.Group), d.N)
+		}
+		seen := make(map[int]bool, len(d.Group))
+		for _, r := range d.Group {
+			if r < 0 {
+				return fmt.Errorf("collective: %q group lists negative rank %d", d.Name, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("collective: %q group lists rank %d twice", d.Name, r)
+			}
+			seen[r] = true
+		}
+	}
 	return nil
+}
+
+// groupPlacement returns the device indices of one representative
+// algorithm group: the explicit Group, else the first N ranks of the
+// occupancy set, else 0..N-1.
+func (d Desc) groupPlacement() []int {
+	if d.Group != nil {
+		return d.Group
+	}
+	if d.Ranks != nil && len(d.Ranks) >= d.N {
+		return d.Ranks[:d.N]
+	}
+	out := make([]int, d.N)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // WireBytesPerRank returns the bytes each rank transmits on the wire under
@@ -179,32 +223,165 @@ func (d Desc) Steps() int {
 	}
 }
 
-// BW returns the wire bandwidth in bytes/s the operation sustains per rank
-// on the given topology.
-func BW(d Desc, t *topo.Topology) float64 {
+// BW returns the wire bandwidth in bytes/s the operation sustains per
+// rank on the given fabric: the pairwise path rate for SendRecv, the
+// bottleneck rate of the tiers the operation's ring actually crosses
+// otherwise — a subgroup contained in one node of a multi-node fabric
+// keeps its intra-node rate. It is the rate the simulator assigns the
+// fluid task and the rate the HBM-draw model sees.
+func BW(d Desc, f topo.Fabric) float64 {
 	if d.Op == SendRecv {
-		return t.P2PBW(d.Src, d.Dst)
+		return f.P2PBW(d.Src, d.Dst)
 	}
-	return t.RingBW()
+	tiers := f.Tiers()
+	if len(tiers) == 1 {
+		return f.RingBW()
+	}
+	bw := 0.0
+	for i, k := range tierSpans(d, tiers) {
+		if k >= 2 && (bw == 0 || tiers[i].BW < bw) {
+			bw = tiers[i].BW
+		}
+	}
+	if bw == 0 {
+		bw = f.RingBW()
+	}
+	return bw
+}
+
+// phase is one tier of the hierarchical ring decomposition: the per-rank
+// bytes crossing the tier, the tier bandwidth, and the latency-bound step
+// count.
+type phase struct {
+	bytes float64
+	bw    float64
+	steps int
+	lat   float64
+}
+
+// fillSpans distributes n ranks over the tiers innermost-first by
+// filling: each tier takes at most its fan-out, the outermost takes the
+// rest. A tier left with one rank contributes a no-op phase.
+func fillSpans(n int, tiers []topo.Tier) []int {
+	spans := make([]int, len(tiers))
+	rem := n
+	for i, t := range tiers {
+		k := t.Ranks
+		if i == len(tiers)-1 || rem < k {
+			k = rem
+		}
+		if k < 1 {
+			k = 1
+		}
+		spans[i] = k
+		rem = (rem + k - 1) / k
+	}
+	return spans
+}
+
+// tierSpans returns the ring fan-out of the collective at each fabric
+// tier, innermost first. On a multi-tier fabric the outermost (node)
+// span follows the actual placement of the algorithm group — how many
+// nodes its N ranks touch — so a strided cross-node group (tp's DP
+// all-reduce, one peer per node) is costed on the NIC tier, while a
+// group contained in one node never pays it. The inner ranks fill the
+// intra-node tiers.
+func tierSpans(d Desc, tiers []topo.Tier) []int {
+	if len(tiers) == 1 {
+		return []int{d.N}
+	}
+	nodeSize := 1
+	for _, t := range tiers[:len(tiers)-1] {
+		nodeSize *= t.Ranks
+	}
+	nodes := make(map[int]bool, len(tiers))
+	for _, r := range d.groupPlacement() {
+		nodes[r/nodeSize] = true
+	}
+	m := len(nodes)
+	if m < 1 {
+		m = 1
+	}
+	perNode := (d.N + m - 1) / m
+	spans := fillSpans(perNode, tiers[:len(tiers)-1])
+	return append(spans, m)
+}
+
+// phases returns the per-tier ring decomposition of the collective. On a
+// single-tier fabric this is exactly the classic closed form: the
+// operation's per-rank wire bytes at ring bandwidth in Steps() latency
+// steps.
+func phases(d Desc, f topo.Fabric) []phase {
+	tiers := f.Tiers()
+	spans := tierSpans(d, tiers)
+	var out []phase
+	// shard is the payload fraction entering the tier (all-gather /
+	// reduce-scatter payloads shrink by the fan-out of each inner tier);
+	// filled is the rank count covered by inner tiers (all-to-all
+	// bookkeeping).
+	shard := d.Bytes
+	filled := 1
+	n := float64(d.N)
+	for i, k := range spans {
+		if k < 2 {
+			continue
+		}
+		kf := float64(k)
+		ph := phase{bw: tiers[i].BW, lat: tiers[i].StepLatency}
+		switch d.Op {
+		case AllReduce:
+			ph.bytes = 2 * shard * (kf - 1) / kf
+			ph.steps = 2 * (k - 1)
+		case AllGather, ReduceScatter:
+			ph.bytes = shard * (kf - 1) / kf
+			ph.steps = k - 1
+		case Broadcast:
+			// The full payload crosses every tier.
+			ph.bytes = d.Bytes
+			ph.steps = k - 1
+		case AllToAll:
+			// Each rank exchanges Bytes/N with every peer; this tier
+			// carries the peers it newly reaches.
+			ph.bytes = d.Bytes * float64(filled*k-filled) / n
+			ph.steps = k - 1
+		default:
+			panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
+		}
+		if ph.bw <= 0 {
+			panic(fmt.Sprintf("collective: zero tier bandwidth for %q", d.Name))
+		}
+		out = append(out, ph)
+		shard /= kf
+		filled *= k
+	}
+	return out
 }
 
 // Time returns the contention-free completion time of the collective on
-// the topology: transfer of the per-rank wire bytes plus per-step hop
-// latencies.
-func Time(d Desc, t *topo.Topology) float64 {
-	bw := BW(d, t)
-	if bw <= 0 {
-		panic(fmt.Sprintf("collective: zero bandwidth for %q", d.Name))
+// the fabric: per tier, transfer of the bytes crossing that tier at the
+// tier's bandwidth plus its latency-bound ring steps. SendRecv pays the
+// pairwise path rate and latency (NIC latency when the endpoints sit on
+// different nodes).
+func Time(d Desc, f topo.Fabric) float64 {
+	if d.Op == SendRecv {
+		bw := f.P2PBW(d.Src, d.Dst)
+		if bw <= 0 {
+			panic(fmt.Sprintf("collective: zero bandwidth for %q", d.Name))
+		}
+		return d.Bytes/bw + f.PathLatency(d.Src, d.Dst)
 	}
-	return d.WireBytesPerRank()/bw + float64(d.Steps())*t.HopLatency()
+	total := 0.0
+	for _, ph := range phases(d, f) {
+		total += ph.bytes/ph.bw + float64(ph.steps)*ph.lat
+	}
+	return total
 }
 
-// EffWireBytes returns the latency-adjusted wire bytes the simulator uses
-// as the task's work: the per-rank wire bytes plus the byte-equivalent of
-// the step latencies at the operation's bandwidth. Executing this work at
-// BW reproduces Time exactly, letting a collective be one fluid task.
-func EffWireBytes(d Desc, t *topo.Topology) float64 {
-	return d.WireBytesPerRank() + float64(d.Steps())*t.HopLatency()*BW(d, t)
+// EffWireBytes returns the latency- and tier-adjusted wire bytes the
+// simulator uses as the task's work: executing this work at BW reproduces
+// Time exactly, letting a multi-phase collective be one fluid task.
+func EffWireBytes(d Desc, f topo.Fabric) float64 {
+	return Time(d, f) * BW(d, f)
 }
 
 // BusBW returns the nccl-tests style "bus bandwidth" implied by a measured

@@ -9,7 +9,7 @@ import (
 	"overlapsim/internal/topo"
 )
 
-func topo4() *topo.Topology {
+func topo4() topo.Fabric {
 	return topo.ForSystem(hw.NewSystem(hw.H100(), 4))
 }
 

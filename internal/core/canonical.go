@@ -18,13 +18,19 @@ import (
 // The strategy-registry redesign deliberately did NOT bump it: the three
 // legacy strategies encode exactly as before (Parallelism marshals to the
 // historical enum integer, new knobs are omitted when inert), so every
-// pre-redesign cache entry stays addressable.
+// pre-redesign cache entry stays addressable. The platform-registry
+// redesign follows the same discipline: hw.System's multi-node fields
+// (Nodes, Fabric, NIC) are omitted when inert and Canonicalize clears
+// them, so single-node configs — everything expressible before — keep
+// their addresses.
 const fingerprintVersion = "overlapsim-config-v1"
 
 // Canonicalize returns the config with every implicit default made
 // explicit and every inert knob cleared, so that two configs that
 // describe the same experiment encode (and hash) identically: the
-// strategy name is resolved to its canonical registry spelling,
+// strategy name is resolved to its canonical registry spelling, the
+// system's inert platform fields (a node count of one, a NIC tier that
+// is never crossed, a fabric naming the vendor default) are cleared,
 // Iterations/Warmup defaults are replaced by the values the executors
 // actually use, knobs the selected strategy ignores (per its registry
 // Info) are zeroed, strategy-specific defaults (pipeline microbatch, TP
@@ -32,6 +38,7 @@ const fingerprintVersion = "overlapsim-config-v1"
 // is cleared when jitter is disabled (a seed without jitter changes
 // nothing).
 func (c Config) Canonicalize() Config {
+	c.System = c.System.Canonical()
 	if c.Iterations <= 0 {
 		c.Iterations = 2
 	}
@@ -61,7 +68,7 @@ func (c Config) Canonicalize() Config {
 			c.TPDegree = 0
 		}
 		if canon, ok := s.(strategy.Canonicalizer); ok {
-			p := canon.CanonicalParams(c.params(0), c.System.N)
+			p := canon.CanonicalParams(c.params(0), c.System.TotalGPUs())
 			if info.MicroBatch {
 				c.MicroBatch = p.MicroBatch
 			}
@@ -83,7 +90,21 @@ func (c Config) Canonicalize() Config {
 func (c Config) CanonicalJSON() ([]byte, error) {
 	// encoding/json sorts map keys, so the GPUSpec TFLOPS maps encode
 	// deterministically.
-	return json.Marshal(c.Canonicalize())
+	cc := c.Canonicalize()
+	if cc.JitterSigma != 0 {
+		// The platform redesign changed jittered semantics: each mode
+		// now draws from its own seed-derived stream (modeSeed) instead
+		// of both sharing the config seed, so a jittered config's
+		// measurements differ from pre-redesign runs. Salting only the
+		// jittered encoding retires those stale cache entries while the
+		// deterministic default — every paper grid, example and sweep —
+		// keeps its pre-redesign address.
+		return json.Marshal(struct {
+			Config
+			JitterScheme string
+		}{cc, "per-mode-v2"})
+	}
+	return json.Marshal(cc)
 }
 
 // Fingerprint returns the content address of the experiment: a SHA-256

@@ -136,7 +136,9 @@ func Parallelisms() []Parallelism {
 
 // Config describes one characterization experiment.
 type Config struct {
-	// System is the GPU node.
+	// System is the GPU platform — a single node or a multi-node fabric.
+	// Any registered system works here: set it directly, or resolve a
+	// registry name (built-in or JSON-loaded) with ResolveSystem.
 	System hw.System
 	// Model is the workload (Table II).
 	Model model.Config
@@ -183,6 +185,21 @@ type Config struct {
 // Label returns a compact human-readable description of the experiment.
 func (c Config) Label() string {
 	return fmt.Sprintf("%s %s %s bs=%d %s", c.System.Name, c.Parallelism, c.Model.Name, c.Batch, c.Format)
+}
+
+// ResolveSystem returns the config with its system replaced by the
+// registry entry of the given name — the hardware analogue of resolving
+// a strategy name. The four paper systems resolve to values that
+// canonicalize byte-identically to the legacy constructors, so switching
+// a caller from hw.SystemH100x8() to ResolveSystem("H100x8") preserves
+// fingerprints and cache addresses.
+func (c Config) ResolveSystem(name string) (Config, error) {
+	sys, err := hw.SystemByName(name)
+	if err != nil {
+		return c, fmt.Errorf("core: %w", err)
+	}
+	c.System = sys
+	return c, nil
 }
 
 // params maps the config onto the shared strategy parameter set for the
@@ -249,7 +266,7 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 		Caps:          cfg.Caps,
 		TraceInterval: cfg.TraceInterval,
 		JitterSigma:   cfg.JitterSigma,
-		Seed:          cfg.Seed,
+		Seed:          modeSeed(cfg.Seed, mode),
 	})
 	if err != nil {
 		return nil, err
@@ -320,6 +337,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Sequential: *seq,
 		Char:       metrics.Characterize(seq.Mean, ovl.Mean),
 	}, nil
+}
+
+// modeSeed derives the jitter seed of one execution mode from the
+// config's seed: a splitmix64-style mix keyed by the mode, so the two
+// concurrently simulated modes draw from independent deterministic
+// streams. Previously both modes seeded identical streams, correlating
+// their "run-to-run" variation sample-for-sample — the sequential run
+// inherited the overlapped run's perturbations in task-creation order
+// instead of being an independent measurement. Runs stay reproducible:
+// the same (Seed, mode) always yields the same stream.
+func modeSeed(seed int64, mode exec.Mode) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(mode)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e9b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // firstError picks the error to report from the concurrent modes,

@@ -39,10 +39,17 @@ func TestFingerprintStableAcrossRedesign(t *testing.T) {
 				Format: precision.FP32, MatrixUnits: false, NoCheckpoint: true},
 			"5ddf7b48945f2fabd2f442f8ce7e56a9add92bb126a957cce6ed5140d2206d5c",
 		},
+		// Jittered configs are the one deliberate exception to
+		// pre-redesign stability: the platform redesign gave each
+		// execution mode an independent seed-derived jitter stream, so
+		// their measurements changed and CanonicalJSON salts the encoding
+		// ("per-mode-v2") to retire stale cache entries. This hash pins
+		// the salted encoding; the deterministic cases above must stay on
+		// their PR-1 values forever.
 		"fsdp-jitter": {
 			Config{System: hw.SystemH100x4(), Model: model.LLaMA2_13B(), Parallelism: FSDP, Batch: 8,
 				Format: precision.FP16, MatrixUnits: true, JitterSigma: 0.02, Seed: 9, Iterations: 3, Warmup: 2},
-			"ccd1a2182d3b694eeb68dec9fa61cb474d5cb71d589cb7e9eb7c08d5019b0fd4",
+			"2ae34acab1395144d52676869ca48b37d352556dfbe0fcb6047c67e0dff63489",
 		},
 	}
 	for name, tc := range cases {

@@ -147,7 +147,7 @@ func (b *builder) newCompute(name string, d kernels.Desc) []*sim.Task {
 
 func (b *builder) newAllReduce(name string, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.n}
-	work := collective.EffWireBytes(cd, b.cl.Topology())
+	work := collective.EffWireBytes(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
 		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)

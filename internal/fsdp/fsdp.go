@@ -147,7 +147,7 @@ func (b *builder) newCollective(name string, op collective.Op, bytes float64) *s
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Topology())
+	work := collective.EffWireBytes(cd, b.cl.Fabric())
 	var t *sim.Task
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)

@@ -22,7 +22,9 @@ import (
 
 // Config configures a Cluster.
 type Config struct {
-	// System is the node under simulation.
+	// System is the system under simulation — one node or several joined
+	// by a hierarchical fabric; the cluster simulates System.TotalGPUs()
+	// devices.
 	System hw.System
 	// Caps are the power/frequency limits applied to every GPU.
 	Caps power.Caps
@@ -35,16 +37,22 @@ type Config struct {
 	// JitterSigma adds lognormal run-to-run variation to kernel rates
 	// (fractional sigma, for example 0.02); zero is fully deterministic.
 	JitterSigma float64
-	// Seed seeds the jitter stream.
+	// Seed seeds the jitter stream. Every cluster owns a private
+	// generator seeded here — there is no shared or global source — so
+	// concurrent simulations (core.Run's two modes, sweep workers) are
+	// reproducible independently of scheduling; callers running several
+	// clusters of one experiment must derive a distinct seed per cluster.
 	Seed int64
 }
 
-// Cluster is a node of identical GPUs. It implements sim.Platform (rate
-// assignment) and sim.Observer (power integration).
+// Cluster is a system of identical GPUs — one node or several behind a
+// hierarchical fabric. It implements sim.Platform (rate assignment) and
+// sim.Observer (power integration).
 type Cluster struct {
 	cfg      Config
+	n        int
 	g        *hw.GPUSpec
-	topo     *topo.Topology
+	fabric   topo.Fabric
 	freq     []float64
 	samplers []*power.Sampler
 	traces   []*power.Sampler
@@ -63,21 +71,22 @@ var (
 
 // New builds a cluster for the given configuration.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.System.GPU == nil || cfg.System.N < 1 {
+	if cfg.System.GPU == nil || cfg.System.N < 1 || cfg.System.Nodes < 0 {
 		return nil, fmt.Errorf("gpu: invalid system %+v", cfg.System)
 	}
 	if err := cfg.Caps.Validate(cfg.System.GPU); err != nil {
 		return nil, err
 	}
-	n := cfg.System.N
+	n := cfg.System.TotalGPUs()
 	interval := cfg.SamplerInterval
 	if interval <= 0 {
 		interval = power.SamplerIntervalFor(cfg.System.GPU.Vendor)
 	}
 	c := &Cluster{
 		cfg:     cfg,
+		n:       n,
 		g:       cfg.System.GPU,
-		topo:    topo.ForSystem(cfg.System),
+		fabric:  topo.ForSystem(cfg.System),
 		freq:    make([]float64, n),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		jitter:  make(map[*sim.Task]float64),
@@ -96,14 +105,14 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Topology returns the cluster's interconnect model.
-func (c *Cluster) Topology() *topo.Topology { return c.topo }
+// Fabric returns the cluster's interconnect model.
+func (c *Cluster) Fabric() topo.Fabric { return c.fabric }
 
 // GPU returns the device spec.
 func (c *Cluster) GPU() *hw.GPUSpec { return c.g }
 
-// N returns the number of GPUs.
-func (c *Cluster) N() int { return c.cfg.System.N }
+// N returns the number of GPUs across all nodes.
+func (c *Cluster) N() int { return c.n }
 
 // FreqFactor returns the most recently solved DVFS frequency factor of
 // GPU i.
@@ -181,7 +190,7 @@ func (c *Cluster) Rates(now float64, running []*sim.Task) {
 				// but moving no data.
 				t.SetRate(0)
 			} else {
-				t.SetRate(collective.BW(p, c.topo) * c.jitterFor(t))
+				t.SetRate(collective.BW(p, c.fabric) * c.jitterFor(t))
 			}
 		case kernels.Desc:
 			// set below
@@ -262,7 +271,7 @@ func (c *Cluster) pressure(dev int) (smStolen, hbmStolen, serialize float64) {
 			sm = sm / 2
 			w = w / 2
 		} else {
-			wireRate := collective.BW(cd, c.topo)
+			wireRate := collective.BW(cd, c.fabric)
 			hbmStolen += collective.HBMDraw(cd, c.g, wireRate)
 		}
 		smStolen += sm
@@ -297,7 +306,7 @@ func (c *Cluster) deviceActivity(dev int, f, smStolen, hbmStolen, serialize floa
 		if cd.Waiting() {
 			continue
 		}
-		wireRate := collective.BW(cd, c.topo)
+		wireRate := collective.BW(cd, c.fabric)
 		commUtil += wireRate / c.g.UniLinkBW()
 		act.Mem += collective.HBMDraw(cd, c.g, wireRate) / c.g.MemBW()
 	}

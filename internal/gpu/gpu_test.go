@@ -59,7 +59,7 @@ func TestCollectiveSlowsCoRunningCompute(t *testing.T) {
 		if withComm {
 			comm := eng.NewStream("comm", 0)
 			cd := collective.Desc{Name: "ar", Op: collective.AllReduce, Bytes: 8 << 30, N: 4}
-			eng.NewTask("ar", sim.KindComm, collective.EffWireBytes(cd, cl.Topology()), cd, comm)
+			eng.NewTask("ar", sim.KindComm, collective.EffWireBytes(cd, cl.Fabric()), cd, comm)
 		}
 		if err := eng.Run(); err != nil {
 			t.Fatal(err)
@@ -82,7 +82,7 @@ func TestGatedCommWaitsAndReleases(t *testing.T) {
 	d := kernels.GEMM("producer", 4096, 4096, 4096, 1, precision.FP16, precision.Matrix)
 	producer := eng.NewTask("producer", sim.KindCompute, kernels.Work(d), d, cs)
 	cd := collective.Desc{Name: "xfer", Op: collective.SendRecv, Bytes: 64 << 20, N: 2, Src: 0, Dst: 1, Gate: producer}
-	xfer := eng.NewTask("xfer", sim.KindComm, collective.EffWireBytes(cd, cl.Topology()), cd, link)
+	xfer := eng.NewTask("xfer", sim.KindComm, collective.EffWireBytes(cd, cl.Fabric()), cd, link)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestGatedCommWaitsAndReleases(t *testing.T) {
 	if xfer.End() <= producer.End() {
 		t.Errorf("transfer finished %g before producer %g", xfer.End(), producer.End())
 	}
-	wire := cd.Bytes / cl.Topology().P2PBW(0, 1)
+	wire := cd.Bytes / cl.Fabric().P2PBW(0, 1)
 	if got := xfer.End() - producer.End(); got < wire*0.5 {
 		t.Errorf("post-gate transfer time %g implausibly small vs wire %g", got, wire)
 	}
@@ -203,5 +203,45 @@ func TestTraceRecording(t *testing.T) {
 	tr := cl.Trace(0)
 	if tr == nil || len(tr.Samples()) == 0 {
 		t.Fatal("trace not recorded")
+	}
+}
+
+// A multi-node system simulates TotalGPUs devices behind a hierarchical
+// fabric; collectives spanning nodes run at the NIC-bottlenecked rate.
+func TestMultiNodeCluster(t *testing.T) {
+	sys := hw.NewMultiNode(hw.H100(), 4, 2)
+	cl, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N() != 8 {
+		t.Fatalf("N = %d, want 8", cl.N())
+	}
+	f := cl.Fabric()
+	if f.N() != 8 {
+		t.Errorf("fabric N = %d", f.N())
+	}
+	if f.RingBW() >= cl.GPU().UniLinkBW() {
+		t.Error("spanning ring must be bottlenecked below NVLink by the NIC tier")
+	}
+	// Every device has telemetry.
+	for i := 0; i < cl.N(); i++ {
+		if cl.Sampler(i) == nil {
+			t.Fatalf("device %d has no sampler", i)
+		}
+	}
+
+	eng := sim.NewEngine(cl)
+	eng.AddObserver(cl)
+	comm := eng.NewStream("comm", 0)
+	cd := collective.Desc{Name: "ar", Op: collective.AllReduce, Bytes: 64 << 20, N: 8}
+	task := eng.NewTask("ar", sim.KindComm, collective.EffWireBytes(cd, f), cd, comm)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := task.End() - task.Start()
+	want := collective.Time(cd, f)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("spanning all-reduce took %g, want per-tier time %g", got, want)
 	}
 }

@@ -240,32 +240,16 @@ func MI250() *GPUSpec {
 	}
 }
 
-// Catalog returns all GPUs of Table I in the paper's order.
+// Catalog returns the GPUs of Table I in the paper's order. The registry
+// (Names, ByName, All) is the open superset; Catalog stays the paper's
+// closed set so report tables and regression tests keep their shape.
 func Catalog() []*GPUSpec {
 	return []*GPUSpec{A100(), H100(), MI210(), MI250()}
 }
 
-// Names returns the catalog GPU names in the paper's order — the values
-// ByName accepts, enumerated by the service catalog endpoint.
-func Names() []string {
-	var out []string
-	for _, g := range Catalog() {
-		out = append(out, g.Name)
-	}
-	return out
-}
-
-// ByName returns the catalog GPU with the given name, or nil.
-func ByName(name string) *GPUSpec {
-	for _, g := range Catalog() {
-		if g.Name == name {
-			return g
-		}
-	}
-	return nil
-}
-
-// Standard systems used in the paper's experiments.
+// Standard systems used in the paper's experiments. They are also
+// registered under their names, so "H100x8" resolves through
+// SystemByName everywhere a user-defined system would.
 var (
 	// SystemA100x4 is the 4×A100 NVLink/NVSwitch node.
 	SystemA100x4 = func() System { return NewSystem(A100(), 4) }
@@ -279,3 +263,17 @@ var (
 	// SystemMI250x4 is the 4×MI250 Infinity Fabric node.
 	SystemMI250x4 = func() System { return NewSystem(MI250(), 4) }
 )
+
+// The Table I parts and the paper's systems self-register, exactly like
+// the stock strategies do in their packages.
+func init() {
+	Register(A100)
+	Register(H100)
+	Register(MI210)
+	Register(MI250)
+	RegisterSystem(SystemA100x4)
+	RegisterSystem(SystemH100x4)
+	RegisterSystem(SystemH100x8)
+	RegisterSystem(SystemMI210x4)
+	RegisterSystem(SystemMI250x4)
+}

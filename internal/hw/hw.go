@@ -1,6 +1,12 @@
-// Package hw is the hardware catalog: the four GPUs the paper evaluates
-// (Table I) together with the microarchitectural and power parameters the
-// simulator needs. Peak-rate and capacity numbers come from vendor
+// Package hw is the open hardware platform layer: GPU specifications and
+// system (node/cluster) descriptions, served from name-keyed registries
+// that mirror the strategy registry. The four GPUs the paper evaluates
+// (Table I) and its five single-node systems self-register as built-ins;
+// user-defined GPUs and systems join through Register/RegisterSystem or
+// the JSON schema Load accepts, and every consumer — core.Run, sweep
+// grids, the overlapd catalog, the CLIs — resolves them by name.
+//
+// Peak-rate and capacity numbers of the built-ins come from vendor
 // datasheets (the same sources as the paper's Table I); contention and
 // power-component coefficients are calibration parameters whose values are
 // justified against the paper's measurements in EXPERIMENTS.md.
@@ -8,12 +14,16 @@ package hw
 
 import (
 	"fmt"
+	"strings"
 
 	"overlapsim/internal/precision"
 )
 
 // Vendor identifies a GPU vendor, which selects the collective library
-// behaviour (NCCL versus RCCL) in the contention model.
+// behaviour (NCCL versus RCCL) in the contention model and supplies the
+// default telemetry interval and fabric kind. Behaviour-determining
+// properties (fabric kind, contention coefficients) are explicit spec
+// fields, so a custom GPU is not locked to its vendor's defaults.
 type Vendor int
 
 // Vendors.
@@ -31,6 +41,18 @@ func (v Vendor) String() string {
 		return "AMD"
 	default:
 		return fmt.Sprintf("Vendor(%d)", int(v))
+	}
+}
+
+// ParseVendor resolves a vendor name, case-insensitively.
+func ParseVendor(s string) (Vendor, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "NVIDIA":
+		return NVIDIA, nil
+	case "AMD":
+		return AMD, nil
+	default:
+		return 0, fmt.Errorf("hw: unknown vendor %q (have NVIDIA, AMD)", s)
 	}
 }
 
@@ -202,18 +224,141 @@ func (g *GPUSpec) MemBytes() float64 {
 	return g.MemGB * (1 << 30)
 }
 
-// System is a single-node multi-GPU configuration (the paper studies
-// single-node systems only, §IV-A).
-type System struct {
-	// Name labels the system in reports ("H100x8", ...).
-	Name string
-	// GPU is the device model every GPU in the node instantiates.
-	GPU *GPUSpec
-	// N is the number of GPUs.
-	N int
+// Validate reports whether the spec is self-consistent enough to
+// simulate. Registration and JSON loading gate on it so a broken custom
+// GPU fails at definition time, not as a NaN mid-sweep.
+func (g *GPUSpec) Validate() error {
+	if g == nil {
+		return fmt.Errorf("hw: nil GPU spec")
+	}
+	if strings.TrimSpace(g.Name) == "" {
+		return fmt.Errorf("hw: GPU spec with empty name")
+	}
+	if g.SMs <= 0 || g.BoostMHz <= 0 {
+		return fmt.Errorf("hw: %s: SMs and boost clock must be positive", g.Name)
+	}
+	if g.MemGB <= 0 || g.MemBWGBs <= 0 {
+		return fmt.Errorf("hw: %s: memory capacity and bandwidth must be positive", g.Name)
+	}
+	if g.MemHeadroom <= 0 || g.MemHeadroom > 1 {
+		return fmt.Errorf("hw: %s: memory headroom %g outside (0,1]", g.Name, g.MemHeadroom)
+	}
+	if g.LinkBWGBs <= 0 || g.LinkLatency < 0 {
+		return fmt.Errorf("hw: %s: invalid interconnect parameters", g.Name)
+	}
+	if g.AlgEff <= 0 || g.AlgEff > 1 {
+		return fmt.Errorf("hw: %s: collective efficiency %g outside (0,1]", g.Name, g.AlgEff)
+	}
+	if g.TDPW <= g.Power.IdleW {
+		return fmt.Errorf("hw: %s: TDP %g not above idle power %g", g.Name, g.TDPW, g.Power.IdleW)
+	}
+	if g.PeakFLOPS(precision.Vector, precision.FP32) <= 0 {
+		return fmt.Errorf("hw: %s: missing vector FP32 throughput", g.Name)
+	}
+	if g.MaxEff <= 0 || g.MaxEff > 1 {
+		return fmt.Errorf("hw: %s: GEMM max efficiency %g outside (0,1]", g.Name, g.MaxEff)
+	}
+	if g.KHalfVector <= 0 || g.KHalfMatrix <= 0 || g.KHalfMatrixTF32 <= 0 {
+		return fmt.Errorf("hw: %s: GEMM saturation half-points must be positive", g.Name)
+	}
+	if g.Power.FMin <= 0 || g.Power.FMin >= 1 {
+		return fmt.Errorf("hw: %s: FMin %g outside (0,1)", g.Name, g.Power.FMin)
+	}
+	if g.Power.FreqExp <= 0 {
+		return fmt.Errorf("hw: %s: frequency exponent must be positive", g.Name)
+	}
+	if g.Contention.CollSMsReduce < 0 || g.Contention.CollSMsCopy < 0 || g.Contention.HBMPerWireByte < 0 {
+		return fmt.Errorf("hw: %s: contention parameters must be non-negative", g.Name)
+	}
+	if g.Contention.SerializeFrac < 0 || g.Contention.SerializeFrac >= 1 {
+		return fmt.Errorf("hw: %s: serialize fraction %g outside [0,1)", g.Name, g.Contention.SerializeFrac)
+	}
+	return nil
 }
 
-// NewSystem builds a system of n identical GPUs.
+// Fabric kinds a System may name for its intra-node interconnect. The
+// empty string selects the vendor default (switched for NVIDIA, mesh for
+// AMD), which is how the pre-registry catalog behaved.
+const (
+	FabricSwitched = "switched"
+	FabricMesh     = "mesh"
+)
+
+// NICSpec describes the inter-node network tier of a multi-node system:
+// the per-GPU share of the node's scale-out bandwidth (RDMA NICs) and the
+// latency of one inter-node collective step.
+type NICSpec struct {
+	// BWGBs is the achievable unidirectional inter-node bandwidth per GPU
+	// in GB/s (e.g. one 400 Gb/s NDR InfiniBand rail per GPU ≈ 50 GB/s
+	// raw, derated below).
+	BWGBs float64
+	// Latency is the per-hop latency of one inter-node collective step in
+	// seconds.
+	Latency float64
+	// AlgEff is the fraction of BWGBs a tuned collective sustains across
+	// the NIC tier (0 picks DefaultNICAlgEff).
+	AlgEff float64 `json:"AlgEff,omitempty"`
+}
+
+// DefaultNICAlgEff is the collective efficiency assumed on the NIC tier
+// when a NICSpec leaves AlgEff zero.
+const DefaultNICAlgEff = 0.80
+
+// DefaultNIC is the inter-node tier assumed when a multi-node system does
+// not specify one: a 400 Gb/s rail per GPU at RDMA latency.
+func DefaultNIC() NICSpec {
+	return NICSpec{BWGBs: 50, Latency: 10e-6, AlgEff: DefaultNICAlgEff}
+}
+
+// BW returns the achievable per-GPU inter-node collective bandwidth in
+// bytes/s.
+func (n NICSpec) BW() float64 {
+	eff := n.AlgEff
+	if eff == 0 {
+		eff = DefaultNICAlgEff
+	}
+	return n.BWGBs * eff * 1e9
+}
+
+// Validate reports whether the NIC tier is usable.
+func (n NICSpec) Validate() error {
+	if n.BWGBs <= 0 {
+		return fmt.Errorf("hw: NIC bandwidth %g GB/s must be positive", n.BWGBs)
+	}
+	if n.Latency < 0 {
+		return fmt.Errorf("hw: NIC latency %g must be non-negative", n.Latency)
+	}
+	if n.AlgEff < 0 || n.AlgEff > 1 {
+		return fmt.Errorf("hw: NIC efficiency %g outside [0,1]", n.AlgEff)
+	}
+	return nil
+}
+
+// System is a multi-GPU configuration: one or more identical nodes of N
+// identical GPUs each, joined by an inter-node NIC tier when Nodes > 1.
+// The zero values of the multi-node fields describe the paper's
+// single-node systems (§IV-A) and — deliberately — encode to the exact
+// canonical JSON the pre-registry System produced, so fingerprints and
+// content-addressed sweep caches survive the redesign.
+type System struct {
+	// Name labels the system in reports and keys it in the registry
+	// ("H100x8", "H100x8x4", ...).
+	Name string
+	// GPU is the device model every GPU in the system instantiates.
+	GPU *GPUSpec
+	// N is the number of GPUs per node.
+	N int
+	// Nodes is the number of nodes; 0 (and 1) mean a single node.
+	Nodes int `json:"Nodes,omitempty"`
+	// Fabric names the intra-node interconnect kind (FabricSwitched or
+	// FabricMesh); empty selects the GPU vendor's default.
+	Fabric string `json:"Fabric,omitempty"`
+	// NIC is the inter-node tier; nil selects DefaultNIC when Nodes > 1
+	// and is meaningless (and canonicalized away) on a single node.
+	NIC *NICSpec `json:"NIC,omitempty"`
+}
+
+// NewSystem builds a single-node system of n identical GPUs.
 func NewSystem(g *GPUSpec, n int) System {
 	if g == nil {
 		panic("hw: nil GPU spec")
@@ -222,4 +367,120 @@ func NewSystem(g *GPUSpec, n int) System {
 		panic(fmt.Sprintf("hw: invalid GPU count %d", n))
 	}
 	return System{Name: fmt.Sprintf("%sx%d", g.Name, n), GPU: g, N: n}
+}
+
+// NewMultiNode builds a system of nodes identical nodes with perNode GPUs
+// each, joined by the default NIC tier. Its name reads GPUxPerNodexNodes
+// ("H100x8x4" is four 8-GPU H100 nodes).
+func NewMultiNode(g *GPUSpec, perNode, nodes int) System {
+	if g == nil {
+		panic("hw: nil GPU spec")
+	}
+	if perNode < 1 || nodes < 1 {
+		panic(fmt.Sprintf("hw: invalid shape %d GPUs x %d nodes", perNode, nodes))
+	}
+	s := System{Name: fmt.Sprintf("%sx%d", g.Name, perNode), GPU: g, N: perNode}
+	if nodes > 1 {
+		s.Name = fmt.Sprintf("%sx%dx%d", g.Name, perNode, nodes)
+		s.Nodes = nodes
+	}
+	return s
+}
+
+// NodeCount returns the number of nodes (at least 1).
+func (s System) NodeCount() int {
+	if s.Nodes < 2 {
+		return 1
+	}
+	return s.Nodes
+}
+
+// TotalGPUs returns the number of GPUs across all nodes — the rank count
+// strategies shard over and the device count the cluster simulates.
+func (s System) TotalGPUs() int {
+	return s.N * s.NodeCount()
+}
+
+// NICSpec returns the effective inter-node tier: the explicit NIC when
+// set, DefaultNIC otherwise.
+func (s System) NICSpec() NICSpec {
+	if s.NIC != nil {
+		return *s.NIC
+	}
+	return DefaultNIC()
+}
+
+// Canonical returns the system with every inert multi-node field cleared:
+// Nodes 1 becomes 0, and the fabric override and NIC tier are dropped
+// when they cannot change behaviour. Two systems describing the same
+// hardware therefore encode (and fingerprint) identically — in
+// particular, legacy single-node systems keep their pre-registry bytes.
+func (s System) Canonical() System {
+	if s.Nodes < 2 {
+		s.Nodes = 0
+		s.NIC = nil // single-node systems never cross the NIC tier
+	} else if s.NIC != nil {
+		nic := *s.NIC
+		if nic.AlgEff == DefaultNICAlgEff {
+			nic.AlgEff = 0 // the explicit default, made implicit
+		}
+		if nic == (NICSpec{BWGBs: DefaultNIC().BWGBs, Latency: DefaultNIC().Latency}) {
+			s.NIC = nil
+		} else {
+			s.NIC = &nic
+		}
+	}
+	if s.GPU != nil && s.Fabric == DefaultFabric(s.GPU.Vendor) {
+		s.Fabric = ""
+	}
+	return s
+}
+
+// DefaultFabric returns the intra-node fabric kind a vendor's systems use
+// when a System does not name one: NVLink+NVSwitch for NVIDIA, Infinity
+// Fabric meshes for AMD (§II-A).
+func DefaultFabric(v Vendor) string {
+	if v == AMD {
+		return FabricMesh
+	}
+	return FabricSwitched
+}
+
+// FabricKind returns the effective intra-node fabric kind.
+func (s System) FabricKind() string {
+	if s.Fabric != "" {
+		return s.Fabric
+	}
+	if s.GPU == nil {
+		return FabricSwitched
+	}
+	return DefaultFabric(s.GPU.Vendor)
+}
+
+// Validate reports whether the system is well formed and simulable.
+func (s System) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("hw: system with empty name")
+	}
+	if err := s.GPU.Validate(); err != nil {
+		return fmt.Errorf("hw: system %s: %w", s.Name, err)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("hw: system %s: invalid per-node GPU count %d", s.Name, s.N)
+	}
+	if s.Nodes < 0 {
+		return fmt.Errorf("hw: system %s: invalid node count %d", s.Name, s.Nodes)
+	}
+	switch s.Fabric {
+	case "", FabricSwitched, FabricMesh:
+	default:
+		return fmt.Errorf("hw: system %s: unknown fabric %q (have %q, %q)",
+			s.Name, s.Fabric, FabricSwitched, FabricMesh)
+	}
+	if s.NIC != nil {
+		if err := s.NIC.Validate(); err != nil {
+			return fmt.Errorf("hw: system %s: %w", s.Name, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,128 @@
+package hw
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// loadOnce registers a test hardware file exactly once per process — the
+// registries are process-global, so tests must stay re-runnable under
+// go test -count=N.
+var loadedOnce sync.Map // key -> func() error
+
+func loadOnce(key, body string) error {
+	f, _ := loadedOnce.LoadOrStore(key, sync.OnceValue(func() error {
+		return Load(strings.NewReader(body))
+	}))
+	return f.(func() error)()
+}
+
+// A minimal hardware file: datasheet numbers only, calibration left to
+// the vendor-typical defaults.
+const minimalHW = `{
+  "gpus": [{
+    "name": "LoadChip",
+    "vendor": "nvidia",
+    "year": 2025,
+    "sms": 140,
+    "boost_mhz": 2100,
+    "mem_gb": 120,
+    "mem_bw_gbs": 5000,
+    "link_bw_gbs": 1800,
+    "tdp_w": 1000,
+    "vector_tflops": {"fp32": 90, "fp16": 180, "bf16": 180},
+    "matrix_tflops": {"tf32": 600, "fp32": 600, "fp16": 1200, "bf16": 1200}
+  }],
+  "systems": [
+    {"name": "LoadChip-x8", "gpu": "LoadChip", "gpus_per_node": 8},
+    {"name": "LoadChip-pod", "gpu": "LoadChip", "gpus_per_node": 8, "nodes": 4,
+     "fabric": "switched", "nic": {"bw_gbs": 100, "latency_s": 5e-6, "alg_eff": 0.9}}
+  ]
+}`
+
+func TestLoadRegistersGPUsAndSystems(t *testing.T) {
+	if err := loadOnce("minimal", minimalHW); err != nil {
+		t.Fatal(err)
+	}
+	g := ByName("LoadChip")
+	if g == nil {
+		t.Fatal("loaded GPU not registered")
+	}
+	if g.Vendor != NVIDIA || g.TDPW != 1000 {
+		t.Errorf("spec = %+v", g)
+	}
+	// Vendor-typical calibration defaults must be applied, not left zero.
+	if g.MemHeadroom != 0.85 || g.AlgEff != 0.50 || g.MaxEff != 0.90 {
+		t.Errorf("defaults not applied: headroom %g algEff %g maxEff %g", g.MemHeadroom, g.AlgEff, g.MaxEff)
+	}
+	if g.Power.IdleW <= 0 || g.Power.VectorW <= 0 || g.Power.FMin != 0.30 {
+		t.Errorf("power defaults not applied: %+v", g.Power)
+	}
+	if g.Contention.CollSMsReduce <= g.Contention.CollSMsCopy {
+		t.Errorf("contention defaults not applied: %+v", g.Contention)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	node, err := SystemByName("LoadChip-x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.TotalGPUs() != 8 || node.NodeCount() != 1 {
+		t.Errorf("node = %+v", node)
+	}
+	pod, err := SystemByName("LoadChip-pod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.TotalGPUs() != 32 || pod.NodeCount() != 4 || pod.FabricKind() != FabricSwitched {
+		t.Errorf("pod = %+v", pod)
+	}
+	if nic := pod.NICSpec(); nic.BWGBs != 100 || nic.AlgEff != 0.9 {
+		t.Errorf("pod NIC = %+v", nic)
+	}
+	// A NIC with latency_s omitted must inherit the default, not run the
+	// inter-node tier latency-free.
+	if err := loadOnce("nic-default", `{"systems": [{"name": "LoadChip-lat", "gpu": "LoadChip",
+	  "gpus_per_node": 8, "nodes": 2, "nic": {"bw_gbs": 25}}]}`); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := SystemByName("LoadChip-lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lat.NICSpec().Latency; got != DefaultNIC().Latency {
+		t.Errorf("omitted latency_s = %g, want default %g", got, DefaultNIC().Latency)
+	}
+	// Re-loading collides with the already-registered names.
+	if err := Load(strings.NewReader(minimalHW)); err == nil {
+		t.Error("re-loading the same file must report duplicate names")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"gpu": []}`,
+		"bad vendor":     `{"gpus": [{"name": "X", "vendor": "intel", "sms": 1, "boost_mhz": 1, "mem_gb": 1, "mem_bw_gbs": 1, "link_bw_gbs": 1, "tdp_w": 100, "vector_tflops": {"fp32": 1}}]}`,
+		"bad format":     `{"gpus": [{"name": "X", "vendor": "nvidia", "sms": 1, "boost_mhz": 1, "mem_gb": 1, "mem_bw_gbs": 1, "link_bw_gbs": 1, "tdp_w": 100, "vector_tflops": {"fp13": 1}}]}`,
+		"no fp32":        `{"gpus": [{"name": "X", "vendor": "nvidia", "sms": 1, "boost_mhz": 1, "mem_gb": 1, "mem_bw_gbs": 1, "link_bw_gbs": 1, "tdp_w": 100, "vector_tflops": {"fp16": 1}}]}`,
+		"unknown gpu":    `{"systems": [{"name": "S", "gpu": "nonesuch", "gpus_per_node": 4}]}`,
+		"bad shape":      `{"systems": [{"name": "S", "gpu": "H100", "gpus_per_node": 0}]}`,
+		"bad fabric":     `{"systems": [{"name": "S", "gpu": "H100", "gpus_per_node": 4, "fabric": "torus"}]}`,
+		"bad nic":        `{"systems": [{"name": "S", "gpu": "H100", "gpus_per_node": 4, "nodes": 2, "nic": {"bw_gbs": -5}}]}`,
+		"duplicate name": `{"systems": [{"name": "H100x8", "gpu": "H100", "gpus_per_node": 8}]}`,
+	}
+	for name, body := range cases {
+		if err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if err := LoadFile("/nonexistent/hardware.json"); err == nil {
+		t.Error("missing file must error")
+	}
+}

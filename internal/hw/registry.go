@@ -1,0 +1,155 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The platform registries mirror internal/strategy: GPUs and systems are
+// keyed by case-insensitive name, built-ins self-register in init
+// functions, and user hardware joins through Register/RegisterSystem (or
+// the JSON path, Load). Builders return fresh values on every lookup so
+// callers can mutate a spec for an ablation without corrupting the
+// registry.
+
+var (
+	regMu      sync.RWMutex
+	gpusByName = make(map[string]func() *GPUSpec)
+	gpuOrder   []string
+	sysByName  = make(map[string]func() System)
+	sysOrder   []string
+)
+
+func regKey(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Register adds a GPU builder to the registry under the spec's name,
+// case-insensitively. It panics on an invalid spec or a duplicate name —
+// registration happens in init functions, where a collision is a
+// programming error that must fail loudly. Runtime-loaded hardware goes
+// through Load, which reports errors instead.
+func Register(build func() *GPUSpec) {
+	if err := register(build); err != nil {
+		panic(err)
+	}
+}
+
+func register(build func() *GPUSpec) error {
+	g := build()
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	key := regKey(g.Name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := gpusByName[key]; dup {
+		return fmt.Errorf("hw: duplicate GPU registration of %q", g.Name)
+	}
+	gpusByName[key] = build
+	gpuOrder = append(gpuOrder, g.Name)
+	return nil
+}
+
+// RegisterSystem adds a system builder to the registry under its name,
+// case-insensitively. Panics on an invalid system or duplicate name, like
+// Register.
+func RegisterSystem(build func() System) {
+	if err := registerSystem(build); err != nil {
+		panic(err)
+	}
+}
+
+func registerSystem(build func() System) error {
+	s := build()
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	key := regKey(s.Name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := sysByName[key]; dup {
+		return fmt.Errorf("hw: duplicate system registration of %q", s.Name)
+	}
+	sysByName[key] = build
+	sysOrder = append(sysOrder, s.Name)
+	return nil
+}
+
+// ByName returns a fresh copy of the registered GPU with the given name
+// (case-insensitive), or nil.
+func ByName(name string) *GPUSpec {
+	regMu.RLock()
+	build, ok := gpusByName[regKey(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return build()
+}
+
+// GPUByName is ByName with an actionable error listing the registered
+// names.
+func GPUByName(name string) (*GPUSpec, error) {
+	if g := ByName(name); g != nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("hw: unknown GPU %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns every registered GPU name: the Table I built-ins in the
+// paper's order first, then user registrations in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), gpuOrder...)
+}
+
+// All returns a fresh copy of every registered GPU, in Names order.
+func All() []*GPUSpec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*GPUSpec, 0, len(gpuOrder))
+	for _, n := range gpuOrder {
+		out = append(out, gpusByName[regKey(n)]())
+	}
+	return out
+}
+
+// SystemByName returns a fresh copy of the registered system with the
+// given name (case-insensitive). The error lists the registered names.
+func SystemByName(name string) (System, error) {
+	regMu.RLock()
+	build, ok := sysByName[regKey(name)]
+	regMu.RUnlock()
+	if !ok {
+		return System{}, fmt.Errorf("hw: unknown system %q (have %s)",
+			name, strings.Join(SystemNames(), ", "))
+	}
+	return build(), nil
+}
+
+// SystemNames returns the registered system names, sorted.
+func SystemNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), sysOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// Systems returns a fresh copy of every registered system in sorted-name
+// order — what the service catalog serves.
+func Systems() []System {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := append([]string(nil), sysOrder...)
+	sort.Strings(names)
+	out := make([]System, 0, len(names))
+	for _, n := range names {
+		out = append(out, sysByName[regKey(n)]())
+	}
+	return out
+}

@@ -122,11 +122,11 @@ func runOnce(cfg Config, overlap bool) (*runResult, error) {
 			return nil, err
 		}
 		gemmTime := kernels.BaseTime(gemm, cfg.System.GPU) * float64(cfg.Repeats)
-		collTime := collective.Time(cd, cl.Topology())
+		collTime := collective.Time(cd, cl.Fabric())
 		reps := int(gemmTime*2/collTime) + 1
 		for i := 0; i < reps; i++ {
 			eng.NewTask(fmt.Sprintf("allreduce%d", i), sim.KindComm,
-				collective.EffWireBytes(cd, cl.Topology()), cd, commS)
+				collective.EffWireBytes(cd, cl.Fabric()), cd, commS)
 		}
 	}
 

@@ -313,7 +313,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 			name = fmt.Sprintf("it%d.send.bwd.s%d.mb%d", it, k.link, k.mb)
 		}
 		cd := collective.Desc{Name: name, Op: collective.SendRecv, Bytes: b.actBytes, N: 2, Src: src, Dst: dst}
-		work := collective.EffWireBytes(cd, b.cl.Topology())
+		work := collective.EffWireBytes(cd, b.cl.Fabric())
 		var t *sim.Task
 		if b.sequential() {
 			s := b.eng.NewStream("seq."+name, src)

@@ -10,7 +10,7 @@
 //	GET    /v1/sweeps       — list jobs
 //	GET    /v1/sweeps/{id}  — job status, progress and (when done) results
 //	DELETE /v1/sweeps/{id}  — cancel a running job, or forget a finished one
-//	GET    /v1/catalog      — available GPUs, models, strategies, formats
+//	GET    /v1/catalog      — available GPUs, systems, models, strategies, formats
 //	GET    /healthz         — liveness
 package service
 
@@ -165,6 +165,21 @@ type catalogGPU struct {
 	SMs    int     `json:"sms"`
 }
 
+// catalogSystem is one registry-derived system entry: its name, shape
+// and fabric, so clients can discover every platform a deployment
+// registered (built-ins plus -hw-file loads) instead of assuming the
+// paper's single-node systems. The name is the exact spelling the
+// "system" experiment field and the "systems" sweep axis accept.
+type catalogSystem struct {
+	Name        string  `json:"name"`
+	GPU         string  `json:"gpu"`
+	GPUsPerNode int     `json:"gpus_per_node"`
+	Nodes       int     `json:"nodes"`
+	TotalGPUs   int     `json:"total_gpus"`
+	Fabric      string  `json:"fabric"`
+	NICBWGBs    float64 `json:"nic_bw_gbs,omitempty"`
+}
+
 // catalogModel is one catalog workload entry.
 type catalogModel struct {
 	Name    string  `json:"name"`
@@ -196,6 +211,7 @@ type catalogStrategy struct {
 // (earlier releases served display labels like "FSDP" here).
 type catalogBody struct {
 	GPUs         []catalogGPU      `json:"gpus"`
+	Systems      []catalogSystem   `json:"systems"`
 	Models       []catalogModel    `json:"models"`
 	Strategies   []catalogStrategy `json:"strategies"`
 	Parallelisms []string          `json:"parallelisms"`
@@ -204,11 +220,22 @@ type catalogBody struct {
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	var body catalogBody
-	for _, g := range hw.Catalog() {
+	for _, g := range hw.All() {
 		body.GPUs = append(body.GPUs, catalogGPU{
 			Name: g.Name, Vendor: g.Vendor.String(), Year: g.Year,
 			MemGB: g.MemGB, TDPW: g.TDPW, SMs: g.SMs,
 		})
+	}
+	for _, sys := range hw.Systems() {
+		entry := catalogSystem{
+			Name: sys.Name, GPU: sys.GPU.Name,
+			GPUsPerNode: sys.N, Nodes: sys.NodeCount(), TotalGPUs: sys.TotalGPUs(),
+			Fabric: sys.FabricKind(),
+		}
+		if sys.NodeCount() > 1 {
+			entry.NICBWGBs = sys.NICSpec().BWGBs
+		}
+		body.Systems = append(body.Systems, entry)
 	}
 	for _, m := range model.Zoo() {
 		body.Models = append(body.Models, catalogModel{

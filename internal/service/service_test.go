@@ -7,11 +7,22 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"overlapsim/internal/hw"
 	"overlapsim/internal/strategy"
 )
+
+// loadTestPod registers the custom test system exactly once — the hw
+// registry is process-global, so the test must survive go test -count=N.
+var loadTestPod = sync.OnceValue(func() error {
+	return hw.Load(strings.NewReader(`{
+	  "systems": [{"name": "svc-test-pod", "gpu": "H100", "gpus_per_node": 8, "nodes": 2,
+	               "nic": {"bw_gbs": 25}}]
+	}`))
+})
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
@@ -46,14 +57,60 @@ func TestCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := decode[catalogBody](t, resp, http.StatusOK)
-	if len(body.GPUs) != 4 || len(body.Models) != 5 {
-		t.Errorf("catalog lists %d GPUs / %d models, want 4 / 5", len(body.GPUs), len(body.Models))
+	if len(body.GPUs) != len(hw.Names()) || len(body.Models) != 5 {
+		t.Errorf("catalog lists %d GPUs / %d models, want %d / 5",
+			len(body.GPUs), len(body.Models), len(hw.Names()))
 	}
 	if body.GPUs[0].Name != "A100" || body.GPUs[0].Vendor != "NVIDIA" {
 		t.Errorf("first GPU %+v", body.GPUs[0])
 	}
 	if len(body.Formats) != 4 {
 		t.Errorf("catalog lists formats %v", body.Formats)
+	}
+}
+
+// The catalog must serve the platform registry: every registered system
+// with its shape and fabric — including JSON-loaded customs — under the
+// exact names experiments and sweep axes accept.
+func TestCatalogServesSystemRegistry(t *testing.T) {
+	if err := loadTestPod(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[catalogBody](t, resp, http.StatusOK)
+	if len(body.Systems) != len(hw.SystemNames()) {
+		t.Fatalf("catalog lists %d systems, registry has %d", len(body.Systems), len(hw.SystemNames()))
+	}
+	served := make(map[string]catalogSystem, len(body.Systems))
+	for _, cs := range body.Systems {
+		served[cs.Name] = cs
+	}
+	h8, ok := served["H100x8"]
+	if !ok || h8.GPU != "H100" || h8.GPUsPerNode != 8 || h8.Nodes != 1 || h8.TotalGPUs != 8 ||
+		h8.Fabric != "switched" || h8.NICBWGBs != 0 {
+		t.Errorf("H100x8 entry = %+v", h8)
+	}
+	mi, ok := served["MI250x4"]
+	if !ok || mi.Fabric != "mesh" {
+		t.Errorf("MI250x4 entry = %+v", mi)
+	}
+	pod, ok := served["svc-test-pod"]
+	if !ok || pod.Nodes != 2 || pod.TotalGPUs != 16 || pod.NICBWGBs != 25 {
+		t.Errorf("custom pod entry = %+v", pod)
+	}
+	// The served name must run as an experiment without further setup.
+	expResp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+		strings.NewReader(`{"system": "svc-test-pod", "model": "GPT-3 XL", "batch": 16, "iterations": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := decode[experimentBody](t, expResp, http.StatusOK)
+	if exp.Point.Err != nil || exp.Point.Res == nil {
+		t.Errorf("custom-system experiment failed: %+v", exp.Point.Err)
 	}
 }
 

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// The systems axis resolves registered system names — the paper systems
+// and anything hw.Load added — directly into platform points.
+func TestSpecSystemsAxis(t *testing.T) {
+	spec := Spec{
+		Systems: []string{"H100x4", "H100x8", "MI250x4"},
+		Models:  []string{"GPT-3 XL"},
+	}
+	if got := spec.Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+	exps, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 3 {
+		t.Fatalf("expanded to %d points", len(cfgs))
+	}
+	if exps[1].System != "H100x8" || cfgs[1].System.TotalGPUs() != 8 {
+		t.Errorf("point 1 = %+v / %s", exps[1], cfgs[1].System.Name)
+	}
+	// Registry-resolved points must fingerprint like constructor-built
+	// configs (cache compatibility across the API redesign).
+	fp, err := cfgs[0].Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := cfgs[0]
+	legacy.System.Nodes, legacy.System.NIC, legacy.System.Fabric = 0, nil, ""
+	if lfp, _ := legacy.Fingerprint(); lfp != fp {
+		t.Error("registry system fingerprints differ from the bare single-node encoding")
+	}
+}
+
+// The nodes axis scales a GPU shape across the NIC tier.
+func TestSpecNodesAxis(t *testing.T) {
+	spec := Spec{
+		GPUs:      []string{"H100"},
+		GPUCounts: []int{8},
+		Nodes:     []int{1, 2, 4},
+		Models:    []string{"GPT-3 XL"},
+		Batches:   []int{64},
+	}
+	if got := spec.Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+	exps, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := []int{8, 16, 32}
+	for i, cfg := range cfgs {
+		if cfg.System.TotalGPUs() != totals[i] {
+			t.Errorf("point %d: %d total GPUs, want %d", i, cfg.System.TotalGPUs(), totals[i])
+		}
+	}
+	if exps[2].Nodes != 4 || cfgs[2].System.Name != "H100x8x4" {
+		t.Errorf("point 2 = %+v / %s", exps[2], cfgs[2].System.Name)
+	}
+}
+
+func TestSpecPlatformAxesExclusive(t *testing.T) {
+	spec := Spec{
+		Systems: []string{"H100x8"},
+		GPUs:    []string{"H100"},
+		Models:  []string{"GPT-3 XL"},
+	}
+	if _, _, err := spec.Expand(); err == nil || !strings.Contains(err.Error(), "both systems and gpus") {
+		t.Errorf("mixed platform axes accepted: %v", err)
+	}
+	neither := Spec{Models: []string{"GPT-3 XL"}}
+	if _, _, err := neither.Expand(); err == nil {
+		t.Error("a spec without systems or GPUs must fail")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Systems: []string{"H100x8"}, Models: []string{"GPT-3 XL"}, Batches: []int{8, 16}}
+	n, err := good.Validate()
+	if err != nil || n != 2 {
+		t.Errorf("Validate() = %d, %v", n, err)
+	}
+	for name, bad := range map[string]Spec{
+		"unknown system":   {Systems: []string{"nonesuch"}, Models: []string{"GPT-3 XL"}},
+		"unknown gpu":      {GPUs: []string{"V100"}, Models: []string{"GPT-3 XL"}},
+		"unknown model":    {Systems: []string{"H100x8"}, Models: []string{"GPT-9"}},
+		"unknown strategy": {Systems: []string{"H100x8"}, Models: []string{"GPT-3 XL"}, Parallelisms: []string{"zz"}},
+		"bad nodes":        {GPUs: []string{"H100"}, Nodes: []int{-2}, Models: []string{"GPT-3 XL"}},
+	} {
+		if _, err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Experiment.system mutual exclusivity also guards direct API use (POST
+// /v1/experiments with both fields set).
+func TestExperimentSystemExclusive(t *testing.T) {
+	e := Experiment{System: "H100x8", GPU: "H100", Model: "GPT-3 XL"}
+	if _, err := e.Config(); err == nil {
+		t.Error("system plus gpu must be rejected")
+	}
+	ok := Experiment{System: "mi250x4", Model: "GPT-3 XL"}
+	cfg, err := ok.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.System.Name != "MI250x4" {
+		t.Errorf("system = %s", cfg.System.Name)
+	}
+	multi := Experiment{GPU: "H100", GPUCount: 8, Nodes: 2, Model: "GPT-3 XL"}
+	cfg, err = multi.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.System.TotalGPUs() != 16 || cfg.System.NodeCount() != 2 {
+		t.Errorf("multi-node experiment system = %+v", cfg.System)
+	}
+}

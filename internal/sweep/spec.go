@@ -23,15 +23,23 @@ import (
 )
 
 // Experiment names one experiment in the catalog vocabulary the API and
-// CLIs share: GPUs and models by name, strategies and formats by their
-// conventional lowercase spellings. The zero value of every optional
-// field selects the paper's base configuration (4 GPUs, FSDP, batch 8,
-// FP16 on matrix units, uncapped power).
+// CLIs share: systems, GPUs and models by registry name, strategies and
+// formats by their conventional lowercase spellings. The zero value of
+// every optional field selects the paper's base configuration (4 GPUs,
+// FSDP, batch 8, FP16 on matrix units, uncapped power).
 type Experiment struct {
-	// GPU is the catalog GPU name: "A100", "H100", "MI210", "MI250".
-	GPU string `json:"gpu"`
-	// GPUCount is the number of GPUs in the node (default 4).
+	// System names a registered system ("H100x8", or anything
+	// hw.RegisterSystem/hw.Load added). When set it supplies the whole
+	// platform and GPU/GPUCount/Nodes must stay empty.
+	System string `json:"system,omitempty"`
+	// GPU is a registered GPU name ("A100", "H100", "MI210", "MI250",
+	// or a loaded custom part).
+	GPU string `json:"gpu,omitempty"`
+	// GPUCount is the number of GPUs per node (default 4).
 	GPUCount int `json:"gpu_count,omitempty"`
+	// Nodes is the number of nodes joined by the NIC tier (0 and 1 mean
+	// a single node).
+	Nodes int `json:"nodes,omitempty"`
 	// Model is the Table II workload name ("GPT-3 XL", ...).
 	Model string `json:"model"`
 	// Parallelism is a registered strategy name — "fsdp", "pp", "ddp",
@@ -64,19 +72,45 @@ type Experiment struct {
 	SkipMemoryCheck bool `json:"skip_memory_check,omitempty"`
 }
 
-// Config resolves the experiment against the hardware and model catalogs
-// into a runnable core.Config.
-func (e Experiment) Config() (core.Config, error) {
+// system resolves the experiment's platform: a registered system by
+// name, or one assembled from the GPU/GPUCount/Nodes fields.
+func (e Experiment) system() (hw.System, error) {
+	if e.System != "" {
+		if e.GPU != "" || e.GPUCount != 0 || e.Nodes != 0 {
+			return hw.System{}, fmt.Errorf("sweep: system %q and gpu/gpu_count/nodes are mutually exclusive", e.System)
+		}
+		sys, err := hw.SystemByName(e.System)
+		if err != nil {
+			return hw.System{}, fmt.Errorf("sweep: %w", err)
+		}
+		return sys, nil
+	}
 	g := hw.ByName(e.GPU)
 	if g == nil {
-		return core.Config{}, fmt.Errorf("sweep: unknown GPU %q (have %v)", e.GPU, hw.Names())
+		return hw.System{}, fmt.Errorf("sweep: unknown GPU %q (have %v)", e.GPU, hw.Names())
 	}
 	n := e.GPUCount
 	if n == 0 {
 		n = 4
 	}
 	if n < 1 {
-		return core.Config{}, fmt.Errorf("sweep: invalid GPU count %d", n)
+		return hw.System{}, fmt.Errorf("sweep: invalid GPU count %d", n)
+	}
+	if e.Nodes < 0 {
+		return hw.System{}, fmt.Errorf("sweep: invalid node count %d", e.Nodes)
+	}
+	if e.Nodes > 1 {
+		return hw.NewMultiNode(g, n, e.Nodes), nil
+	}
+	return hw.NewSystem(g, n), nil
+}
+
+// Config resolves the experiment against the platform and model
+// registries into a runnable core.Config.
+func (e Experiment) Config() (core.Config, error) {
+	sys, err := e.system()
+	if err != nil {
+		return core.Config{}, err
 	}
 	m, err := model.ByName(e.Model)
 	if err != nil {
@@ -109,11 +143,11 @@ func (e Experiment) Config() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("sweep: invalid TP degree %d", e.TPDegree)
 	}
 	caps := power.Caps{PowerW: e.PowerCapW, FreqFactor: e.FreqCap}
-	if err := caps.Validate(g); err != nil {
+	if err := caps.Validate(sys.GPU); err != nil {
 		return core.Config{}, err
 	}
 	return core.Config{
-		System:          hw.NewSystem(g, n),
+		System:          sys,
 		Model:           m,
 		Parallelism:     par,
 		Batch:           batch,
@@ -137,10 +171,17 @@ func (e Experiment) Config() (core.Config, error) {
 type Spec struct {
 	// Name labels the sweep in reports and job listings.
 	Name string `json:"name,omitempty"`
-	// GPUs are catalog GPU names (required).
-	GPUs []string `json:"gpus"`
+	// Systems are registered system names. A spec lists either Systems
+	// or GPUs (with the optional GPUCounts/Nodes shape axes), not both.
+	Systems []string `json:"systems,omitempty"`
+	// GPUs are registered GPU names.
+	GPUs []string `json:"gpus,omitempty"`
 	// GPUCounts are node sizes (default: Base.GPUCount or 4).
 	GPUCounts []int `json:"gpu_counts,omitempty"`
+	// Nodes are node counts joined by the NIC tier (default: Base.Nodes
+	// or a single node). Applies to the GPUs axis only — a named system
+	// carries its own shape.
+	Nodes []int `json:"nodes,omitempty"`
 	// Models are Table II workload names (required).
 	Models []string `json:"models"`
 	// Parallelisms are registered strategy names (default:
@@ -202,15 +243,30 @@ func (s *Spec) degreeAxisLen(par string) int {
 	return len(s.TPDegrees)
 }
 
+// platformPoints returns how many points the platform axes (Systems, or
+// GPUs × GPUCounts × Nodes) contribute.
+func (s *Spec) platformPoints() int {
+	if len(s.Systems) > 0 {
+		return len(s.Systems)
+	}
+	pts := len(s.GPUs)
+	for _, k := range []int{len(s.GPUCounts), len(s.Nodes)} {
+		if k > 0 {
+			pts = satMul(pts, k)
+		}
+	}
+	return pts
+}
+
 // Size returns the number of grid points the spec expands to — exact,
 // including the per-strategy TP-degree axis collapse, so the service's
 // pre-materialization limit check never falsely rejects a valid spec. It
 // saturates at math.MaxInt so adversarially long axes cannot wrap the
 // product past a size limit.
 func (s *Spec) Size() int {
-	base := satMul(len(s.GPUs), len(s.Models))
+	base := satMul(s.platformPoints(), len(s.Models))
 	for _, k := range []int{
-		len(s.GPUCounts), len(s.Batches), len(s.Formats),
+		len(s.Batches), len(s.Formats),
 		len(s.PowerCapsW), len(s.MatrixUnits),
 	} {
 		if k > 0 {
@@ -247,21 +303,62 @@ func satMul(a, b int) int {
 	return a * b
 }
 
-// Expand resolves the spec into one Experiment per grid point, in
-// deterministic row-major axis order (GPU outermost, matrix units
-// innermost). It fails on an empty grid or any name that does not
-// resolve against the catalogs — including strategy names unknown to
-// the registry.
-func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
-	if len(s.GPUs) == 0 {
-		return nil, nil, fmt.Errorf("sweep: spec %q lists no GPUs", s.Name)
+// platform is one point of the platform axes: a named system, or a
+// GPU/shape triple.
+type platform struct {
+	system string
+	gpu    string
+	count  int
+	nodes  int
+}
+
+// platforms materializes the platform axis, validating the
+// Systems-versus-GPUs exclusivity.
+func (s *Spec) platforms() ([]platform, error) {
+	if len(s.Systems) > 0 {
+		if len(s.GPUs) > 0 || len(s.GPUCounts) > 0 || len(s.Nodes) > 0 {
+			return nil, fmt.Errorf("sweep: spec %q lists both systems and gpus/gpu_counts/nodes axes", s.Name)
+		}
+		out := make([]platform, len(s.Systems))
+		for i, name := range s.Systems {
+			out[i] = platform{system: name}
+		}
+		return out, nil
 	}
-	if len(s.Models) == 0 {
-		return nil, nil, fmt.Errorf("sweep: spec %q lists no models", s.Name)
+	if len(s.GPUs) == 0 {
+		return nil, fmt.Errorf("sweep: spec %q lists no systems or GPUs", s.Name)
 	}
 	counts := s.GPUCounts
 	if len(counts) == 0 {
 		counts = []int{s.Base.GPUCount}
+	}
+	nodes := s.Nodes
+	if len(nodes) == 0 {
+		nodes = []int{s.Base.Nodes}
+	}
+	var out []platform
+	for _, gpu := range s.GPUs {
+		for _, n := range counts {
+			for _, nd := range nodes {
+				out = append(out, platform{gpu: gpu, count: n, nodes: nd})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Expand resolves the spec into one Experiment per grid point, in
+// deterministic row-major axis order (platform outermost, matrix units
+// innermost). It fails on an empty grid or any name that does not
+// resolve against the registries — systems, GPUs, models and strategies
+// alike.
+func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
+	plats, err := s.platforms()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(s.Models) == 0 {
+		return nil, nil, fmt.Errorf("sweep: spec %q lists no models", s.Name)
 	}
 	pars := s.Parallelisms
 	if len(pars) == 0 {
@@ -290,39 +387,39 @@ func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 
 	var exps []Experiment
 	var cfgs []core.Config
-	for _, gpu := range s.GPUs {
-		for _, n := range counts {
-			for _, mdl := range s.Models {
-				for _, par := range pars {
-					parDegrees := degrees
-					if st, err := effectiveStrategy(par); err == nil && !st.Describe().TPDegree {
-						// The degree axis is inert for this strategy; a
-						// single point at the base degree avoids expanding
-						// duplicates that canonicalize to one fingerprint.
-						parDegrees = []int{s.Base.TPDegree}
-					}
-					for _, bs := range batches {
-						for _, deg := range parDegrees {
-							for _, f := range formats {
-								for _, cap := range caps {
-									for _, mu := range matrix {
-										e := s.Base
-										e.GPU = gpu
-										e.GPUCount = n
-										e.Model = mdl
-										e.Parallelism = par
-										e.Batch = bs
-										e.TPDegree = deg
-										e.Format = f
-										e.PowerCapW = cap
-										e.VectorOnly = !mu
-										cfg, err := e.Config()
-										if err != nil {
-											return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
-										}
-										exps = append(exps, e)
-										cfgs = append(cfgs, cfg)
+	for _, plat := range plats {
+		for _, mdl := range s.Models {
+			for _, par := range pars {
+				parDegrees := degrees
+				if st, err := effectiveStrategy(par); err == nil && !st.Describe().TPDegree {
+					// The degree axis is inert for this strategy; a
+					// single point at the base degree avoids expanding
+					// duplicates that canonicalize to one fingerprint.
+					parDegrees = []int{s.Base.TPDegree}
+				}
+				for _, bs := range batches {
+					for _, deg := range parDegrees {
+						for _, f := range formats {
+							for _, cap := range caps {
+								for _, mu := range matrix {
+									e := s.Base
+									e.System = plat.system
+									e.GPU = plat.gpu
+									e.GPUCount = plat.count
+									e.Nodes = plat.nodes
+									e.Model = mdl
+									e.Parallelism = par
+									e.Batch = bs
+									e.TPDegree = deg
+									e.Format = f
+									e.PowerCapW = cap
+									e.VectorOnly = !mu
+									cfg, err := e.Config()
+									if err != nil {
+										return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
 									}
+									exps = append(exps, e)
+									cfgs = append(cfgs, cfg)
 								}
 							}
 						}
@@ -332,4 +429,16 @@ func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 		}
 	}
 	return exps, cfgs, nil
+}
+
+// Validate expands the spec without running anything, so a CLI (or CI
+// step) can reject bad axes — unknown system/GPU/model/strategy names,
+// invalid shapes, conflicting platform axes — before any simulation
+// starts. It returns the number of grid points the spec describes.
+func (s *Spec) Validate() (int, error) {
+	_, cfgs, err := s.Expand()
+	if err != nil {
+		return 0, err
+	}
+	return len(cfgs), nil
 }

@@ -1,17 +1,33 @@
 package topo
 
 import (
+	"math"
 	"testing"
 
 	"overlapsim/internal/hw"
 )
 
 func TestKindByVendor(t *testing.T) {
-	if ForSystem(hw.NewSystem(hw.H100(), 4)).Kind() != Switched {
+	if ForSystem(hw.NewSystem(hw.H100(), 4)).Kind() != KindSwitched {
 		t.Error("NVIDIA nodes are switched (NVLink+NVSwitch)")
 	}
-	if ForSystem(hw.NewSystem(hw.MI250(), 4)).Kind() != Mesh {
+	if ForSystem(hw.NewSystem(hw.MI250(), 4)).Kind() != KindMesh {
 		t.Error("AMD nodes are Infinity Fabric meshes")
+	}
+}
+
+// A system's explicit fabric kind overrides the vendor default — the
+// vendor enum no longer drives topology directly.
+func TestExplicitFabricOverridesVendor(t *testing.T) {
+	sys := hw.NewSystem(hw.H100(), 4)
+	sys.Fabric = hw.FabricMesh
+	if ForSystem(sys).Kind() != KindMesh {
+		t.Error("explicit mesh fabric on an NVIDIA system must win")
+	}
+	amd := hw.NewSystem(hw.MI210(), 4)
+	amd.Fabric = hw.FabricSwitched
+	if ForSystem(amd).Kind() != KindSwitched {
+		t.Error("explicit switched fabric on an AMD system must win")
 	}
 }
 
@@ -27,12 +43,12 @@ func TestP2PBandwidth(t *testing.T) {
 }
 
 func TestRingBW(t *testing.T) {
-	tp := ForSystem(hw.NewSystem(hw.H100(), 8))
-	if tp.RingBW() != tp.GPU().UniLinkBW() {
+	f := ForSystem(hw.NewSystem(hw.H100(), 8))
+	if f.RingBW() != f.GPU().UniLinkBW() {
 		t.Error("ring direction sustains the derated unidirectional rate")
 	}
-	if tp.N() != 8 {
-		t.Errorf("N = %d", tp.N())
+	if f.N() != 8 {
+		t.Errorf("N = %d", f.N())
 	}
 }
 
@@ -47,21 +63,118 @@ func TestHopLatency(t *testing.T) {
 	}
 }
 
+func TestSingleNodeTiers(t *testing.T) {
+	f := ForSystem(hw.NewSystem(hw.H100(), 8))
+	tiers := f.Tiers()
+	if len(tiers) != 1 {
+		t.Fatalf("single-node fabric has %d tiers, want 1", len(tiers))
+	}
+	if tiers[0].Ranks != 8 || tiers[0].BW != f.RingBW() || tiers[0].StepLatency != f.HopLatency() {
+		t.Errorf("tier = %+v", tiers[0])
+	}
+}
+
+func TestHierarchicalFromMultiNodeSystem(t *testing.T) {
+	sys := hw.NewMultiNode(hw.H100(), 8, 4)
+	f := ForSystem(sys)
+	if f.Kind() != KindHierarchical {
+		t.Fatalf("kind = %v", f.Kind())
+	}
+	if f.N() != 32 {
+		t.Errorf("N = %d, want 32", f.N())
+	}
+	h := f.(*Hierarchical)
+	if h.Nodes() != 4 || h.NodeSize() != 8 {
+		t.Errorf("shape = %dx%d", h.NodeSize(), h.Nodes())
+	}
+	if h.Intra().Kind() != KindSwitched {
+		t.Error("H100 nodes keep their switched intra-node fabric")
+	}
+
+	tiers := f.Tiers()
+	if len(tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(tiers))
+	}
+	if tiers[0].Ranks != 8 || tiers[1].Ranks != 4 {
+		t.Errorf("tier ranks = %d,%d, want 8,4", tiers[0].Ranks, tiers[1].Ranks)
+	}
+	nic := sys.NICSpec()
+	if tiers[1].BW != nic.BW() || tiers[1].StepLatency != nic.Latency {
+		t.Errorf("inter-node tier = %+v", tiers[1])
+	}
+	if tiers[0].BW <= tiers[1].BW {
+		t.Error("NVLink tier should be faster than the default NIC tier")
+	}
+	if f.RingBW() != math.Min(tiers[0].BW, tiers[1].BW) {
+		t.Error("spanning ring is bottlenecked by the slower tier")
+	}
+}
+
+func TestHierarchicalP2P(t *testing.T) {
+	sys := hw.NewMultiNode(hw.H100(), 4, 2)
+	f := ForSystem(sys)
+	intra := f.P2PBW(0, 3)
+	inter := f.P2PBW(0, 4)
+	if intra <= inter {
+		t.Errorf("intra-node P2P %g should beat inter-node %g", intra, inter)
+	}
+	if f.PathLatency(0, 4) <= f.PathLatency(0, 3) {
+		t.Error("cross-node transfers pay NIC latency")
+	}
+}
+
+func TestHierarchicalCustomNIC(t *testing.T) {
+	sys := hw.NewMultiNode(hw.H100(), 8, 2)
+	sys.NIC = &hw.NICSpec{BWGBs: 12.5, Latency: 20e-6}
+	slow := ForSystem(sys)
+	fast := ForSystem(hw.NewMultiNode(hw.H100(), 8, 2))
+	if slow.RingBW() >= fast.RingBW() {
+		t.Error("a slower NIC must lower the spanning ring bandwidth")
+	}
+}
+
+func TestNewHierarchicalPanics(t *testing.T) {
+	intra := NewSwitched(hw.NewSystem(hw.H100(), 8))
+	for name, fn := range map[string]func(){
+		"nil intra":  func() { NewHierarchical(nil, 2, hw.DefaultNIC()) },
+		"one node":   func() { NewHierarchical(intra, 1, hw.DefaultNIC()) },
+		"bad nic bw": func() { NewHierarchical(intra, 2, hw.NICSpec{BWGBs: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestOutOfRangePanics(t *testing.T) {
-	tp := ForSystem(hw.NewSystem(hw.H100(), 4))
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for out-of-range GPU")
-		}
-	}()
-	tp.P2PBW(0, 4)
+	fabrics := map[string]Fabric{
+		"switched":     ForSystem(hw.NewSystem(hw.H100(), 4)),
+		"mesh":         ForSystem(hw.NewSystem(hw.MI250(), 4)),
+		"hierarchical": ForSystem(hw.NewMultiNode(hw.H100(), 4, 2)),
+	}
+	for name, f := range fabrics {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for out-of-range GPU", name)
+				}
+			}()
+			f.P2PBW(0, f.N())
+		}()
+	}
 }
 
 func TestKindString(t *testing.T) {
-	if Switched.String() != "switched" || Mesh.String() != "mesh" {
+	if KindSwitched.String() != "switched" || KindMesh.String() != "mesh" ||
+		KindHierarchical.String() != "hierarchical" {
 		t.Error("kind names")
 	}
-	if Kind(3).String() == "" {
+	if Kind(9).String() == "" {
 		t.Error("unknown kind should still format")
 	}
 }

@@ -183,7 +183,7 @@ func (b *builder) newGroupColl(name string, gr int, op collective.Op, bytes floa
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Topology())
+	work := collective.EffWireBytes(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, gr*b.d)
 		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
@@ -195,13 +195,20 @@ func (b *builder) newGroupColl(name string, gr int, op collective.Op, bytes floa
 
 // newDPAllReduce creates the cross-group gradient all-reduce: every rank
 // participates in a groups-way ring with its peers; symmetric groups make
-// it one fluid task occupying all devices.
+// it one fluid task occupying all devices. The explicit Group records
+// the strided placement of one replica set — rank i of every TP group —
+// so hierarchical fabrics cost the ring on the tiers it actually
+// crosses (one peer per node when a TP group fills a node).
 func (b *builder) newDPAllReduce(name string, bytes float64) *sim.Task {
-	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.groups, Ranks: b.allDevices()}
+	group := make([]int, b.groups)
+	for i := range group {
+		group[i] = i * b.d
+	}
+	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.groups, Ranks: b.allDevices(), Group: group}
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Topology())
+	work := collective.EffWireBytes(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
 		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
