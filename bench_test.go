@@ -11,6 +11,7 @@ package overlapsim_bench
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"overlapsim/internal/core"
@@ -311,6 +312,39 @@ func BenchmarkMultiNodeFSDP(b *testing.B) {
 	b.ReportMetric(float64(cfg.System.TotalGPUs()), "gpus")
 	b.ReportMetric(res.Mean.E2E*1e3, "e2e_ms")
 	b.ReportMetric(res.OverlapRatio*100, "overlap_%")
+}
+
+// BenchmarkEngineScale is the engine's scale trajectory: one overlapped
+// FSDP iteration of GPT-3 XL at 8, 32, 128 and 512 ranks (H100 nodes of
+// 8, hierarchical NVLink+NIC fabric beyond one node). ns/op and
+// allocs/op at each rank count are the numbers BENCH.md tracks; a
+// scheduling or allocation regression shows up here before it shows up
+// in a paper grid. The per-GPU batch is fixed at 1 so the task graph —
+// and therefore simulation cost — grows linearly with ranks.
+func BenchmarkEngineScale(b *testing.B) {
+	for _, ranks := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			nodes := (ranks + 7) / 8
+			cfg := core.Config{
+				System:      hw.NewMultiNode(hw.H100(), 8, nodes),
+				Model:       model.GPT3XL(),
+				Parallelism: "fsdp",
+				Batch:       ranks,
+				Format:      precision.FP16,
+				MatrixUnits: true,
+				Iterations:  1,
+				Warmup:      0,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunMode(context.Background(), cfg, exec.Overlapped); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.System.TotalGPUs()), "gpus")
+		})
+	}
 }
 
 // BenchmarkPowerSampling measures telemetry overhead.

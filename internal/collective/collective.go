@@ -117,6 +117,39 @@ type Desc struct {
 	// how communication kernel time comes to overlap computation in the
 	// profiles the paper analyzes.
 	Gate Gate
+
+	// wireBW and participants cache the fabric-dependent quantities the
+	// device model reads on every simulation epoch; Prepare fills them at
+	// task-construction time. A zero wireBW falls back to recomputation,
+	// so hand-built descriptors keep working unchanged.
+	wireBW       float64
+	participants []int
+}
+
+// Prepare returns the descriptor with its per-fabric constants — wire
+// bandwidth and the resolved participant set — computed once, plus the
+// effective wire bytes the simulator uses as the task's work. The device
+// model reads these quantities on every constant-rate epoch; preparing
+// them at task-construction time removes the tier decomposition from the
+// simulation hot path without changing a single value.
+//
+// The cache binds the descriptor to f: a prepared Desc must only be
+// rated against the fabric it was prepared for (WireBW returns the
+// cached bandwidth regardless of its argument). Re-Prepare against the
+// new fabric to re-rate a plan elsewhere.
+func Prepare(d Desc, f topo.Fabric) (Desc, float64) {
+	d.wireBW = BW(d, f)
+	d.participants = d.Participants()
+	return d, EffWireBytes(d, f)
+}
+
+// WireBW returns the per-rank wire bandwidth on the fabric, using the
+// Prepare-time cache when present.
+func (d Desc) WireBW(f topo.Fabric) float64 {
+	if d.wireBW > 0 {
+		return d.wireBW
+	}
+	return BW(d, f)
 }
 
 // Waiting reports whether the operation is posted but still blocked on its
@@ -381,7 +414,7 @@ func Time(d Desc, f topo.Fabric) float64 {
 // simulator uses as the task's work: executing this work at BW reproduces
 // Time exactly, letting a multi-phase collective be one fluid task.
 func EffWireBytes(d Desc, f topo.Fabric) float64 {
-	return Time(d, f) * BW(d, f)
+	return Time(d, f) * d.WireBW(f)
 }
 
 // BusBW returns the nccl-tests style "bus bandwidth" implied by a measured
@@ -428,8 +461,12 @@ func HBMDraw(d Desc, g *hw.GPUSpec, wireRate float64) float64 {
 
 // Participants returns the rank indices the collective occupies. For
 // SendRecv these are the two endpoints; with an explicit Ranks set those
-// ranks; otherwise ranks 0..N-1.
+// ranks; otherwise ranks 0..N-1. Prepared descriptors return the
+// resolved set without allocating.
 func (d Desc) Participants() []int {
+	if d.participants != nil {
+		return d.participants
+	}
 	if d.Op == SendRecv {
 		return []int{d.Src, d.Dst}
 	}

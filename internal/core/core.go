@@ -253,10 +253,12 @@ type Result struct {
 	Char metrics.Characterization
 }
 
-// RunMode executes the experiment in a single mode on a fresh cluster,
-// resolving the strategy through the registry. Cancelling ctx aborts the
-// simulation between epochs and returns ctx.Err().
-func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, error) {
+// BuildPlan constructs the simulation plan of one execution mode on a
+// fresh cluster without running it, resolving the strategy through the
+// registry. Callers that need the raw task graph (differential testing,
+// trace tooling) build here and run the plan themselves; RunMode is the
+// measuring wrapper.
+func BuildPlan(cfg Config, mode exec.Mode) (*exec.Plan, error) {
 	s, err := strategy.Lookup(string(cfg.Parallelism.Canonical()))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -271,8 +273,14 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 	if err != nil {
 		return nil, err
 	}
+	return s.Build(cl, cfg.params(mode))
+}
 
-	plan, err := s.Build(cl, cfg.params(mode))
+// RunMode executes the experiment in a single mode on a fresh cluster,
+// resolving the strategy through the registry. Cancelling ctx aborts the
+// simulation between epochs and returns ctx.Err().
+func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, error) {
+	plan, err := BuildPlan(cfg, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +295,7 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 	res := &ModeResult{Mode: mode, Iterations: its}
 	res.Mean = metrics.Mean(res.Iterations)
 	res.OverlapRatio = res.Mean.OverlapRatio()
+	cl := plan.Cluster
 	for i := 0; i < cl.N(); i++ {
 		st := cl.PowerStats(i)
 		res.GPUPower = append(res.GPUPower, st)

@@ -88,7 +88,13 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
-	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local}
+	total := p.Warmup + p.Iterations
+	L := p.Model.Layers
+	// Per iteration: L forward + L backward layers and the head pair of n
+	// computes each, at most L+1 gradient buckets, and the optimizer.
+	estimate := total * (2*L*n + 3*n + L + 2)
+	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local,
+		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
 	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
 	for it := 0; it < p.Warmup+p.Iterations; it++ {
@@ -101,6 +107,7 @@ type builder struct {
 	cfg   strategy.Params
 	eng   *sim.Engine
 	cl    *gpu.Cluster
+	batch *exec.Batch
 	n     int
 	local int
 
@@ -133,28 +140,20 @@ func (b *builder) allDevices() []int {
 	return devs
 }
 
-func (b *builder) newCompute(name string, d kernels.Desc) []*sim.Task {
-	out := make([]*sim.Task, b.n)
-	for dev := 0; dev < b.n; dev++ {
-		t := b.eng.NewTask(fmt.Sprintf("%s@%d", name, dev), sim.KindCompute, kernels.Work(d), d, b.computeS[dev])
-		if b.sequential() {
-			b.chain.Order(t, dev)
-		}
-		out[dev] = t
-	}
-	return out
+func (b *builder) newCompute(name string, op exec.Op) []*sim.Task {
+	return b.batch.Compute(name, op, b.computeS, b.chain)
 }
 
 func (b *builder) newAllReduce(name string, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.n}
-	work := collective.EffWireBytes(cd, b.cl.Fabric())
+	cd, work := collective.Prepare(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
-		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		t := b.batch.Task(name, sim.KindComm, work, cd, s)
 		b.chain.Order(t, b.allDevices()...)
 		return t
 	}
-	return b.eng.NewTask(name, sim.KindComm, work, cd, b.commS)
+	return b.batch.Task(name, sim.KindComm, work, cd, b.commS)
 }
 
 func after(ts []*sim.Task, deps ...*sim.Task) {
@@ -172,10 +171,10 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	e := float64(b.cfg.Format.Bytes())
 	start := len(b.eng.Tasks())
 
-	fwdDesc := kernels.Fuse("fwd.layer", m.ForwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits)...)
-	bwdDesc := kernels.Fuse("bwd.layer", m.BackwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, b.cfg.Checkpoint)...)
-	headF := kernels.Fuse("fwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, true)...)
-	headB := kernels.Fuse("bwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, false)...)
+	fwdOp := exec.KernelOp(kernels.Fuse("fwd.layer", m.ForwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits)...))
+	bwdOp := exec.KernelOp(kernels.Fuse("bwd.layer", m.BackwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, b.cfg.Checkpoint)...))
+	headFOp := exec.KernelOp(kernels.Fuse("fwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, true)...))
+	headBOp := exec.KernelOp(kernels.Fuse("bwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, false)...))
 
 	barrier := func(ts []*sim.Task) {
 		for _, t := range ts {
@@ -188,9 +187,10 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	}
 
 	// Forward.
+	fwdPrefix := fmt.Sprintf("it%d.fwd.l", it)
 	var prev []*sim.Task
 	for i := 0; i < L; i++ {
-		f := b.newCompute(fmt.Sprintf("it%d.fwd.l%d", it, i), fwdDesc)
+		f := b.newCompute(b.batch.Name(fwdPrefix, i), fwdOp)
 		if i == 0 {
 			barrier(f)
 		} else {
@@ -200,11 +200,11 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 		}
 		prev = f
 	}
-	hf := b.newCompute(fmt.Sprintf("it%d.fwd.head", it), headF)
+	hf := b.newCompute(fmt.Sprintf("it%d.fwd.head", it), headFOp)
 	for d, t := range hf {
 		t.After(prev[d])
 	}
-	hb := b.newCompute(fmt.Sprintf("it%d.bwd.head", it), headB)
+	hb := b.newCompute(fmt.Sprintf("it%d.bwd.head", it), headBOp)
 	for d, t := range hb {
 		t.After(hf[d])
 	}
@@ -215,15 +215,17 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	pending := m.EmbedParams() * e // head/embedding grads are ready first
 	var reduces []*sim.Task
 	bucket := 0
+	bwdPrefix := fmt.Sprintf("it%d.bwd.l", it)
+	arPrefix := fmt.Sprintf("it%d.ar.bucket", it)
 	for i := L - 1; i >= 0; i-- {
-		bw := b.newCompute(fmt.Sprintf("it%d.bwd.l%d", it, i), bwdDesc)
+		bw := b.newCompute(b.batch.Name(bwdPrefix, i), bwdOp)
 		for d, t := range bw {
 			t.After(prev[d])
 		}
 		prev = bw
 		pending += layerGradBytes
 		if pending >= b.cfg.BucketBytes || i == 0 {
-			ar := b.newAllReduce(fmt.Sprintf("it%d.ar.bucket%d", it, bucket), pending)
+			ar := b.newAllReduce(b.batch.Name(arPrefix, bucket), pending)
 			after([]*sim.Task{ar}, bw...)
 			reduces = append(reduces, ar)
 			pending = 0
@@ -232,7 +234,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	}
 
 	// Optimizer over the full replica.
-	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), m.OptimizerKernel(m.TotalParams()))
+	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), exec.KernelOp(m.OptimizerKernel(m.TotalParams())))
 	for d, t := range opt {
 		t.After(prev[d])
 		t.After(reduces[len(reduces)-1])

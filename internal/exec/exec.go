@@ -122,10 +122,11 @@ func IterationMeasurement(tasks []*sim.Task) metrics.Iteration {
 		return it
 	}
 	for _, d := range devs {
-		it.ComputeKernelTime += tl.KernelTime(d, sim.KindCompute)
-		it.CommKernelTime += tl.KernelTime(d, sim.KindComm)
-		it.OverlappedComputeTime += tl.OverlappedTime(d, sim.KindCompute, sim.KindComm)
-		it.OverlappedCommTime += tl.OverlappedTime(d, sim.KindComm, sim.KindCompute)
+		computeT, commT, computeOv, commOv := tl.DeviceOverlap(d)
+		it.ComputeKernelTime += computeT
+		it.CommKernelTime += commT
+		it.OverlappedComputeTime += computeOv
+		it.OverlappedCommTime += commOv
 	}
 	n := float64(len(devs))
 	it.ComputeKernelTime /= n

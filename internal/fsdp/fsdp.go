@@ -86,10 +86,19 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
 
-	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local}
+	total := p.Warmup + p.Iterations
+	L := p.Model.Layers
+	accum := p.GradAccumSteps
+	// Per iteration: accum × (embed gather+compute, L forward and L
+	// backward layers of one gather + n computes, head fwd/bwd), plus the
+	// final step's L+1 reduce-scatters and the optimizer — sized so slab
+	// allocation covers the whole plan in one reservation.
+	estimate := total * (accum*(2*L*(n+1)+3*n+2) + L + 2 + n)
+
+	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local,
+		batch: exec.NewBatch(eng, estimate)}
 	b.makeStreams()
 	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
-	total := p.Warmup + p.Iterations
 	for it := 0; it < total; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -101,6 +110,7 @@ type builder struct {
 	cfg   strategy.Params
 	eng   *sim.Engine
 	cl    *gpu.Cluster
+	batch *exec.Batch
 	n     int
 	local int // per-GPU batch
 
@@ -141,40 +151,33 @@ func (b *builder) allDevices() []int {
 	return devs
 }
 
-// newCollective creates a collective task across all ranks.
+// newCollective creates a collective task across all ranks, with the
+// fabric-dependent rate constants prepared at construction time.
 func (b *builder) newCollective(name string, op collective.Op, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: op, Bytes: bytes, N: b.n}
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Fabric())
+	cd, work := collective.Prepare(cd, b.cl.Fabric())
 	var t *sim.Task
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
-		t = b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		t = b.batch.Task(name, sim.KindComm, work, cd, s)
 		b.chain.Order(t, b.allDevices()...)
 	} else {
 		s := b.agS
 		if op == collective.ReduceScatter {
 			s = b.rsS
 		}
-		t = b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		t = b.batch.Task(name, sim.KindComm, work, cd, s)
 	}
 	return t
 }
 
-// newCompute creates one compute task per device from the fused kernel
-// descriptor (identical work on every rank under data parallelism).
-func (b *builder) newCompute(name string, d kernels.Desc) []*sim.Task {
-	out := make([]*sim.Task, b.n)
-	for dev := 0; dev < b.n; dev++ {
-		t := b.eng.NewTask(fmt.Sprintf("%s@%d", name, dev), sim.KindCompute, kernels.Work(d), d, b.computeS[dev])
-		if b.sequential() {
-			b.chain.Order(t, dev)
-		}
-		out[dev] = t
-	}
-	return out
+// newCompute creates one compute task per device from the pre-boxed
+// fused kernel op (identical work on every rank under data parallelism).
+func (b *builder) newCompute(name string, op exec.Op) []*sim.Task {
+	return b.batch.Compute(name, op, b.computeS, b.chain)
 }
 
 func after(ts []*sim.Task, deps ...*sim.Task) {
@@ -203,6 +206,9 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	bwdDesc := kernels.Fuse("bwd.layer", m.BackwardLayerKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, b.cfg.Checkpoint)...)
 	headFwd := kernels.Fuse("fwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, true)...)
 	headBwd := kernels.Fuse("bwd.head", m.HeadKernels(b.local, b.cfg.Format, b.cfg.MatrixUnits, false)...)
+	fwdOp, bwdOp := exec.KernelOp(fwdDesc), exec.KernelOp(bwdDesc)
+	embedOp, logitsOp := exec.KernelOp(headFwdEmbedOnly(headFwd)), exec.KernelOp(headFwdLogitsOnly(headFwd))
+	headBwdOp := exec.KernelOp(headBwd)
 
 	iterBarrier := func(t *sim.Task) {
 		for _, p := range b.prevIterEnd {
@@ -220,7 +226,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 
 		// Forward pass.
 		agEmbed := b.newCollective(tag+".ag.embed", collective.AllGather, embedBytes)
-		embedF := b.newCompute(tag+".fwd.embed", headFwdEmbedOnly(headFwd))
+		embedF := b.newCompute(tag+".fwd.embed", embedOp)
 		after(embedF, agEmbed)
 		if step == 0 {
 			iterBarrier(agEmbed)
@@ -233,16 +239,17 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 			}
 		}
 
+		agFwdPrefix, fwdPrefix := tag+".ag.fwd.l", tag+".fwd.l"
 		agF := make([]*sim.Task, L)
 		fF := make([][]*sim.Task, L)
 		for i := 0; i < L; i++ {
-			agF[i] = b.newCollective(fmt.Sprintf("%s.ag.fwd.l%d", tag, i), collective.AllGather, layerBytes)
+			agF[i] = b.newCollective(b.batch.Name(agFwdPrefix, i), collective.AllGather, layerBytes)
 			if !b.sequential() && i >= pref {
 				// Bound prefetch: gather of layer i waits for compute of
 				// layer i-pref.
 				after([]*sim.Task{agF[i]}, fF[i-pref]...)
 			}
-			fF[i] = b.newCompute(fmt.Sprintf("%s.fwd.l%d", tag, i), fwdDesc)
+			fF[i] = b.newCompute(b.batch.Name(fwdPrefix, i), fwdOp)
 			after(fF[i], agF[i])
 			if i == 0 {
 				for d, t := range fF[i] {
@@ -256,11 +263,11 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 		}
 
 		// LM head + loss.
-		headF := b.newCompute(tag+".fwd.lmhead", headFwdLogitsOnly(headFwd))
+		headF := b.newCompute(tag+".fwd.lmhead", logitsOp)
 		for d, t := range headF {
 			t.After(fF[L-1][d], agEmbed)
 		}
-		headB := b.newCompute(tag+".bwd.lmhead", headBwd)
+		headB := b.newCompute(tag+".bwd.lmhead", headBwdOp)
 		for d, t := range headB {
 			t.After(headF[d])
 		}
@@ -270,14 +277,15 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 		}
 
 		// Backward pass (reverse layer order).
+		agBwdPrefix, bwdPrefix, rsPrefix := tag+".ag.bwd.l", tag+".bwd.l", tag+".rs.l"
 		agB := make([]*sim.Task, L)
 		fB := make([][]*sim.Task, L)
 		for i := L - 1; i >= 0; i-- {
-			agB[i] = b.newCollective(fmt.Sprintf("%s.ag.bwd.l%d", tag, i), collective.AllGather, layerBytes)
+			agB[i] = b.newCollective(b.batch.Name(agBwdPrefix, i), collective.AllGather, layerBytes)
 			if !b.sequential() && i <= L-1-pref {
 				after([]*sim.Task{agB[i]}, fB[i+pref]...)
 			}
-			fB[i] = b.newCompute(fmt.Sprintf("%s.bwd.l%d", tag, i), bwdDesc)
+			fB[i] = b.newCompute(b.batch.Name(bwdPrefix, i), bwdOp)
 			after(fB[i], agB[i])
 			if i == L-1 {
 				for d, t := range fB[i] {
@@ -289,7 +297,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 				}
 			}
 			if lastStep {
-				rs := b.newCollective(fmt.Sprintf("%s.rs.l%d", tag, i), collective.ReduceScatter, layerBytes)
+				rs := b.newCollective(b.batch.Name(rsPrefix, i), collective.ReduceScatter, layerBytes)
 				after([]*sim.Task{rs}, fB[i]...)
 				lastRS = rs
 			}
@@ -299,7 +307,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 
 	// Optimizer step over the local shard.
 	shard := m.TotalParams() / float64(b.n)
-	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), m.OptimizerKernel(shard))
+	opt := b.newCompute(fmt.Sprintf("it%d.opt", it), exec.KernelOp(m.OptimizerKernel(shard)))
 	for d, t := range opt {
 		t.After(lastRS, rsEmbed, prevStepB[d])
 	}

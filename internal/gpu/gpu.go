@@ -62,6 +62,19 @@ type Cluster struct {
 	// scratch, reused across epochs
 	compute [][]*sim.Task
 	comms   [][]*sim.Task
+
+	// partFresh marks the scratch partition as computed by Rates for the
+	// current epoch; Segment observes the identical running set
+	// immediately after and skips repartitioning. partLen guards the
+	// reuse against out-of-band Segment calls.
+	partFresh bool
+	partLen   int
+
+	// idleFreq and idleW are the DVFS solution and power draw of a fully
+	// idle device — constant for a given cap configuration, precomputed so
+	// per-epoch device sweeps skip the fixed-point solve on quiet devices.
+	idleFreq float64
+	idleW    float64
 }
 
 var (
@@ -102,6 +115,8 @@ func New(cfg Config) (*Cluster, error) {
 			c.traces = append(c.traces, power.NewSampler(cfg.TraceInterval))
 		}
 	}
+	c.idleFreq = power.SolveFreq(c.g, power.Activity{}, c.cfg.Caps)
+	c.idleW = power.Instant(c.g, power.Activity{}, c.idleFreq)
 	return c, nil
 }
 
@@ -179,6 +194,7 @@ func (c *Cluster) partition(running []*sim.Task) {
 // Rates implements sim.Platform.
 func (c *Cluster) Rates(now float64, running []*sim.Task) {
 	c.partition(running)
+	c.partFresh, c.partLen = true, len(running)
 
 	// Communication rates first: collectives are bandwidth-bound and set
 	// the contention pressure computes see.
@@ -190,22 +206,25 @@ func (c *Cluster) Rates(now float64, running []*sim.Task) {
 				// but moving no data.
 				t.SetRate(0)
 			} else {
-				t.SetRate(collective.BW(p, c.fabric) * c.jitterFor(t))
+				t.SetRate(p.WireBW(c.fabric) * c.jitterFor(t))
 			}
 		case kernels.Desc:
 			// set below
 		default:
-			if t.Kind() == sim.KindHost {
-				t.SetRate(1)
-			} else {
-				t.SetRate(1)
-			}
+			// Host and other non-device tasks run at unit rate.
+			t.SetRate(1)
 		}
 	}
 
 	for dev := 0; dev < c.N(); dev++ {
-		smStolen, hbmStolen, serialize := c.pressure(dev)
 		nCompute := len(c.compute[dev])
+		if nCompute == 0 && len(c.comms[dev]) == 0 {
+			// Fully idle device: the cap solution is a constant,
+			// precomputed in New.
+			c.freq[dev] = c.idleFreq
+			continue
+		}
+		smStolen, hbmStolen, serialize := c.pressure(dev)
 		if nCompute == 0 {
 			c.freq[dev] = c.solveFreqIdleComm(dev)
 			continue
@@ -271,7 +290,7 @@ func (c *Cluster) pressure(dev int) (smStolen, hbmStolen, serialize float64) {
 			sm = sm / 2
 			w = w / 2
 		} else {
-			wireRate := collective.BW(cd, c.fabric)
+			wireRate := cd.WireBW(c.fabric)
 			hbmStolen += collective.HBMDraw(cd, c.g, wireRate)
 		}
 		smStolen += sm
@@ -306,7 +325,7 @@ func (c *Cluster) deviceActivity(dev int, f, smStolen, hbmStolen, serialize floa
 		if cd.Waiting() {
 			continue
 		}
-		wireRate := collective.BW(cd, c.fabric)
+		wireRate := cd.WireBW(c.fabric)
 		commUtil += wireRate / c.g.UniLinkBW()
 		act.Mem += collective.HBMDraw(cd, c.g, wireRate) / c.g.MemBW()
 	}
@@ -389,12 +408,21 @@ func peakFor(g *hw.GPUSpec, path precision.Datapath, f precision.Format) float64
 }
 
 // Segment implements sim.Observer: it integrates per-GPU power over one
-// constant-rate segment.
+// constant-rate segment. The engine calls Segment immediately after
+// Rates with the identical running set, so the device partition computed
+// there is reused instead of rebuilt.
 func (c *Cluster) Segment(t0, t1 float64, running []*sim.Task) {
-	c.partition(running)
+	if !c.partFresh || c.partLen != len(running) {
+		c.partition(running)
+	}
+	c.partFresh = false
 	for dev := 0; dev < c.N(); dev++ {
-		act := c.segmentActivity(dev)
-		w := power.Instant(c.g, act, c.freq[dev])
+		var w float64
+		if len(c.compute[dev]) == 0 && len(c.comms[dev]) == 0 && c.freq[dev] == c.idleFreq {
+			w = c.idleW
+		} else {
+			w = power.Instant(c.g, c.segmentActivity(dev), c.freq[dev])
+		}
 		c.samplers[dev].Add(t0, t1, w)
 		if c.traces != nil {
 			c.traces[dev].Add(t0, t1, w)

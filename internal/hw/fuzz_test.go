@@ -1,0 +1,102 @@
+package hw
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestIsolatedRegistryCannotShadowBuiltins pins the child-registry
+// contract: a file that redefines a built-in name fails identically
+// against an isolated registry and the default one, so hermetic loads
+// can never resolve a built-in name to user hardware.
+func TestIsolatedRegistryCannotShadowBuiltins(t *testing.T) {
+	file := `{"gpus":[{"name":"H100","vendor":"NVIDIA","sms":10,"boost_mhz":1000,` +
+		`"mem_gb":1,"mem_bw_gbs":100,"link_bw_gbs":10,"tdp_w":100,` +
+		`"vector_tflops":{"fp32":1}}]}`
+	reg := NewRegistry()
+	if err := reg.Load(bytes.NewReader([]byte(file))); err == nil {
+		t.Fatal("isolated registry accepted a GPU shadowing built-in H100")
+	}
+	sysFile := `{"systems":[{"name":"H100x8","gpu":"H100","gpus_per_node":4}]}`
+	if err := NewRegistry().Load(bytes.NewReader([]byte(sysFile))); err == nil {
+		t.Fatal("isolated registry accepted a system shadowing built-in H100x8")
+	}
+	names := NewRegistry().GPUNames()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("GPUNames lists %q twice", n)
+		}
+		seen[n] = true
+	}
+}
+
+// FuzzLoad feeds arbitrary bytes to the hardware-file loader: every
+// input must either return an error or register valid hardware — never
+// panic — and successfully loaded systems must be stable under
+// System.Canonical (idempotent, and JSON round-trips to the same
+// canonical form). Each iteration loads into an isolated registry, so
+// the fuzzer cannot pollute the process-wide built-ins.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"gpus":[{"name":"X1","vendor":"NVIDIA","sms":100,"boost_mhz":1500,` +
+		`"mem_gb":80,"mem_bw_gbs":2000,"link_bw_gbs":450,"tdp_w":500,` +
+		`"vector_tflops":{"fp32":60},"matrix_tflops":{"fp16":900}}],` +
+		`"systems":[{"name":"X1x8","gpu":"X1","gpus_per_node":8}]}`))
+	f.Add([]byte(`{"systems":[{"name":"pod","gpu":"H100","gpus_per_node":8,"nodes":4,` +
+		`"nic":{"bw_gbs":50}}]}`))
+	f.Add([]byte(`{"systems":[{"name":"bad","gpu":"nope","gpus_per_node":8}]}`))
+	f.Add([]byte(`{"gpus":[{"name":"dup","vendor":"AMD"}],"gpus":[]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"gpus":[{"name":"neg","vendor":"NVIDIA","sms":-4}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := NewRegistry()
+		if err := reg.Load(bytes.NewReader(data)); err != nil {
+			// Malformed input rejected cleanly: exactly the contract.
+			return
+		}
+		for _, name := range reg.LocalSystemNames() {
+			s, err := reg.System(name)
+			if err != nil {
+				t.Fatalf("loaded system %q does not resolve: %v", name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("loaded system %q invalid: %v", name, err)
+			}
+			if s.GPU == nil {
+				t.Fatalf("loaded system %q has no GPU", name)
+			}
+			if err := s.GPU.Validate(); err != nil {
+				t.Fatalf("loaded system %q carries invalid GPU: %v", name, err)
+			}
+
+			// Canonical must be idempotent...
+			c := s.Canonical()
+			c2 := c.Canonical()
+			cj, err := json.Marshal(c)
+			if err != nil {
+				t.Fatalf("canonical system %q does not encode: %v", name, err)
+			}
+			c2j, err := json.Marshal(c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cj, c2j) {
+				t.Fatalf("Canonical not idempotent for %q:\n  once  %s\n  twice %s", name, cj, c2j)
+			}
+			// ...and the canonical JSON form must round-trip unchanged.
+			var rt System
+			if err := json.Unmarshal(cj, &rt); err != nil {
+				t.Fatalf("canonical system %q does not decode: %v", name, err)
+			}
+			rtj, err := json.Marshal(rt.Canonical())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cj, rtj) {
+				t.Fatalf("canonical JSON of %q does not round-trip:\n  before %s\n  after  %s", name, cj, rtj)
+			}
+		}
+	})
+}

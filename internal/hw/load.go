@@ -104,11 +104,19 @@ type NICJSON struct {
 	AlgEff  float64 `json:"alg_eff,omitempty"`
 }
 
-// Load parses a hardware file and registers its GPUs and systems. Errors
-// (schema violations, unknown references, duplicate names) are returned,
-// not panicked: the input is user data, not program code. Registration is
-// not transactional — entries preceding the offending one stay registered.
+// Load parses a hardware file and registers its GPUs and systems in the
+// default registry. Errors (schema violations, unknown references,
+// duplicate names) are returned, not panicked: the input is user data,
+// not program code. Registration is not transactional — entries
+// preceding the offending one stay registered.
 func Load(r io.Reader) error {
+	return defaultReg.Load(r)
+}
+
+// Load parses a hardware file into this registry. An isolated registry
+// (NewRegistry) resolves GPU references through the built-ins but keeps
+// every registration local — the hermetic path tests and fuzzers use.
+func (reg *Registry) Load(r io.Reader) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var f File
@@ -122,17 +130,17 @@ func Load(r io.Reader) error {
 		}
 		// Capture a private template; builders hand out fresh copies.
 		tmpl := *spec
-		if err := register(func() *GPUSpec { s := tmpl; return cloneGPU(&s) }); err != nil {
+		if err := reg.register(func() *GPUSpec { s := tmpl; return cloneGPU(&s) }); err != nil {
 			return err
 		}
 	}
 	for i := range f.Systems {
-		sys, err := f.Systems[i].System()
+		sys, err := f.Systems[i].system(reg)
 		if err != nil {
 			return err
 		}
 		tmpl := sys
-		if err := registerSystem(func() System {
+		if err := reg.registerSystem(func() System {
 			s := tmpl
 			s.GPU = cloneGPU(tmpl.GPU)
 			if tmpl.NIC != nil {
@@ -302,10 +310,15 @@ func parseTFLOPS(gpu, field string, in map[string]float64) (map[precision.Format
 }
 
 // System converts the JSON form into a validated System, resolving the
-// GPU reference against the registry (Load registers a file's GPUs before
-// its systems, so in-file references resolve too).
+// GPU reference against the default registry (Load registers a file's
+// GPUs before its systems, so in-file references resolve too).
 func (j SystemJSON) System() (System, error) {
-	g, err := GPUByName(j.GPU)
+	return j.system(defaultReg)
+}
+
+// system is System resolving the GPU reference against reg.
+func (j SystemJSON) system(reg *Registry) (System, error) {
+	g, err := reg.GPUByName(j.GPU)
 	if err != nil {
 		return System{}, fmt.Errorf("hw: system %q: %w", j.Name, err)
 	}

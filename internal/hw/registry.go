@@ -13,14 +13,42 @@ import (
 // the JSON path, Load). Builders return fresh values on every lookup so
 // callers can mutate a spec for an ablation without corrupting the
 // registry.
+//
+// Registration state lives in a Registry value. The package-level
+// functions operate on the process-wide default registry; NewRegistry
+// creates an isolated child that resolves missing names through the
+// default (so user files can reference built-in GPUs) without ever
+// writing to it — which is what lets tests and fuzzers load arbitrary
+// hardware files hermetically.
 
-var (
-	regMu      sync.RWMutex
-	gpusByName = make(map[string]func() *GPUSpec)
+// Registry holds named GPU and system builders.
+type Registry struct {
+	mu         sync.RWMutex
+	gpusByName map[string]func() *GPUSpec
 	gpuOrder   []string
-	sysByName  = make(map[string]func() System)
+	sysByName  map[string]func() System
 	sysOrder   []string
-)
+	parent     *Registry // read-only fallback for lookups; nil at the root
+}
+
+var defaultReg = &Registry{
+	gpusByName: make(map[string]func() *GPUSpec),
+	sysByName:  make(map[string]func() System),
+}
+
+// DefaultRegistry returns the process-wide registry the package-level
+// functions operate on.
+func DefaultRegistry() *Registry { return defaultReg }
+
+// NewRegistry returns an empty registry whose lookups fall back to the
+// default registry. Registrations go to the new registry only.
+func NewRegistry() *Registry {
+	return &Registry{
+		gpusByName: make(map[string]func() *GPUSpec),
+		sysByName:  make(map[string]func() System),
+		parent:     defaultReg,
+	}
+}
 
 func regKey(name string) string {
 	return strings.ToLower(strings.TrimSpace(name))
@@ -32,24 +60,31 @@ func regKey(name string) string {
 // programming error that must fail loudly. Runtime-loaded hardware goes
 // through Load, which reports errors instead.
 func Register(build func() *GPUSpec) {
-	if err := register(build); err != nil {
+	if err := defaultReg.register(build); err != nil {
 		panic(err)
 	}
 }
 
-func register(build func() *GPUSpec) error {
+func (reg *Registry) register(build func() *GPUSpec) error {
 	g := build()
 	if err := g.Validate(); err != nil {
 		return err
 	}
 	key := regKey(g.Name)
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := gpusByName[key]; dup {
+	if reg.parent != nil {
+		// A child registry must not shadow a built-in: the same file must
+		// load (or fail) identically against any registry.
+		if _, shadow := reg.parent.gpuBuilder(g.Name); shadow {
+			return fmt.Errorf("hw: duplicate GPU registration of %q", g.Name)
+		}
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.gpusByName[key]; dup {
 		return fmt.Errorf("hw: duplicate GPU registration of %q", g.Name)
 	}
-	gpusByName[key] = build
-	gpuOrder = append(gpuOrder, g.Name)
+	reg.gpusByName[key] = build
+	reg.gpuOrder = append(reg.gpuOrder, g.Name)
 	return nil
 }
 
@@ -57,33 +92,69 @@ func register(build func() *GPUSpec) error {
 // case-insensitively. Panics on an invalid system or duplicate name, like
 // Register.
 func RegisterSystem(build func() System) {
-	if err := registerSystem(build); err != nil {
+	if err := defaultReg.registerSystem(build); err != nil {
 		panic(err)
 	}
 }
 
-func registerSystem(build func() System) error {
+func (reg *Registry) registerSystem(build func() System) error {
 	s := build()
 	if err := s.Validate(); err != nil {
 		return err
 	}
 	key := regKey(s.Name)
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := sysByName[key]; dup {
+	if reg.parent != nil {
+		if _, shadow := reg.parent.sysBuilder(s.Name); shadow {
+			return fmt.Errorf("hw: duplicate system registration of %q", s.Name)
+		}
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.sysByName[key]; dup {
 		return fmt.Errorf("hw: duplicate system registration of %q", s.Name)
 	}
-	sysByName[key] = build
-	sysOrder = append(sysOrder, s.Name)
+	reg.sysByName[key] = build
+	reg.sysOrder = append(reg.sysOrder, s.Name)
 	return nil
+}
+
+// gpuBuilder resolves a GPU name in this registry, then its parent chain.
+func (reg *Registry) gpuBuilder(name string) (func() *GPUSpec, bool) {
+	key := regKey(name)
+	for r := reg; r != nil; r = r.parent {
+		r.mu.RLock()
+		build, ok := r.gpusByName[key]
+		r.mu.RUnlock()
+		if ok {
+			return build, true
+		}
+	}
+	return nil, false
+}
+
+// sysBuilder resolves a system name in this registry, then its parent
+// chain.
+func (reg *Registry) sysBuilder(name string) (func() System, bool) {
+	key := regKey(name)
+	for r := reg; r != nil; r = r.parent {
+		r.mu.RLock()
+		build, ok := r.sysByName[key]
+		r.mu.RUnlock()
+		if ok {
+			return build, true
+		}
+	}
+	return nil, false
 }
 
 // ByName returns a fresh copy of the registered GPU with the given name
 // (case-insensitive), or nil.
-func ByName(name string) *GPUSpec {
-	regMu.RLock()
-	build, ok := gpusByName[regKey(name)]
-	regMu.RUnlock()
+func ByName(name string) *GPUSpec { return defaultReg.GPU(name) }
+
+// GPU returns a fresh copy of the named GPU from this registry or its
+// parents, or nil.
+func (reg *Registry) GPU(name string) *GPUSpec {
+	build, ok := reg.gpuBuilder(name)
 	if !ok {
 		return nil
 	}
@@ -92,64 +163,106 @@ func ByName(name string) *GPUSpec {
 
 // GPUByName is ByName with an actionable error listing the registered
 // names.
-func GPUByName(name string) (*GPUSpec, error) {
-	if g := ByName(name); g != nil {
+func GPUByName(name string) (*GPUSpec, error) { return defaultReg.GPUByName(name) }
+
+// GPUByName returns a fresh copy of the named GPU, with an error listing
+// the registered names on a miss.
+func (reg *Registry) GPUByName(name string) (*GPUSpec, error) {
+	if g := reg.GPU(name); g != nil {
 		return g, nil
 	}
-	return nil, fmt.Errorf("hw: unknown GPU %q (have %s)", name, strings.Join(Names(), ", "))
+	return nil, fmt.Errorf("hw: unknown GPU %q (have %s)", name, strings.Join(reg.GPUNames(), ", "))
 }
 
 // Names returns every registered GPU name: the Table I built-ins in the
 // paper's order first, then user registrations in registration order.
-func Names() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	return append([]string(nil), gpuOrder...)
+func Names() []string { return defaultReg.GPUNames() }
+
+// GPUNames returns the GPU names visible from this registry: parent
+// entries first (the built-ins, in their registration order), then local
+// registrations.
+func (reg *Registry) GPUNames() []string {
+	var out []string
+	if reg.parent != nil {
+		out = reg.parent.GPUNames()
+	}
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return append(out, reg.gpuOrder...)
 }
 
 // All returns a fresh copy of every registered GPU, in Names order.
-func All() []*GPUSpec {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := make([]*GPUSpec, 0, len(gpuOrder))
-	for _, n := range gpuOrder {
-		out = append(out, gpusByName[regKey(n)]())
+func All() []*GPUSpec { return defaultReg.GPUs() }
+
+// GPUs returns a fresh copy of every GPU visible from this registry, in
+// GPUNames order.
+func (reg *Registry) GPUs() []*GPUSpec {
+	names := reg.GPUNames()
+	out := make([]*GPUSpec, 0, len(names))
+	for _, n := range names {
+		out = append(out, reg.GPU(n))
 	}
 	return out
 }
 
 // SystemByName returns a fresh copy of the registered system with the
 // given name (case-insensitive). The error lists the registered names.
-func SystemByName(name string) (System, error) {
-	regMu.RLock()
-	build, ok := sysByName[regKey(name)]
-	regMu.RUnlock()
+func SystemByName(name string) (System, error) { return defaultReg.System(name) }
+
+// System returns a fresh copy of the named system from this registry or
+// its parents; the error lists the registered names.
+func (reg *Registry) System(name string) (System, error) {
+	build, ok := reg.sysBuilder(name)
 	if !ok {
 		return System{}, fmt.Errorf("hw: unknown system %q (have %s)",
-			name, strings.Join(SystemNames(), ", "))
+			name, strings.Join(reg.SystemNames(), ", "))
 	}
 	return build(), nil
 }
 
 // SystemNames returns the registered system names, sorted.
-func SystemNames() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	out := append([]string(nil), sysOrder...)
+func SystemNames() []string { return defaultReg.SystemNames() }
+
+// SystemNames returns the system names visible from this registry,
+// sorted.
+func (reg *Registry) SystemNames() []string {
+	var out []string
+	if reg.parent != nil {
+		out = reg.parent.SystemNames()
+	}
+	reg.mu.RLock()
+	out = append(out, reg.sysOrder...)
+	reg.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Systems returns a fresh copy of every registered system in sorted-name
 // order — what the service catalog serves.
-func Systems() []System {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	names := append([]string(nil), sysOrder...)
-	sort.Strings(names)
+func Systems() []System { return defaultReg.Systems() }
+
+// Systems returns a fresh copy of every system visible from this
+// registry in sorted-name order.
+func (reg *Registry) Systems() []System {
+	names := reg.SystemNames()
 	out := make([]System, 0, len(names))
 	for _, n := range names {
-		out = append(out, sysByName[regKey(n)]())
+		s, err := reg.System(n)
+		if err != nil {
+			// Registrations are add-only, so a listed name always
+			// resolves; a miss means the registry invariant broke.
+			panic(fmt.Sprintf("hw: registered system %q does not resolve: %v", n, err))
+		}
+		out = append(out, s)
 	}
 	return out
+}
+
+// LocalSystemNames returns only the systems registered directly in this
+// registry (no parent fallback) in registration order — the entries a
+// Load call just added.
+func (reg *Registry) LocalSystemNames() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return append([]string(nil), reg.sysOrder...)
 }

@@ -73,10 +73,10 @@ func TestSystemRegistryServesPaperSystems(t *testing.T) {
 }
 
 func TestDuplicateRegistrationFails(t *testing.T) {
-	if err := register(A100); err == nil {
+	if err := defaultReg.register(A100); err == nil {
 		t.Error("re-registering A100 must fail")
 	}
-	if err := registerSystem(SystemH100x8); err == nil {
+	if err := defaultReg.registerSystem(SystemH100x8); err == nil {
 		t.Error("re-registering H100x8 must fail")
 	}
 }

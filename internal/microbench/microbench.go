@@ -124,9 +124,9 @@ func runOnce(cfg Config, overlap bool) (*runResult, error) {
 		gemmTime := kernels.BaseTime(gemm, cfg.System.GPU) * float64(cfg.Repeats)
 		collTime := collective.Time(cd, cl.Fabric())
 		reps := int(gemmTime*2/collTime) + 1
+		pcd, work := collective.Prepare(cd, cl.Fabric())
 		for i := 0; i < reps; i++ {
-			eng.NewTask(fmt.Sprintf("allreduce%d", i), sim.KindComm,
-				collective.EffWireBytes(cd, cl.Fabric()), cd, commS)
+			eng.NewTask(fmt.Sprintf("allreduce%d", i), sim.KindComm, work, pcd, commS)
 		}
 	}
 

@@ -187,10 +187,15 @@ func BuildSchedule(cl *gpu.Cluster, cfg strategy.Params, sched Schedule) (*exec.
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
 
-	b := &builder{cfg: cfg, sched: sched, eng: eng, cl: cl, n: n}
+	total := cfg.Warmup + cfg.Iterations
+	mbs := cfg.Batch / cfg.MicroBatch
+	// Per iteration: per stage one forward and one backward per
+	// microbatch, the inter-stage transfers, and the optimizer.
+	estimate := total * (2*n*mbs + 2*(n-1)*mbs + n)
+	b := &builder{cfg: cfg, sched: sched, eng: eng, cl: cl, n: n,
+		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
 	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
-	total := cfg.Warmup + cfg.Iterations
 	for it := 0; it < total; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -202,6 +207,7 @@ type builder struct {
 	sched Schedule
 	eng   *sim.Engine
 	cl    *gpu.Cluster
+	batch *exec.Batch
 	n     int
 
 	computeS []*sim.Stream
@@ -209,9 +215,9 @@ type builder struct {
 	bwdLink  []*sim.Stream // bwdLink[s]: transfers stage s+1 -> s
 	chain    *exec.Chain
 
-	fwdDesc  []kernels.Desc // per stage
-	bwdDesc  []kernels.Desc
-	optDesc  []kernels.Desc
+	fwdOp    []exec.Op // per stage, pre-boxed fused kernels
+	bwdOp    []exec.Op
+	optOp    []exec.Op
 	actBytes float64
 
 	prevIterEnd []*sim.Task
@@ -257,10 +263,10 @@ func (b *builder) prepare() {
 		if s == 0 {
 			bParts = append(bParts, headB[2]) // embedding gradient scatter
 		}
-		b.fwdDesc = append(b.fwdDesc, kernels.Fuse(fmt.Sprintf("fwd.stage%d", s), fParts...))
-		b.bwdDesc = append(b.bwdDesc, kernels.Fuse(fmt.Sprintf("bwd.stage%d", s), bParts...))
+		b.fwdOp = append(b.fwdOp, exec.KernelOp(kernels.Fuse(fmt.Sprintf("fwd.stage%d", s), fParts...)))
+		b.bwdOp = append(b.bwdOp, exec.KernelOp(kernels.Fuse(fmt.Sprintf("bwd.stage%d", s), bParts...)))
 		stageParams := float64(layers[s])*m.ParamsPerLayer() + m.EmbedParams()/float64(b.n)
-		b.optDesc = append(b.optDesc, m.OptimizerKernel(stageParams))
+		b.optOp = append(b.optOp, exec.KernelOp(m.OptimizerKernel(stageParams)))
 	}
 	b.actBytes = float64(micro) * float64(m.SeqLen) * float64(m.Hidden) * float64(b.cfg.Format.Bytes())
 }
@@ -313,7 +319,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 			name = fmt.Sprintf("it%d.send.bwd.s%d.mb%d", it, k.link, k.mb)
 		}
 		cd := collective.Desc{Name: name, Op: collective.SendRecv, Bytes: b.actBytes, N: 2, Src: src, Dst: dst}
-		work := collective.EffWireBytes(cd, b.cl.Fabric())
+		cd, work := collective.Prepare(cd, b.cl.Fabric())
 		var t *sim.Task
 		if b.sequential() {
 			s := b.eng.NewStream("seq."+name, src)
@@ -387,7 +393,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 					postRecv(recv, s, true)
 				}
 				t := b.eng.NewTask(fmt.Sprintf("it%d.fwd.s%d.mb%d", it, s, o.mb),
-					sim.KindCompute, kernels.Work(b.fwdDesc[s]), b.fwdDesc[s], b.computeS[s])
+					sim.KindCompute, b.fwdOp[s].Work, b.fwdOp[s].Payload, b.computeS[s])
 				if recv != nil {
 					t.After(recv)
 				}
@@ -414,7 +420,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 					postRecv(recv, s, false)
 				}
 				t := b.eng.NewTask(fmt.Sprintf("it%d.bwd.s%d.mb%d", it, s, o.mb),
-					sim.KindCompute, kernels.Work(b.bwdDesc[s]), b.bwdDesc[s], b.computeS[s])
+					sim.KindCompute, b.bwdOp[s].Work, b.bwdOp[s].Payload, b.computeS[s])
 				if recv != nil {
 					t.After(recv)
 				}
@@ -440,7 +446,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	opts := make([]*sim.Task, b.n)
 	for s := 0; s < b.n; s++ {
 		t := b.eng.NewTask(fmt.Sprintf("it%d.opt.s%d", it, s),
-			sim.KindCompute, kernels.Work(b.optDesc[s]), b.optDesc[s], b.computeS[s])
+			sim.KindCompute, b.optOp[s].Work, b.optOp[s].Payload, b.computeS[s])
 		t.After(lastB[s])
 		if b.sequential() {
 			b.chain.Order(t, s)

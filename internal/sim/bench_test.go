@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildSyntheticDAG constructs the raw-engine microbenchmark workload:
+// per rank one compute stream holding a chain of `depth` tasks, plus one
+// shared communication stream whose rendezvous-free collectives gate
+// every rank's next chain link — the dependency shape of an FSDP
+// iteration with the strategy and platform layers stripped away. The
+// platform is processor sharing on the comm stream, so rates change on
+// every admission and the scheduler's epoch machinery is fully
+// exercised.
+func buildSyntheticDAG(e *Engine, ranks, depth int) {
+	streams := make([]*Stream, ranks)
+	for r := range streams {
+		streams[r] = e.NewStream(fmt.Sprintf("compute%d", r), r)
+	}
+	comm := e.NewStream("comm", 0)
+	prev := make([]*Task, ranks)
+	for d := 0; d < depth; d++ {
+		coll := e.NewTask(fmt.Sprintf("coll.%d", d), KindComm, 1, nil, comm)
+		for r := 0; r < ranks; r++ {
+			t := e.NewTask(fmt.Sprintf("c%d.%d", r, d), KindCompute, 1+float64(r%3), nil, streams[r])
+			t.After(coll, prev[r])
+			prev[r] = t
+		}
+	}
+}
+
+// sharedRatePlatform runs compute tasks at unit rate and splits unit
+// bandwidth across concurrent comm tasks.
+func sharedRatePlatform() Platform {
+	return PlatformFunc(func(now float64, running []*Task) {
+		nComm := 0
+		for _, t := range running {
+			if t.Kind() == KindComm {
+				nComm++
+			}
+		}
+		for _, t := range running {
+			if t.Kind() == KindComm {
+				t.SetRate(1 / float64(nComm))
+			} else {
+				t.SetRate(1)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineSyntheticDAG measures raw scheduler throughput —
+// admission, epoch advance, retirement — without any platform physics:
+// ns/op here is the floor every simulated configuration pays per task.
+func BenchmarkEngineSyntheticDAG(b *testing.B) {
+	for _, shape := range []struct{ ranks, depth int }{
+		{8, 64},
+		{64, 64},
+		{256, 32},
+	} {
+		b.Run(fmt.Sprintf("ranks=%d/depth=%d", shape.ranks, shape.depth), func(b *testing.B) {
+			tasks := shape.ranks*shape.depth + shape.depth
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine(sharedRatePlatform())
+				buildSyntheticDAG(e, shape.ranks, shape.depth)
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tasks), "tasks")
+		})
+	}
+}
+
+// BenchmarkEngineObserved is the synthetic DAG with a no-op observer
+// registered, isolating the per-segment observer dispatch cost that the
+// no-observer fast path removes.
+func BenchmarkEngineObserved(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(sharedRatePlatform())
+		e.AddObserver(ObserverFunc(func(t0, t1 float64, running []*Task) {}))
+		buildSyntheticDAG(e, 64, 64)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

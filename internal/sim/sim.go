@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Kind classifies a task for rate computation and tracing.
@@ -83,7 +82,8 @@ type Task struct {
 	start     float64
 	end       float64
 
-	seq int // creation order, for deterministic iteration
+	seq int     // creation order, for deterministic iteration
+	eng *Engine // owning engine (for slab allocation in After)
 }
 
 // Name returns the task's diagnostic name.
@@ -138,6 +138,13 @@ func (t *Task) After(deps ...*Task) *Task {
 		if d.st == stateDone {
 			continue
 		}
+		if d.succs == nil && d.eng != nil {
+			// First successor: hand out a small slab chunk instead of a
+			// dedicated heap slice — most tasks gate only a couple of
+			// followers, and fan-out tasks fall back to regular append
+			// growth past the chunk.
+			d.succs = d.eng.succChunk()
+		}
 		d.succs = append(d.succs, t)
 		t.deps++
 	}
@@ -159,6 +166,7 @@ type Stream struct {
 	queue  []*Task
 	head   int
 	seq    int
+	dirty  bool // queued for admission recheck (see Engine.markDirty)
 }
 
 // Name returns the stream's diagnostic name.
@@ -211,20 +219,48 @@ type ObserverFunc func(t0, t1 float64, running []*Task)
 func (f ObserverFunc) Segment(t0, t1 float64, running []*Task) { f(t0, t1, running) }
 
 // Engine drives the simulation.
+//
+// The scheduler is incremental: instead of rescanning every stream and
+// re-sorting the whole running set each epoch, the engine keeps a dirty
+// set of streams whose head admissibility may have changed (initial
+// creation, a pop exposing a new head, an enqueue on an empty queue, a
+// dependency count reaching zero) and rechecks only those; the running
+// set is kept ordered by task creation sequence through sorted insertion,
+// so platforms observe exactly the ordering the original full-sort
+// produced. Task objects and their small successor/stream slices come
+// from slab arenas, turning graph construction into pointer bumps.
 type Engine struct {
 	platform  Platform
 	streams   []*Stream
 	tasks     []*Task
-	running   []*Task
+	running   []*Task // ordered by Task.seq
 	observers []Observer
 	now       float64
 	nextSeq   int
 	ran       bool
+
+	dirty []*Stream // streams queued for admission recheck
+
+	taskArena []Task  // slab the next tasks are carved from
+	taskNext  int     // next free slot in taskArena
+	succArena []*Task // slab for initial succ chunks
+	succNext  int
+	strmArena []*Stream // slab for per-task stream sets
+	strmNext  int
+	doneTmp   []*Task // retirement scratch, reused across epochs
 }
 
 // timeEps is the tolerance used when comparing simulated times and residual
 // work, to absorb floating-point rounding across epochs.
 const timeEps = 1e-12
+
+// taskChunk is the slab granularity for task allocation when the caller
+// did not Reserve capacity up front.
+const taskChunk = 256
+
+// succChunkLen is the successor capacity handed to a task on its first
+// After edge; fan-out tasks grow past it with ordinary append doubling.
+const succChunkLen = 2
 
 // NewEngine returns an engine whose task rates are provided by p.
 func NewEngine(p Platform) *Engine {
@@ -236,6 +272,81 @@ func NewEngine(p Platform) *Engine {
 		})
 	}
 	return &Engine{platform: p}
+}
+
+// Reserve pre-sizes the engine's task storage for about n additional
+// tasks — one slab allocation instead of chunked growth. Builders that
+// know their plan size call it once up front; it is purely an allocation
+// hint and never required for correctness.
+func (e *Engine) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := len(e.taskArena) - e.taskNext; free < n {
+		e.taskArena = make([]Task, n)
+		e.taskNext = 0
+	}
+	if cap(e.tasks)-len(e.tasks) < n {
+		grown := make([]*Task, len(e.tasks), len(e.tasks)+n)
+		copy(grown, e.tasks)
+		e.tasks = grown
+	}
+	if free := len(e.succArena) - e.succNext; free < n*succChunkLen {
+		e.succArena = make([]*Task, n*succChunkLen)
+		e.succNext = 0
+	}
+	if free := len(e.strmArena) - e.strmNext; free < n {
+		e.strmArena = make([]*Stream, n)
+		e.strmNext = 0
+	}
+}
+
+// allocTask carves the next task from the slab arena.
+func (e *Engine) allocTask() *Task {
+	if e.taskNext == len(e.taskArena) {
+		e.taskArena = make([]Task, taskChunk)
+		e.taskNext = 0
+	}
+	t := &e.taskArena[e.taskNext]
+	e.taskNext++
+	return t
+}
+
+// succChunk hands out a fixed-capacity successor slice from the slab.
+func (e *Engine) succChunk() []*Task {
+	if e.succNext+succChunkLen > len(e.succArena) {
+		e.succArena = make([]*Task, taskChunk*succChunkLen)
+		e.succNext = 0
+	}
+	c := e.succArena[e.succNext : e.succNext : e.succNext+succChunkLen]
+	e.succNext += succChunkLen
+	return c
+}
+
+// strmChunk hands out a fixed-capacity stream slice from the slab.
+func (e *Engine) strmChunk(n int) []*Stream {
+	if e.strmNext+n > len(e.strmArena) {
+		size := taskChunk
+		if size < n {
+			size = n
+		}
+		e.strmArena = make([]*Stream, size)
+		e.strmNext = 0
+	}
+	c := e.strmArena[e.strmNext : e.strmNext : e.strmNext+n]
+	e.strmNext += n
+	return c
+}
+
+// markDirty queues a stream for an admission recheck. Admission state of
+// a stream head changes only when the stream pops or gains a head, or
+// when the head's dependency count reaches zero; every such event lands
+// here, which is what lets admit skip untouched streams.
+func (e *Engine) markDirty(s *Stream) {
+	if !s.dirty {
+		s.dirty = true
+		e.dirty = append(e.dirty, s)
+	}
 }
 
 // Now returns the current simulated time in seconds.
@@ -251,6 +362,7 @@ func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) 
 func (e *Engine) NewStream(name string, device int) *Stream {
 	s := &Stream{name: name, device: device, seq: len(e.streams)}
 	e.streams = append(e.streams, s)
+	e.markDirty(s)
 	return s
 }
 
@@ -264,26 +376,39 @@ func (e *Engine) NewTask(name string, kind Kind, work float64, payload any, stre
 	if len(streams) == 0 {
 		panic(fmt.Sprintf("sim: task %q enqueued on no stream", name))
 	}
-	t := &Task{
+	t := e.allocTask()
+	*t = Task{
 		name:      name,
 		kind:      kind,
 		work:      work,
 		payload:   payload,
 		remaining: work,
 		seq:       e.nextSeq,
+		eng:       e,
 	}
 	e.nextSeq++
-	seen := make(map[*Stream]bool, len(streams))
+	// Dedup the stream set without a map: the overwhelmingly common case
+	// is one or two streams, where a quadratic scan is both faster and
+	// allocation-free. Rendezvous tasks over many streams stay quadratic
+	// in their (small) stream count.
+	t.streams = e.strmChunk(len(streams))
+enqueue:
 	for _, s := range streams {
 		if s == nil {
 			panic(fmt.Sprintf("sim: nil stream for task %q", name))
 		}
-		if seen[s] {
-			continue
+		for _, prev := range t.streams {
+			if prev == s {
+				continue enqueue
+			}
 		}
-		seen[s] = true
 		t.streams = append(t.streams, s)
 		s.queue = append(s.queue, t)
+		if len(s.queue)-s.head == 1 {
+			// The task became the stream's head (the queue was drained):
+			// its admissibility must be rechecked.
+			e.markDirty(s)
+		}
 	}
 	e.tasks = append(e.tasks, t)
 	return t
@@ -319,14 +444,18 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		}
 		e.platform.Rates(e.now, e.running)
 
-		// Zero-work or infinite-rate tasks complete immediately.
-		if e.completeInstant() {
-			continue
-		}
-
+		// One pass over the running set finds instant completions
+		// (zero-work tasks, already-exhausted residuals), the stall
+		// condition, and the minimum-completion candidate that bounds the
+		// epoch — the quantities the loop previously collected in three
+		// separate scans.
 		dt := math.Inf(1)
 		stalled := true
+		instant := false
 		for _, t := range e.running {
+			if t.remaining <= timeEps {
+				instant = true
+			}
 			if t.rate <= 0 {
 				continue
 			}
@@ -335,28 +464,45 @@ func (e *Engine) RunContext(ctx context.Context) error {
 				dt = d
 			}
 		}
+		if instant {
+			// Complete without advancing time (no observer segment).
+			e.finishCompleted()
+			continue
+		}
 		if stalled {
 			return fmt.Errorf("%w: all %d running tasks stalled at rate 0 at t=%g: %s",
 				ErrDeadlock, len(e.running), e.now, e.diagnose())
 		}
 
 		t0, t1 := e.now, e.now+dt
-		for _, o := range e.observers {
-			o.Segment(t0, t1, e.running)
+		if len(e.observers) > 0 {
+			for _, o := range e.observers {
+				o.Segment(t0, t1, e.running)
+			}
 		}
+		retiring := false
 		for _, t := range e.running {
 			t.remaining -= t.rate * dt
+			if t.remaining <= timeEps {
+				retiring = true
+			}
 		}
 		e.now = t1
-		e.finishCompleted()
+		if retiring {
+			e.finishCompleted()
+		}
 	}
 }
 
-// admit moves ready stream heads into the running set. A single pass
-// suffices: admission never pops a stream, so it cannot make further heads
-// ready within the same call.
+// admit moves ready stream heads into the running set, rechecking only
+// the streams whose admission state may have changed since the last
+// epoch. Admission never pops a stream, so it cannot make further heads
+// ready within the same call; newly admitted tasks are inserted at their
+// creation-sequence position so the running set stays seq-ordered without
+// a per-epoch sort.
 func (e *Engine) admit() {
-	for _, s := range e.streams {
+	for _, s := range e.dirty {
+		s.dirty = false
 		t := s.headTask()
 		if t == nil || t.st != statePending || t.deps > 0 {
 			continue
@@ -369,9 +515,32 @@ func (e *Engine) admit() {
 			t.started = true
 			t.start = e.now
 		}
-		e.running = append(e.running, t)
+		e.insertRunning(t)
 	}
-	sort.Slice(e.running, func(i, j int) bool { return e.running[i].seq < e.running[j].seq })
+	e.dirty = e.dirty[:0]
+}
+
+// insertRunning places t into the seq-ordered running set. Admissions
+// overwhelmingly arrive in creation order, so the common case is a plain
+// append; out-of-order admissions binary-search their slot.
+func (e *Engine) insertRunning(t *Task) {
+	n := len(e.running)
+	if n == 0 || e.running[n-1].seq < t.seq {
+		e.running = append(e.running, t)
+		return
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.running[mid].seq < t.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.running = append(e.running, nil)
+	copy(e.running[lo+1:], e.running[lo:])
+	e.running[lo] = t
 }
 
 func headOfAll(t *Task) bool {
@@ -383,25 +552,12 @@ func headOfAll(t *Task) bool {
 	return true
 }
 
-// completeInstant finishes running tasks with no remaining work without
-// advancing time. It reports whether any task completed.
-func (e *Engine) completeInstant() bool {
-	any := false
-	for _, t := range e.running {
-		if t.remaining <= timeEps {
-			any = true
-		}
-	}
-	if any {
-		e.finishCompleted()
-	}
-	return any
-}
-
 // finishCompleted retires every running task whose work is exhausted and
-// fires completion callbacks.
+// fires completion callbacks. Retirement is what feeds the dirty set:
+// each pop exposes a new stream head, and each dependency count reaching
+// zero re-candidates the successor's streams.
 func (e *Engine) finishCompleted() {
-	var done []*Task
+	done := e.doneTmp[:0]
 	keep := e.running[:0]
 	for _, t := range e.running {
 		if t.remaining <= timeEps {
@@ -417,9 +573,15 @@ func (e *Engine) finishCompleted() {
 		t.remaining = 0
 		for _, s := range t.streams {
 			s.pop(t)
+			e.markDirty(s)
 		}
 		for _, succ := range t.succs {
 			succ.deps--
+			if succ.deps == 0 && succ.st == statePending {
+				for _, s := range succ.streams {
+					e.markDirty(s)
+				}
+			}
 		}
 	}
 	// Callbacks fire after all pops/dep updates so that they observe a
@@ -429,6 +591,7 @@ func (e *Engine) finishCompleted() {
 			f(e.now)
 		}
 	}
+	e.doneTmp = done[:0]
 }
 
 func (e *Engine) pendingCount() int {

@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+// stressGrid builds a large grid of cheap configurations: one tiny model
+// across many batch sizes and seeds, so dozens of simulations race on
+// the worker pool while staying fast enough for -race CI runs.
+func stressGrid(n int) []core.Config {
+	tiny := model.Config{Name: "tiny", Arch: model.GPT3, NominalParams: 1e8,
+		Layers: 4, Heads: 4, Hidden: 256, FFN: 1024, Vocab: 2048, SeqLen: 128}
+	cfgs := make([]core.Config, 0, n)
+	for i := 0; i < n; i++ {
+		cfgs = append(cfgs, core.Config{
+			System:      hw.SystemH100x4(),
+			Model:       tiny,
+			Parallelism: "fsdp",
+			Batch:       8 * (1 + i%4),
+			Format:      precision.FP16,
+			MatrixUnits: true,
+			Iterations:  1,
+			Warmup:      -1,           // explicit zero warmup keeps each point cheap
+			Seed:        int64(i / 4), // distinct fingerprints across the grid
+		})
+	}
+	return cfgs
+}
+
+// TestCancelStressDrainsCleanly cancels a large sweep mid-flight and
+// asserts the runner's draining contract: Run returns the context error
+// with every point accounted for (done, failed-with-ctx, or untouched),
+// no goroutine keeps writing afterwards, and the directory cache holds
+// only complete, re-loadable entries — a torn cache write would surface
+// here as a corrupt JSON file.
+func TestCancelStressDrainsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgs := stressGrid(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var completed atomic.Int32
+	r := &Runner{
+		Workers: 8,
+		Cache:   cache,
+		OnPoint: func(p Point) {
+			// Cancel from inside a worker callback once a handful of
+			// points have landed — mid-flight by construction.
+			if completed.Add(1) == 5 {
+				cancel()
+			}
+		},
+	}
+	res, err := r.Run(ctx, cfgs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled sweep returned nil result")
+	}
+	if len(res.Points) != len(cfgs) {
+		t.Fatalf("result holds %d points, want %d", len(res.Points), len(cfgs))
+	}
+
+	// Every point must be in a terminal state: a real result, a context
+	// error, or untouched-and-marked; sums must reconcile.
+	okPts, ctxPts := 0, 0
+	for i, p := range res.Points {
+		switch {
+		case p.Res != nil:
+			okPts++
+		case p.Err != nil:
+			if !errors.Is(p.Err, context.Canceled) {
+				t.Errorf("point %d failed with non-cancellation error: %v", i, p.Err)
+			}
+			ctxPts++
+		case p.OOM != nil:
+			t.Errorf("point %d reported OOM on a tiny model", i)
+		default:
+			t.Errorf("point %d in limbo: no result, no error", i)
+		}
+	}
+	if okPts+ctxPts != len(cfgs) {
+		t.Errorf("points do not reconcile: %d ok + %d cancelled != %d", okPts, ctxPts, len(cfgs))
+	}
+	if okPts == 0 {
+		t.Error("cancellation landed before any point completed; stress premise broken")
+	}
+	if res.Failures != ctxPts {
+		t.Errorf("Failures = %d, want %d", res.Failures, ctxPts)
+	}
+
+	// Cache integrity: every entry present must be complete and
+	// re-loadable, and must correspond to a successful point.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "put-") {
+			t.Errorf("orphaned temp file %s left in cache dir", e.Name())
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), ".json")
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("cache entry %s unreadable: %v", e.Name(), err)
+		}
+		var res core.Result
+		if err := json.Unmarshal(b, &res); err != nil {
+			t.Errorf("cache entry %s corrupt (torn write?): %v", e.Name(), err)
+		}
+		got, ok := cache.Get(key)
+		if !ok || got == nil {
+			t.Errorf("cache entry %s not re-loadable through DirCache.Get", e.Name())
+		}
+	}
+
+	// A re-run of the same grid against the warm cache must serve every
+	// previously completed point from the cache and finish the rest.
+	res2, err := (&Runner{Workers: 8, Cache: cache}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits < okPts {
+		t.Errorf("re-run hit cache %d times, want at least the %d completed points", res2.CacheHits, okPts)
+	}
+	for i, p := range res2.Points {
+		if p.Res == nil {
+			t.Errorf("re-run point %d failed: %v", i, p.Err)
+		}
+	}
+}

@@ -115,7 +115,14 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 
 	eng := sim.NewEngine(cl)
 	eng.AddObserver(cl)
-	b := &builder{cfg: p, eng: eng, cl: cl, n: n, d: d, groups: groups, local: local}
+	total := p.Warmup + p.Iterations
+	L := p.Model.Layers
+	// Per iteration: per group, L forward layers of 2 collectives + 2×d
+	// computes, the head block, L backward layers of 2 collectives + 2×d
+	// computes, plus cross-group reductions and the optimizer.
+	estimate := total * (groups*(L*(4+4*d)+6+4*d) + L + 2)
+	b := &builder{cfg: p, eng: eng, cl: cl, n: n, d: d, groups: groups, local: local,
+		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
 	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
 	for it := 0; it < p.Warmup+p.Iterations; it++ {
@@ -128,6 +135,7 @@ type builder struct {
 	cfg    strategy.Params
 	eng    *sim.Engine
 	cl     *gpu.Cluster
+	batch  *exec.Batch
 	n      int
 	d      int // tensor-parallel degree (GPUs per group)
 	groups int // data-parallel group count (n/d)
@@ -183,14 +191,14 @@ func (b *builder) newGroupColl(name string, gr int, op collective.Op, bytes floa
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Fabric())
+	cd, work := collective.Prepare(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, gr*b.d)
-		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		t := b.batch.Task(name, sim.KindComm, work, cd, s)
 		b.chain.Order(t, b.ranks(gr)...)
 		return t
 	}
-	return b.eng.NewTask(name, sim.KindComm, work, cd, b.tpS[gr])
+	return b.batch.Task(name, sim.KindComm, work, cd, b.tpS[gr])
 }
 
 // newDPAllReduce creates the cross-group gradient all-reduce: every rank
@@ -208,27 +216,19 @@ func (b *builder) newDPAllReduce(name string, bytes float64) *sim.Task {
 	if err := cd.Validate(); err != nil {
 		panic(err)
 	}
-	work := collective.EffWireBytes(cd, b.cl.Fabric())
+	cd, work := collective.Prepare(cd, b.cl.Fabric())
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
-		t := b.eng.NewTask(name, sim.KindComm, work, cd, s)
+		t := b.batch.Task(name, sim.KindComm, work, cd, s)
 		b.chain.Order(t, b.allDevices()...)
 		return t
 	}
-	return b.eng.NewTask(name, sim.KindComm, work, cd, b.dpS)
+	return b.batch.Task(name, sim.KindComm, work, cd, b.dpS)
 }
 
 // newGroupCompute creates one compute task per device of group gr.
-func (b *builder) newGroupCompute(name string, gr int, d kernels.Desc) []*sim.Task {
-	out := make([]*sim.Task, b.d)
-	for i, dev := range b.ranks(gr) {
-		t := b.eng.NewTask(fmt.Sprintf("%s@%d", name, dev), sim.KindCompute, kernels.Work(d), d, b.computeS[dev])
-		if b.sequential() {
-			b.chain.Order(t, dev)
-		}
-		out[i] = t
-	}
-	return out
+func (b *builder) newGroupCompute(name string, gr int, op exec.Op) []*sim.Task {
+	return b.batch.Compute(name, op, b.computeS[gr*b.d:(gr+1)*b.d], b.chain)
 }
 
 func after(ts []*sim.Task, deps ...*sim.Task) {
@@ -277,13 +277,14 @@ func partitionBackward(ks []kernels.Desc) (dgrad, wgrad []kernels.Desc) {
 	return dgrad, wgrad
 }
 
-// descs holds the per-layer fused kernel descriptors, sharded 1/d.
+// descs holds the per-layer fused kernel ops, sharded 1/d and pre-boxed
+// for per-device fan-out.
 type descs struct {
-	attnF, mlpF  kernels.Desc // forward halves (split at ln2)
-	dgrad, wgrad kernels.Desc // backward partition
-	embedF       kernels.Desc
-	headF, headB kernels.Desc
-	opt          kernels.Desc
+	attnF, mlpF  exec.Op // forward halves (split at ln2)
+	dgrad, wgrad exec.Op // backward partition
+	embedF       exec.Op
+	headF, headB exec.Op
+	opt          exec.Op
 	actBytes     float64 // full (gathered) activation tensor bytes
 	layerShard   float64 // per-rank layer gradient shard bytes
 	embedShard   float64 // per-rank embedding gradient shard bytes
@@ -302,14 +303,14 @@ func (b *builder) makeDescs() descs {
 
 	tokens := float64(b.local) * float64(m.SeqLen)
 	return descs{
-		attnF:      shard(kernels.Fuse("fwd.attn", attnKs...), b.d),
-		mlpF:       shard(kernels.Fuse("fwd.mlp", mlpKs...), b.d),
-		dgrad:      shard(kernels.Fuse("bwd.dgrad", dgradKs...), b.d),
-		wgrad:      shard(kernels.Fuse("bwd.wgrad", wgradKs...), b.d),
-		embedF:     shard(kernels.Fuse("fwd.embed", headFwd[0]), b.d),
-		headF:      shard(kernels.Fuse("fwd.lmhead", headFwd[1:]...), b.d),
-		headB:      shard(kernels.Fuse("bwd.head", headBwd...), b.d),
-		opt:        m.OptimizerKernel(m.TotalParams() / float64(b.d)),
+		attnF:      exec.KernelOp(shard(kernels.Fuse("fwd.attn", attnKs...), b.d)),
+		mlpF:       exec.KernelOp(shard(kernels.Fuse("fwd.mlp", mlpKs...), b.d)),
+		dgrad:      exec.KernelOp(shard(kernels.Fuse("bwd.dgrad", dgradKs...), b.d)),
+		wgrad:      exec.KernelOp(shard(kernels.Fuse("bwd.wgrad", wgradKs...), b.d)),
+		embedF:     exec.KernelOp(shard(kernels.Fuse("fwd.embed", headFwd[0]), b.d)),
+		headF:      exec.KernelOp(shard(kernels.Fuse("fwd.lmhead", headFwd[1:]...), b.d)),
+		headB:      exec.KernelOp(shard(kernels.Fuse("bwd.head", headBwd...), b.d)),
+		opt:        exec.KernelOp(m.OptimizerKernel(m.TotalParams() / float64(b.d))),
 		actBytes:   tokens * float64(m.Hidden) * e,
 		layerShard: m.ParamsPerLayer() * e / float64(b.d),
 		embedShard: m.EmbedParams() * e / float64(b.d),
@@ -344,28 +345,30 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 
 	for gr := 0; gr < b.groups; gr++ {
 		tag := fmt.Sprintf("it%d.g%d", it, gr)
+		agAttnP, fwdAttnP, rsAttnP := tag+".ag.attn.l", tag+".fwd.attn.l", tag+".rs.attn.l"
+		agMlpP, fwdMlpP, rsMlpP := tag+".ag.mlp.l", tag+".fwd.mlp.l", tag+".rs.mlp.l"
 		embed := b.newGroupCompute(tag+".fwd.embed", gr, ds.embedF)
 		for _, t := range embed {
 			iterBarrier(t, gr)
 		}
 		prevC[gr] = embed
 		for l := 0; l < L; l++ {
-			ag1 := b.newGroupColl(fmt.Sprintf("%s.ag.attn.l%d", tag, l), gr, collective.AllGather, ds.actBytes)
+			ag1 := b.newGroupColl(b.batch.Name(agAttnP, l), gr, collective.AllGather, ds.actBytes)
 			after([]*sim.Task{ag1}, prevC[gr]...)
 			ag1.After(prevGate[gr])
-			attn := b.newGroupCompute(fmt.Sprintf("%s.fwd.attn.l%d", tag, l), gr, ds.attnF)
+			attn := b.newGroupCompute(b.batch.Name(fwdAttnP, l), gr, ds.attnF)
 			for i, t := range attn {
 				t.After(ag1, prevC[gr][i])
 			}
-			rs1 := b.newGroupColl(fmt.Sprintf("%s.rs.attn.l%d", tag, l), gr, collective.ReduceScatter, ds.actBytes)
+			rs1 := b.newGroupColl(b.batch.Name(rsAttnP, l), gr, collective.ReduceScatter, ds.actBytes)
 			after([]*sim.Task{rs1}, attn...)
-			ag2 := b.newGroupColl(fmt.Sprintf("%s.ag.mlp.l%d", tag, l), gr, collective.AllGather, ds.actBytes)
+			ag2 := b.newGroupColl(b.batch.Name(agMlpP, l), gr, collective.AllGather, ds.actBytes)
 			ag2.After(rs1)
-			mlp := b.newGroupCompute(fmt.Sprintf("%s.fwd.mlp.l%d", tag, l), gr, ds.mlpF)
+			mlp := b.newGroupCompute(b.batch.Name(fwdMlpP, l), gr, ds.mlpF)
 			for i, t := range mlp {
 				t.After(ag2, attn[i])
 			}
-			rs2 := b.newGroupColl(fmt.Sprintf("%s.rs.mlp.l%d", tag, l), gr, collective.ReduceScatter, ds.actBytes)
+			rs2 := b.newGroupColl(b.batch.Name(rsMlpP, l), gr, collective.ReduceScatter, ds.actBytes)
 			after([]*sim.Task{rs2}, mlp...)
 			prevC[gr], prevGate[gr] = mlp, rs2
 		}
@@ -398,18 +401,27 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 	// all-reduce when data-parallel groups exist.
 	lastWg := make([][]*sim.Task, b.groups)
 	var dpARs []*sim.Task
+	arDpPrefix := fmt.Sprintf("it%d.ar.dp.l", it)
+	agBwdP := make([]string, b.groups)
+	dgradP := make([]string, b.groups)
+	rsBwdP := make([]string, b.groups)
+	wgradP := make([]string, b.groups)
+	for gr := 0; gr < b.groups; gr++ {
+		tag := fmt.Sprintf("it%d.g%d", it, gr)
+		agBwdP[gr], dgradP[gr] = tag+".ag.bwd.l", tag+".bwd.dgrad.l"
+		rsBwdP[gr], wgradP[gr] = tag+".rs.bwd.l", tag+".bwd.wgrad.l"
+	}
 	for l := L - 1; l >= 0; l-- {
 		for gr := 0; gr < b.groups; gr++ {
-			tag := fmt.Sprintf("it%d.g%d", it, gr)
-			agB := b.newGroupColl(fmt.Sprintf("%s.ag.bwd.l%d", tag, l), gr, collective.AllGather, ds.actBytes)
+			agB := b.newGroupColl(b.batch.Name(agBwdP[gr], l), gr, collective.AllGather, ds.actBytes)
 			agB.After(prevGate[gr])
-			dg := b.newGroupCompute(fmt.Sprintf("%s.bwd.dgrad.l%d", tag, l), gr, ds.dgrad)
+			dg := b.newGroupCompute(b.batch.Name(dgradP[gr], l), gr, ds.dgrad)
 			for i, t := range dg {
 				t.After(agB, prevGate[gr], prevC[gr][i])
 			}
-			rsB := b.newGroupColl(fmt.Sprintf("%s.rs.bwd.l%d", tag, l), gr, collective.ReduceScatter, ds.actBytes)
+			rsB := b.newGroupColl(b.batch.Name(rsBwdP[gr], l), gr, collective.ReduceScatter, ds.actBytes)
 			after([]*sim.Task{rsB}, dg...)
-			wg := b.newGroupCompute(fmt.Sprintf("%s.bwd.wgrad.l%d", tag, l), gr, ds.wgrad)
+			wg := b.newGroupCompute(b.batch.Name(wgradP[gr], l), gr, ds.wgrad)
 			for i, t := range wg {
 				t.After(dg[i])
 			}
@@ -417,7 +429,7 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 			prevC[gr], prevGate[gr] = dg, rsB
 		}
 		if b.groups > 1 {
-			ar := b.newDPAllReduce(fmt.Sprintf("it%d.ar.dp.l%d", it, l), ds.layerShard)
+			ar := b.newDPAllReduce(b.batch.Name(arDpPrefix, l), ds.layerShard)
 			for gr := 0; gr < b.groups; gr++ {
 				after([]*sim.Task{ar}, lastWg[gr]...)
 			}

@@ -171,6 +171,97 @@ func (tl *Timeline) OverlappedTime(device int, a, b sim.Kind) float64 {
 	return s
 }
 
+// DeviceOverlap returns the device's summed compute and comm kernel
+// times plus the portion of each covered by the union of the other kind
+// — the per-device quantities of Eqs. 2 and 5 — in one pass over the
+// device's intervals. It is the batched equivalent of KernelTime and
+// OverlappedTime called pairwise, with identical arithmetic (same
+// interval order, same per-interval summation grouping), sized for the
+// per-iteration measurement hot path.
+func (tl *Timeline) DeviceOverlap(device int) (computeT, commT, computeOv, commOv float64) {
+	ivs := tl.byDevice[device]
+	if !sortedByStart(ivs) {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	}
+	compute := make([]Interval, 0, len(ivs))
+	comm := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		switch iv.Kind {
+		case sim.KindCompute:
+			compute = append(compute, iv)
+			computeT += iv.Dur()
+		case sim.KindComm:
+			comm = append(comm, iv)
+			commT += iv.Dur()
+		}
+	}
+	computeOv = sweepIntersect(compute, unionSorted(comm))
+	commOv = sweepIntersect(comm, unionSorted(compute))
+	return computeT, commT, computeOv, commOv
+}
+
+// sortedByStart reports whether the intervals are already sorted.
+func sortedByStart(ivs []Interval) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// unionSorted is Union for input already sorted by start: it skips the
+// defensive copy and sort, producing the identical disjoint cover.
+func unionSorted(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make([]Interval, 0, len(ivs))
+	out = append(out, ivs[0])
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// sweepIntersect sums, over the start-sorted intervals as, the length of
+// each interval's intersection with the sorted disjoint cover. The cover
+// cursor only moves forward, so the sweep is linear in practice; each
+// interval accumulates its own subtotal first, reproducing intersectLen's
+// float grouping exactly.
+func sweepIntersect(as, cover []Interval) float64 {
+	s := 0.0
+	j := 0
+	for _, a := range as {
+		for j < len(cover) && cover[j].End <= a.Start {
+			j++
+		}
+		sub := 0.0
+		for k := j; k < len(cover) && cover[k].Start < a.End; k++ {
+			lo := a.Start
+			if cover[k].Start > lo {
+				lo = cover[k].Start
+			}
+			hi := a.End
+			if cover[k].End < hi {
+				hi = cover[k].End
+			}
+			if hi > lo {
+				sub += hi - lo
+			}
+		}
+		s += sub
+	}
+	return s
+}
+
 // OverlapRatio returns Eq. 2 for the device: the fraction of compute
 // kernel time overlapped with communication. It returns 0 when the device
 // has no compute time.

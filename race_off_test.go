@@ -1,0 +1,7 @@
+//go:build !race
+
+package overlapsim_bench
+
+// raceEnabled reports whether the race detector is active; the golden
+// differential test trims its grid under -race (see race_on_test.go).
+const raceEnabled = false
