@@ -183,8 +183,21 @@ type Config struct {
 }
 
 // Label returns a compact human-readable description of the experiment.
+// The TP degree and operator caps are appended when set, so
+// configurations differing only in those knobs stay distinguishable in
+// sweep and advisor reports.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s %s %s bs=%d %s", c.System.Name, c.Parallelism, c.Model.Name, c.Batch, c.Format)
+	s := fmt.Sprintf("%s %s %s bs=%d %s", c.System.Name, c.Parallelism, c.Model.Name, c.Batch, c.Format)
+	if c.TPDegree > 0 {
+		s += fmt.Sprintf(" tp=%d", c.TPDegree)
+	}
+	if c.Caps.PowerW > 0 {
+		s += fmt.Sprintf(" cap=%gW", c.Caps.PowerW)
+	}
+	if c.Caps.FreqFactor > 0 && c.Caps.FreqFactor < 1 {
+		s += fmt.Sprintf(" freq=%g", c.Caps.FreqFactor)
+	}
+	return s
 }
 
 // ResolveSystem returns the config with its system replaced by the

@@ -1,0 +1,393 @@
+package opt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/sweep"
+)
+
+// searchQuery is a space small enough to evaluate exhaustively but
+// structured enough that search beats the grid: the power-cap axis (in
+// physical order) trades time against power/energy, while the larger
+// batch and fp32 planes are dominated and should stay mostly
+// unexplored.
+func searchQuery() *Query {
+	return &Query{
+		Name: "test-advise",
+		Spec: sweep.Spec{
+			Name:       "test-space",
+			GPUs:       []string{"A100"},
+			Models:     []string{"GPT-3 XL"},
+			Batches:    []int{8, 16},
+			Formats:    []string{"fp16", "fp32"},
+			PowerCapsW: []float64{100, 150, 200, 250, 300, 350, 400, 0},
+		},
+		Objectives: []string{"time_per_iter_s", "energy_per_iter_j"},
+		SeedEvals:  8,
+	}
+}
+
+// exhaustiveFrontier evaluates the whole space and returns the exact
+// Pareto frontier keys, in Front order.
+func exhaustiveFrontier(t *testing.T, q *Query) ([]string, int) {
+	t.Helper()
+	objs, _, err := q.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := NewSpace(&q.Spec, q.Constraints.MaxGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]core.Config, len(space.Cands))
+	for i, c := range space.Cands {
+		cfgs[i] = c.Config
+	}
+	res, err := (&sweep.Runner{Cache: sweep.NewMemCache()}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vecs [][]float64
+	var keys []string
+	for i := range res.Points {
+		p := &res.Points[i]
+		if p.Res == nil {
+			t.Fatalf("exhaustive point %d failed: %v %v", i, p.Err, p.OOM)
+		}
+		vec := make([]float64, len(objs))
+		for j, o := range objs {
+			v, ok := o.Extract(p)
+			if !ok {
+				t.Fatalf("objective %s not extractable at point %d", o.Name, i)
+			}
+			vec[j] = v
+		}
+		vecs = append(vecs, vec)
+		keys = append(keys, p.Key)
+	}
+	idx := Front(vecs, keys)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = keys[j]
+	}
+	return out, len(space.Cands)
+}
+
+// The acceptance test: on a space small enough to check exhaustively,
+// the search must recover the exact global Pareto frontier while
+// evaluating strictly fewer fresh configurations than the full grid.
+func TestAdvisorMatchesExhaustiveFrontierWithFewerEvals(t *testing.T) {
+	q := searchQuery()
+	wantKeys, n := exhaustiveFrontier(t, q)
+	if len(wantKeys) == 0 || len(wantKeys) == n {
+		t.Fatalf("degenerate exhaustive frontier: %d of %d points", len(wantKeys), n)
+	}
+
+	adv, err := (&Advisor{Runner: &sweep.Runner{Cache: sweep.NewMemCache()}}).
+		Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Stats.FreshEvals >= n {
+		t.Errorf("search evaluated %d fresh configs, want strictly fewer than the %d-point grid",
+			adv.Stats.FreshEvals, n)
+	}
+	if adv.Stats.Evaluated != adv.Stats.FreshEvals {
+		t.Errorf("cold-cache run: evaluated %d != fresh %d", adv.Stats.Evaluated, adv.Stats.FreshEvals)
+	}
+	gotKeys := make([]string, len(adv.Frontier.Points))
+	for i, p := range adv.Frontier.Points {
+		gotKeys[i] = p.Key
+	}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("advisor frontier has %d points, exhaustive has %d\n got: %v\nwant: %v",
+			len(gotKeys), len(wantKeys), gotKeys, wantKeys)
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Errorf("frontier point %d: key %s, want %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	t.Logf("frontier %d/%d points recovered with %d/%d evals in %d rounds",
+		len(gotKeys), n, adv.Stats.Evaluated, n, adv.Stats.Rounds)
+}
+
+// Same seed, fresh caches: the advice must marshal to identical bytes.
+// Warm cache: the frontier (and everything but the cache counters) must
+// still be byte-identical.
+func TestAdvisorDeterministicBytes(t *testing.T) {
+	run := func(r *sweep.Runner) *Advice {
+		t.Helper()
+		adv, err := (&Advisor{Runner: r}).Run(context.Background(), searchQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return adv
+	}
+	marshal := func(v any) []byte {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	cache := sweep.NewMemCache()
+	cold := run(&sweep.Runner{Cache: cache})
+	cold2 := run(&sweep.Runner{Cache: sweep.NewMemCache()})
+	if a, b := marshal(cold), marshal(cold2); !bytes.Equal(a, b) {
+		t.Errorf("two cold runs differ:\n%s\n%s", a, b)
+	}
+
+	warm := run(&sweep.Runner{Cache: cache, Workers: 4})
+	if warm.Stats.CacheHits != warm.Stats.Evaluated {
+		t.Errorf("warm run: %d hits for %d evaluations", warm.Stats.CacheHits, warm.Stats.Evaluated)
+	}
+	if warm.Stats.FreshEvals != 0 {
+		t.Errorf("warm run simulated %d fresh configs, want 0", warm.Stats.FreshEvals)
+	}
+	if a, b := marshal(cold.Frontier), marshal(warm.Frontier); !bytes.Equal(a, b) {
+		t.Errorf("frontier bytes differ between cold and warm runs:\n%s\n%s", a, b)
+	}
+	if a, b := marshal(cold.Recommended), marshal(warm.Recommended); !bytes.Equal(a, b) {
+		t.Errorf("recommendation differs between cold and warm runs:\n%s\n%s", a, b)
+	}
+}
+
+// No returned point may be dominated by any point the run evaluated —
+// even when the search is budget-truncated below convergence. The
+// evaluated set is captured through the runner's OnPoint hook.
+func TestAdvisorFrontierNeverDominatedByEvaluated(t *testing.T) {
+	objs, _, err := searchQuery().resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxEvals := range []int{4, 9, 14, 0} {
+		var mu sync.Mutex
+		var seen []sweep.Point
+		runner := &sweep.Runner{
+			Cache: sweep.NewMemCache(),
+			OnPoint: func(p sweep.Point) {
+				mu.Lock()
+				seen = append(seen, p)
+				mu.Unlock()
+			},
+		}
+		q := searchQuery()
+		q.MaxEvals = maxEvals
+		adv, err := (&Advisor{Runner: runner}).Run(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxEvals > 0 && adv.Stats.Evaluated > maxEvals {
+			t.Errorf("max_evals=%d: evaluated %d", maxEvals, adv.Stats.Evaluated)
+		}
+		if len(seen) != adv.Stats.Evaluated {
+			t.Fatalf("max_evals=%d: hook saw %d points, stats say %d", maxEvals, len(seen), adv.Stats.Evaluated)
+		}
+		for _, p := range adv.Frontier.Points {
+			for i := range seen {
+				vec := make([]float64, len(objs))
+				ok := true
+				for j, o := range objs {
+					vec[j], ok = o.Extract(&seen[i])
+					if !ok {
+						break
+					}
+				}
+				if ok && Dominates(vec, p.Values) {
+					t.Errorf("max_evals=%d: returned point %s dominated by evaluated %s",
+						maxEvals, p.Label, seen[i].Config.Label())
+				}
+			}
+		}
+	}
+}
+
+func TestAdvisorConstraintsAndRecommendation(t *testing.T) {
+	// Unconstrained: recommendation minimizes time (first objective by
+	// default ordering here).
+	q := searchQuery()
+	q.Objectives = []string{"time_per_iter_s", "energy_per_iter_j", "avg_power_w"}
+	q.Minimize = "time_per_iter_s"
+	a := &Advisor{Runner: &sweep.Runner{Cache: sweep.NewMemCache()}}
+	adv, err := a.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Recommended == nil {
+		t.Fatal("no recommendation on an unconstrained feasible space")
+	}
+	fastest := adv.Recommended.Values[0]
+	for _, p := range adv.Frontier.Points {
+		if p.Values[0] < fastest {
+			t.Errorf("recommended %s (%.4fs) is not the fastest frontier point (%s at %.4fs)",
+				adv.Recommended.Label, fastest, p.Label, p.Values[0])
+		}
+	}
+	if idx := adv.RecommendedIndex(); idx < 0 || adv.Frontier.Points[idx].Key != adv.Recommended.Key {
+		t.Errorf("RecommendedIndex() = %d does not locate the recommendation", idx)
+	}
+
+	// A board-power budget must flip the recommendation to a capped
+	// config and exclude over-budget points from the frontier.
+	qc := searchQuery()
+	qc.Objectives = []string{"time_per_iter_s", "energy_per_iter_j", "avg_power_w"}
+	qc.Minimize = "time_per_iter_s"
+	qc.Constraints.MaxBoardPowerW = 800 // 4xA100 well under 4x400W TDP
+	advc, err := a.Run(context.Background(), qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advc.Recommended == nil {
+		t.Fatal("no recommendation under a satisfiable power budget")
+	}
+	powIdx := 2
+	for _, p := range advc.Frontier.Points {
+		if p.Values[powIdx] > 800 {
+			t.Errorf("frontier point %s draws %.0f W over the 800 W budget", p.Label, p.Values[powIdx])
+		}
+	}
+	if advc.Stats.Infeasible == 0 {
+		t.Error("an 800 W budget on this space should mark some points infeasible")
+	}
+	if advc.Recommended.Key == adv.Recommended.Key {
+		t.Errorf("recommendation did not move under the power budget (still %s)", advc.Recommended.Label)
+	}
+
+	// An unsatisfiable budget yields an empty frontier with a note.
+	qi := searchQuery()
+	qi.Constraints.MaxTimePerIterS = 1e-9
+	advi, err := a.Run(context.Background(), qi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advi.Frontier.Points) != 0 || advi.Recommended != nil || advi.Note == "" {
+		t.Errorf("unsatisfiable constraints: %d frontier points, rec %v, note %q",
+			len(advi.Frontier.Points), advi.Recommended, advi.Note)
+	}
+}
+
+// When every seed evaluation violates the constraints, the search must
+// keep probing (anchored on everything evaluated, without decaying its
+// budget) until it finds the feasible region — and then recover that
+// region's exact frontier. Regression: an early version broke out of
+// refinement as soon as the incumbent frontier was empty.
+func TestAdvisorRecoversFromAllInfeasibleSeed(t *testing.T) {
+	q := searchQuery()
+	// seed_evals=1 seeds only the all-zeros corner: batch 8, fp16,
+	// cap 100 W — the slowest configuration, excluded by this time
+	// budget. Feasibility starts two cap steps away.
+	q.SeedEvals = 1
+	q.Constraints.MaxTimePerIterS = 0.4
+	adv, err := (&Advisor{Runner: &sweep.Runner{Cache: sweep.NewMemCache()}}).
+		Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Frontier.Points) == 0 {
+		t.Fatalf("advisor gave up with an unexplored feasible region: %+v", adv.Stats)
+	}
+	if adv.Stats.Infeasible == 0 {
+		t.Error("the seed corner should have been infeasible")
+	}
+	for _, p := range adv.Frontier.Points {
+		if p.Values[0] > 0.4 {
+			t.Errorf("frontier point %s breaks the 0.4 s budget (%.4f s)", p.Label, p.Values[0])
+		}
+	}
+
+	// The recovered frontier must be the exact frontier of the feasible
+	// subset of the exhaustively evaluated space.
+	objs, _, err := q.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := NewSpace(&q.Spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]core.Config, len(space.Cands))
+	for i, c := range space.Cands {
+		cfgs[i] = c.Config
+	}
+	res, err := (&sweep.Runner{Cache: sweep.NewMemCache()}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vecs [][]float64
+	var keys []string
+	for i := range res.Points {
+		p := &res.Points[i]
+		if !q.Constraints.feasible(p) {
+			continue
+		}
+		vec := make([]float64, len(objs))
+		for j, o := range objs {
+			vec[j], _ = o.Extract(p)
+		}
+		vecs = append(vecs, vec)
+		keys = append(keys, p.Key)
+	}
+	idx := Front(vecs, keys)
+	if len(idx) != len(adv.Frontier.Points) {
+		t.Fatalf("recovered %d frontier points, exhaustive feasible frontier has %d",
+			len(adv.Frontier.Points), len(idx))
+	}
+	for i, j := range idx {
+		if adv.Frontier.Points[i].Key != keys[j] {
+			t.Errorf("frontier point %d: key %s, want %s", i, adv.Frontier.Points[i].Key, keys[j])
+		}
+	}
+}
+
+func TestQueryValidateAndParse(t *testing.T) {
+	q := searchQuery()
+	n, err := q.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 32 {
+		t.Errorf("Validate() = %d candidates, want 32", n)
+	}
+	bad := []Query{
+		{Spec: searchQuery().Spec, Objectives: []string{"nope"}},
+		{Spec: searchQuery().Spec, Objectives: []string{"avg_power_w", "avg_power_w"}},
+		{Spec: searchQuery().Spec, Minimize: "energy_per_iter_j", Objectives: []string{"avg_power_w"}},
+		{Spec: searchQuery().Spec, SeedEvals: -1},
+		{Spec: sweep.Spec{Models: []string{"GPT-3 XL"}}},
+	}
+	for i, b := range bad {
+		if _, err := b.Validate(); err == nil {
+			t.Errorf("bad query %d validated", i)
+		}
+	}
+
+	if _, err := ParseQuery(strings.NewReader(`{"spec":{"gpus":["A100"],"models":["GPT-3 XL"]},"objektives":[]}`)); err == nil {
+		t.Error("unknown query field accepted")
+	}
+	parsed, err := ParseQuery(strings.NewReader(`{"name":"q","spec":{"gpus":["A100"],"models":["GPT-3 XL"]},"objectives":["avg_power_w"],"constraints":{"max_gpus":8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "q" || parsed.Constraints.MaxGPUs != 8 || len(parsed.Objectives) != 1 {
+		t.Errorf("parsed query %+v", parsed)
+	}
+}
+
+func TestAdvisorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := (&Advisor{Runner: &sweep.Runner{Cache: sweep.NewMemCache()}}).
+		Run(ctx, searchQuery())
+	if err == nil {
+		t.Fatal("cancelled advisor run returned no error")
+	}
+}

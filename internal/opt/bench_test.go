@@ -1,0 +1,46 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"overlapsim/internal/sweep"
+)
+
+// BenchmarkAdvisor measures one full advisor query over the small test
+// space: cold (every evaluation simulated) versus warm (every
+// evaluation a cache hit) — the latter is the serving story: a repeated
+// or overlapping advisor query costs search bookkeeping only.
+func BenchmarkAdvisor(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adv, err := (&Advisor{Runner: &sweep.Runner{Cache: sweep.NewMemCache()}}).
+				Run(context.Background(), searchQuery())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(adv.Frontier.Points) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := sweep.NewMemCache()
+		adv := &Advisor{Runner: &sweep.Runner{Cache: cache}}
+		if _, err := adv.Run(context.Background(), searchQuery()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := adv.Run(context.Background(), searchQuery())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Stats.FreshEvals != 0 {
+				b.Fatalf("warm query simulated %d configs", out.Stats.FreshEvals)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package opt is the overlap advisor: multi-objective configuration
+// search over the sweep design space. Where internal/sweep answers "what
+// does every point of this grid look like", opt answers the paper's
+// trade-off question directly — "which strategy / TP degree / precision
+// / power cap minimizes energy within a time budget on this system?" —
+// by searching a sweep.Spec-derived space for the Pareto frontier of
+// (iteration time, energy/iteration, average board power) and picking a
+// recommended configuration under user constraints.
+//
+// The search driver is deterministic: a coarse seeded subgrid first,
+// then successive-halving refinement around the incumbent frontier.
+// Every candidate runs through sweep.Runner, so evaluations share the
+// content-addressed result caches with plain sweeps — a repeated or
+// overlapping advisor query is answered almost entirely from cache.
+package opt
+
+import (
+	"fmt"
+
+	"overlapsim/internal/sweep"
+)
+
+// Objective is one dimension of the multi-objective search, extracted
+// from an evaluated sweep point. All objectives are minimized; wrap a
+// metric as its negation to maximize it.
+type Objective struct {
+	// Name is the registry key query JSON refers to.
+	Name string
+	// Unit documents the extracted value ("s", "J", "W").
+	Unit string
+	// Extract pulls the value out of one successfully evaluated point.
+	// ok=false excludes the point from the search (treated like a failed
+	// evaluation).
+	Extract func(p *sweep.Point) (float64, bool)
+}
+
+// objectives is the ordered registry; registration order is the catalog
+// and default-objective order.
+var objectives []Objective
+
+// Register adds an objective to the registry. It panics on a duplicate
+// name — registration happens at init time, where failing loudly beats
+// shadowing an earlier definition.
+func Register(o Objective) {
+	if o.Name == "" || o.Extract == nil {
+		panic("opt: objective needs a name and an extractor")
+	}
+	for _, have := range objectives {
+		if have.Name == o.Name {
+			panic(fmt.Sprintf("opt: duplicate objective %q", o.Name))
+		}
+	}
+	objectives = append(objectives, o)
+}
+
+// Lookup resolves an objective by name.
+func Lookup(name string) (Objective, error) {
+	for _, o := range objectives {
+		if o.Name == name {
+			return o, nil
+		}
+	}
+	return Objective{}, fmt.Errorf("opt: unknown objective %q (have %v)", name, Names())
+}
+
+// Names lists the registered objective names in registration order.
+func Names() []string {
+	out := make([]string, len(objectives))
+	for i, o := range objectives {
+		out[i] = o.Name
+	}
+	return out
+}
+
+// DefaultObjectives are the paper's trade-off triple: iteration time,
+// energy per iteration, average board power.
+func DefaultObjectives() []string {
+	return []string{"time_per_iter_s", "energy_per_iter_j", "avg_power_w"}
+}
+
+// The built-in objectives extract the canonical metrics sweep.Point
+// exposes — the exact quantities sweep and frontier rows render — so
+// the advisor's objective values and its report columns can never
+// disagree.
+func init() {
+	Register(Objective{
+		Name: "time_per_iter_s", Unit: "s",
+		Extract: (*sweep.Point).TimePerIterS,
+	})
+	Register(Objective{
+		Name: "energy_per_iter_j", Unit: "J",
+		Extract: (*sweep.Point).EnergyPerIterJ,
+	})
+	Register(Objective{
+		Name: "avg_power_w", Unit: "W",
+		Extract: (*sweep.Point).BoardPowerW,
+	})
+	Register(Objective{
+		Name: "peak_power_w", Unit: "W",
+		// Sum of per-GPU peaks: an upper bound on simultaneous board
+		// peak, the quantity a provisioning cap must tolerate.
+		Extract: func(p *sweep.Point) (float64, bool) {
+			if p.Res == nil || len(p.Res.Overlapped.GPUPower) == 0 {
+				return 0, false
+			}
+			var w float64
+			for _, st := range p.Res.Overlapped.GPUPower {
+				w += st.PeakW
+			}
+			return w, true
+		},
+	})
+}
+
+// Constraints bound which evaluated configurations are admissible.
+// MaxGPUs prunes the space structurally before any evaluation; the
+// budget fields filter evaluated points by their measured metrics (a
+// zero field means unconstrained).
+type Constraints struct {
+	// MaxTimePerIterS is the iteration-latency budget in seconds.
+	MaxTimePerIterS float64 `json:"max_time_per_iter_s,omitempty"`
+	// MaxEnergyPerIterJ is the per-iteration energy budget in joules.
+	MaxEnergyPerIterJ float64 `json:"max_energy_per_iter_j,omitempty"`
+	// MaxBoardPowerW caps measured average board power in watts (the
+	// provisioning-side complement of the per-GPU power_cap_w knob).
+	MaxBoardPowerW float64 `json:"max_board_power_w,omitempty"`
+	// MaxGPUs bounds the total GPU count of admissible systems.
+	MaxGPUs int `json:"max_gpus,omitempty"`
+}
+
+// feasible reports whether an evaluated point satisfies the measured
+// budgets. Points whose metrics cannot be extracted are infeasible.
+func (c Constraints) feasible(p *sweep.Point) bool {
+	t, ok := p.TimePerIterS()
+	if !ok {
+		return false
+	}
+	w, ok := p.BoardPowerW()
+	if !ok {
+		return false
+	}
+	if c.MaxTimePerIterS > 0 && t > c.MaxTimePerIterS {
+		return false
+	}
+	if c.MaxEnergyPerIterJ > 0 && w*t > c.MaxEnergyPerIterJ {
+		return false
+	}
+	if c.MaxBoardPowerW > 0 && w > c.MaxBoardPowerW {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package opt
+
+import (
+	"sort"
+
+	"overlapsim/internal/report"
+	"overlapsim/internal/sweep"
+)
+
+// Dominates reports whether objective vector a Pareto-dominates b under
+// minimization: no component worse, at least one strictly better. The
+// vectors must have equal length.
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Front returns the indices of the Pareto-optimal vectors, in
+// lexicographic vector order (ties broken by ascending key). Exact
+// duplicates — vectors equal in every component — keep only the entry
+// with the smallest key, so the frontier is deterministic even when
+// distinct configurations measure identically. The filter is exact
+// (O(n^2) pairwise dominance), not an approximation.
+func Front(vecs [][]float64, keys []string) []int {
+	if len(vecs) == 0 {
+		return nil
+	}
+	order := make([]int, len(vecs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := vecs[order[x]], vecs[order[y]]
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return keys[order[x]] < keys[order[y]]
+	})
+
+	var front []int
+	for _, i := range order {
+		dominated := false
+		for _, j := range front {
+			if equalVec(vecs[j], vecs[i]) || Dominates(vecs[j], vecs[i]) {
+				// Earlier frontier members sort lex-lower, so an equal
+				// vector was already admitted with a smaller key.
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// A lex-later vector can never dominate a lex-earlier one, so
+		// admission is final: checking against the incumbent frontier
+		// alone is exact.
+		front = append(front, i)
+	}
+	return front
+}
+
+func equalVec(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ObjectiveInfo labels one frontier dimension.
+type ObjectiveInfo struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// FrontierPoint is one Pareto-optimal configuration.
+type FrontierPoint struct {
+	// Key is the canonical config fingerprint (the cache address).
+	Key string `json:"key"`
+	// Label is the human-readable configuration label.
+	Label string `json:"label"`
+	// Experiment is the configuration in the catalog vocabulary, ready
+	// to paste into an experiment request or sweep base.
+	Experiment sweep.Experiment `json:"experiment"`
+	// Values are the objective values, aligned with
+	// Frontier.Objectives.
+	Values []float64 `json:"values"`
+	// Row is the point rendered into the shared sweep row schema (its
+	// Status is normalized to "ok" so advice bytes do not depend on
+	// which cache satisfied the evaluation).
+	Row report.SweepRow `json:"row"`
+}
+
+// Frontier is the Pareto-optimal set over the feasible evaluated
+// configurations, sorted lexicographically by objective values (first
+// objective ascending, ties resolved by the later objectives, then by
+// fingerprint). Equal advisor queries therefore marshal to identical
+// bytes regardless of evaluation order or cache state.
+type Frontier struct {
+	Objectives []ObjectiveInfo `json:"objectives"`
+	Points     []FrontierPoint `json:"points"`
+}
+
+// Rows renders the frontier through the shared sweep row schema.
+func (f *Frontier) Rows() []report.SweepRow {
+	rows := make([]report.SweepRow, len(f.Points))
+	for i, p := range f.Points {
+		rows[i] = p.Row
+	}
+	return rows
+}

@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict component
+		{[]float64{1, 3}, []float64{2, 2}, false}, // trade-off: incomparable
+		{[]float64{2, 2}, []float64{1, 1}, false},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestFrontEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if got := Front(nil, nil); len(got) != 0 {
+			t.Errorf("Front(nil) = %v, want empty", got)
+		}
+	})
+	t.Run("single point", func(t *testing.T) {
+		got := Front([][]float64{{3, 4}}, []string{"a"})
+		if len(got) != 1 || got[0] != 0 {
+			t.Errorf("Front(single) = %v, want [0]", got)
+		}
+	})
+	t.Run("one dominates all", func(t *testing.T) {
+		vecs := [][]float64{{5, 5}, {1, 1}, {3, 2}, {2, 9}}
+		got := Front(vecs, []string{"a", "b", "c", "d"})
+		if len(got) != 1 || got[0] != 1 {
+			t.Errorf("Front = %v, want only index 1 ({1,1})", got)
+		}
+	})
+	t.Run("exact ties pick the smallest key", func(t *testing.T) {
+		vecs := [][]float64{{2, 2}, {1, 3}, {2, 2}}
+		// Indices 0 and 2 tie exactly; the smaller key must win,
+		// regardless of input position.
+		got := Front(vecs, []string{"zz", "mid", "aa"})
+		if len(got) != 2 {
+			t.Fatalf("Front = %v, want 2 points", got)
+		}
+		for _, i := range got {
+			if i == 0 {
+				t.Errorf("Front kept index 0 (key zz) over its duplicate index 2 (key aa)")
+			}
+		}
+	})
+	t.Run("all mutually non-dominated", func(t *testing.T) {
+		vecs := [][]float64{{1, 4}, {2, 3}, {3, 2}, {4, 1}}
+		got := Front(vecs, []string{"a", "b", "c", "d"})
+		if len(got) != 4 {
+			t.Errorf("Front = %v, want all 4 points", got)
+		}
+	})
+}
+
+// The frontier is deterministically ordered: lexicographic by vector,
+// independent of input order.
+func TestFrontDeterministicOrder(t *testing.T) {
+	vecs := [][]float64{{3, 1}, {1, 3}, {2, 2}}
+	keys := []string{"c", "a", "b"}
+	got := Front(vecs, keys)
+	want := []int{1, 2, 0} // {1,3} then {2,2} then {3,1}
+	if len(got) != len(want) {
+		t.Fatalf("Front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Front = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property test: over random vector sets (drawn from a small discrete
+// grid so ties and dominance both occur), the frontier is exactly the
+// non-dominated, duplicate-collapsed subset — no member is dominated by
+// any input, every excluded input is dominated by or duplicates a
+// member — and is invariant under permutation of the input order.
+func TestFrontProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		d := 1 + rng.Intn(3)
+		vecs := make([][]float64, n)
+		keys := make([]string, n)
+		for i := range vecs {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = float64(rng.Intn(5))
+			}
+			vecs[i] = v
+			keys[i] = fmt.Sprintf("k%03d", i)
+		}
+		front := Front(vecs, keys)
+		inFront := make(map[int]bool, len(front))
+		for _, i := range front {
+			inFront[i] = true
+		}
+		for _, i := range front {
+			for j := range vecs {
+				if Dominates(vecs[j], vecs[i]) {
+					t.Fatalf("trial %d: frontier member %d (%v) dominated by %d (%v)",
+						trial, i, vecs[i], j, vecs[j])
+				}
+			}
+		}
+		for j := range vecs {
+			if inFront[j] {
+				continue
+			}
+			covered := false
+			for _, i := range front {
+				if Dominates(vecs[i], vecs[j]) || equalVec(vecs[i], vecs[j]) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: excluded vector %d (%v) neither dominated nor duplicated by the frontier",
+					trial, j, vecs[j])
+			}
+		}
+
+		// Permutation invariance: shuffle and compare the selected
+		// (vector, key) sequences.
+		perm := rng.Perm(n)
+		pv := make([][]float64, n)
+		pk := make([]string, n)
+		for to, from := range perm {
+			pv[to] = vecs[from]
+			pk[to] = keys[from]
+		}
+		pfront := Front(pv, pk)
+		if len(pfront) != len(front) {
+			t.Fatalf("trial %d: frontier size changed under permutation: %d vs %d",
+				trial, len(front), len(pfront))
+		}
+		for i := range front {
+			if keys[front[i]] != pk[pfront[i]] {
+				t.Fatalf("trial %d: frontier order changed under permutation at %d: %s vs %s",
+					trial, i, keys[front[i]], pk[pfront[i]])
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/sweep"
+)
+
+// Candidate is one unique configuration of the search space.
+type Candidate struct {
+	// ID is the candidate's dense index in Space.Cands — the
+	// deterministic tiebreak order (row-major grid order).
+	ID int
+	// Coord is the candidate's first coordinate in the axis grid.
+	Coord []int
+	// Exp and Config are the resolved experiment.
+	Exp    sweep.Experiment
+	Config core.Config
+	// Key is the canonical config fingerprint — the cache address.
+	Key string
+}
+
+// Space is the advisor's search space: the fingerprint-deduplicated
+// grid of a sweep spec, with coordinate structure retained so the
+// search can walk axis neighborhoods.
+type Space struct {
+	// Axes is the normalized axis set the coordinates index.
+	Axes *sweep.Axes
+	// Cands are the unique candidates in row-major grid order.
+	Cands []Candidate
+	// GridPoints is the cartesian point count before deduplication.
+	GridPoints int
+	// PrunedGPUs counts unique configurations excluded by a MaxGPUs
+	// constraint.
+	PrunedGPUs int
+
+	dims    []int
+	byCoord map[string]int // every coord (dups included) -> candidate ID
+}
+
+// coordKey encodes a coordinate for map lookup.
+func coordKey(coord []int) string {
+	b := make([]byte, 0, 2*len(coord))
+	for _, c := range coord {
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// NewSpace materializes the deduplicated candidate grid of a spec.
+// maxGPUs > 0 prunes systems with more total GPUs before any
+// evaluation.
+func NewSpace(spec *sweep.Spec, maxGPUs int) (*Space, error) {
+	axes, err := spec.Axes()
+	if err != nil {
+		return nil, err
+	}
+	sp := &Space{
+		Axes:    axes,
+		dims:    axes.Dims(),
+		byCoord: make(map[string]int),
+	}
+	byKey := make(map[string]int)
+	pruned := make(map[string]bool)
+	coord := make([]int, len(sp.dims))
+	for ok := true; ok; ok = sweep.Next(coord, sp.dims) {
+		sp.GridPoints++
+		e := axes.At(coord)
+		cfg, err := e.Config()
+		if err != nil {
+			return nil, fmt.Errorf("opt: space point %v: %w", coord, err)
+		}
+		key, err := cfg.Fingerprint()
+		if err != nil {
+			return nil, fmt.Errorf("opt: space point %v: %w", coord, err)
+		}
+		if id, dup := byKey[key]; dup {
+			// Duplicate coordinates resolve to their canonical
+			// candidate, keeping axis neighborhoods connected across
+			// collapsed (e.g. inert-TP-degree) planes.
+			sp.byCoord[coordKey(coord)] = id
+			continue
+		}
+		if pruned[key] {
+			continue
+		}
+		if maxGPUs > 0 && cfg.System.TotalGPUs() > maxGPUs {
+			pruned[key] = true
+			sp.PrunedGPUs++
+			continue
+		}
+		id := len(sp.Cands)
+		byKey[key] = id
+		sp.byCoord[coordKey(coord)] = id
+		sp.Cands = append(sp.Cands, Candidate{
+			ID:     id,
+			Coord:  append([]int(nil), coord...),
+			Exp:    e,
+			Config: cfg,
+			Key:    key,
+		})
+	}
+	if len(sp.Cands) == 0 {
+		return nil, fmt.Errorf("opt: spec %q leaves no candidates (max_gpus pruned %d)", spec.Name, sp.PrunedGPUs)
+	}
+	return sp, nil
+}
+
+// neighbors emits the candidate IDs reachable from c by moving a single
+// axis coordinate up to radius steps (other axes held), resolving
+// collapsed duplicates and skipping pruned points. Radius-one is the
+// classic grid neighborhood; larger radii are the pattern-search rays
+// the refinement loop widens to, so frontiers separated from the
+// incumbent by exact-tie plateaus or shallow dominated valleys are
+// still reached. IDs may repeat; callers dedupe.
+func (sp *Space) neighbors(c *Candidate, radius int, emit func(id int)) {
+	coord := append([]int(nil), c.Coord...)
+	for ax := range coord {
+		for d := 1; d <= radius; d++ {
+			for _, s := range [2]int{-d, d} {
+				v := c.Coord[ax] + s
+				if v < 0 || v >= sp.dims[ax] {
+					continue
+				}
+				coord[ax] = v
+				if id, ok := sp.byCoord[coordKey(coord)]; ok {
+					emit(id)
+				}
+				coord[ax] = c.Coord[ax]
+			}
+		}
+	}
+}
+
+// maxDim returns the longest axis length.
+func (sp *Space) maxDim() int {
+	m := 1
+	for _, d := range sp.dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// coarseGrid picks the seed evaluation set: an evenly spaced subgrid
+// with per-axis sample counts reduced (largest axis first) until the
+// subgrid fits the budget, always retaining both endpoints of every
+// sampled axis. The result is deduplicated candidate IDs in ascending
+// order; it is a pure function of the space shape and budget.
+func (sp *Space) coarseGrid(budget int) []int {
+	counts := append([]int(nil), sp.dims...)
+	product := func() int {
+		p := 1
+		for _, c := range counts {
+			p *= c
+		}
+		return p
+	}
+	for product() > budget {
+		// Halve the currently largest axis (ties: lowest axis index).
+		largest := 0
+		for i, c := range counts {
+			if c > counts[largest] {
+				largest = i
+			}
+		}
+		if counts[largest] == 1 {
+			break
+		}
+		counts[largest] = (counts[largest] + 1) / 2
+	}
+
+	samples := make([][]int, len(counts))
+	for ax, k := range counts {
+		samples[ax] = sampleIndices(sp.dims[ax], k)
+	}
+
+	seen := make(map[int]bool)
+	var ids []int
+	pick := make([]int, len(counts))
+	coord := make([]int, len(counts))
+	subDims := make([]int, len(counts))
+	for ax := range counts {
+		subDims[ax] = len(samples[ax])
+	}
+	for ok := true; ok; ok = sweep.Next(pick, subDims) {
+		for ax := range coord {
+			coord[ax] = samples[ax][pick[ax]]
+		}
+		if id, ok := sp.byCoord[coordKey(coord)]; ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// sampleIndices returns k evenly spaced indices over [0, n), endpoints
+// included (deduplicated when rounding collides).
+func sampleIndices(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k <= 1 {
+		return []int{0}
+	}
+	out := make([]int, 0, k)
+	last := -1
+	for j := 0; j < k; j++ {
+		idx := (j*(n-1) + (k-1)/2) / (k - 1)
+		if idx != last {
+			out = append(out, idx)
+			last = idx
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package opt
+
+import (
+	"testing"
+
+	"overlapsim/internal/sweep"
+)
+
+func TestSpaceDedupesAndKeepsCoordsConnected(t *testing.T) {
+	spec := sweep.Spec{
+		GPUs:         []string{"H100"},
+		GPUCounts:    []int{8},
+		Models:       []string{"GPT-3 XL"},
+		Parallelisms: []string{"fsdp", "tp"},
+		TPDegrees:    []int{2, 4, 8},
+	}
+	sp, err := NewSpace(&spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The degree axis is inert for fsdp: 2x3 grid points, 1+3 unique.
+	if sp.GridPoints != 6 {
+		t.Errorf("GridPoints = %d, want 6", sp.GridPoints)
+	}
+	if len(sp.Cands) != 4 {
+		t.Fatalf("candidates = %d, want 4 (1 fsdp + 3 tp)", len(sp.Cands))
+	}
+	// Every grid coordinate — including the collapsed fsdp/degree
+	// duplicates — must resolve to a candidate, so neighborhoods stay
+	// connected across collapsed planes.
+	if len(sp.byCoord) != 6 {
+		t.Errorf("byCoord holds %d coords, want all 6", len(sp.byCoord))
+	}
+	// The tp candidate at degree index 1 must see the (collapsed) fsdp
+	// candidate as its parallelism-axis neighbor.
+	var tpMid *Candidate
+	for i := range sp.Cands {
+		c := &sp.Cands[i]
+		if c.Exp.Parallelism == "tp" && c.Exp.TPDegree == 4 {
+			tpMid = c
+		}
+	}
+	if tpMid == nil {
+		t.Fatal("no tp degree-4 candidate")
+	}
+	seen := map[int]bool{}
+	sp.neighbors(tpMid, 1, func(id int) { seen[id] = true })
+	foundFSDP := false
+	for id := range seen {
+		if sp.Cands[id].Exp.Parallelism == "fsdp" {
+			foundFSDP = true
+		}
+	}
+	if !foundFSDP {
+		t.Errorf("tp candidate's neighbors %v never cross into the collapsed fsdp plane", seen)
+	}
+}
+
+func TestSpaceMaxGPUsPrunes(t *testing.T) {
+	spec := sweep.Spec{
+		GPUs:      []string{"A100"},
+		GPUCounts: []int{4, 8},
+		Models:    []string{"GPT-3 XL"},
+	}
+	sp, err := NewSpace(&spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Cands) != 1 || sp.PrunedGPUs != 1 {
+		t.Fatalf("candidates = %d pruned = %d, want 1 and 1", len(sp.Cands), sp.PrunedGPUs)
+	}
+	if got := sp.Cands[0].Config.System.TotalGPUs(); got != 4 {
+		t.Errorf("surviving candidate has %d GPUs, want 4", got)
+	}
+	if _, err := NewSpace(&spec, 2); err == nil {
+		t.Error("a space with every candidate pruned must error")
+	}
+}
+
+func TestCoarseGridFitsBudgetAndKeepsEndpoints(t *testing.T) {
+	spec := sweep.Spec{
+		GPUs:       []string{"A100"},
+		Models:     []string{"GPT-3 XL"},
+		Batches:    []int{8, 16},
+		PowerCapsW: []float64{100, 150, 200, 250, 300, 350, 400, 0},
+	}
+	sp, err := NewSpace(&spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sp.coarseGrid(8)
+	if len(ids) == 0 || len(ids) > 8 {
+		t.Fatalf("coarse grid has %d points for budget 8", len(ids))
+	}
+	// Endpoints of every sampled axis survive: both batches at the
+	// first and last power cap.
+	want := map[[2]interface{}]bool{}
+	for _, bs := range []int{8, 16} {
+		for _, cap := range []float64{100, 0} {
+			want[[2]interface{}{bs, cap}] = false
+		}
+	}
+	for _, id := range ids {
+		e := sp.Cands[id].Exp
+		k := [2]interface{}{e.Batch, e.PowerCapW}
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, got := range want {
+		if !got {
+			t.Errorf("coarse grid misses corner %v: ids %v", k, ids)
+		}
+	}
+	// Pure function of shape and budget.
+	again := sp.coarseGrid(8)
+	if len(again) != len(ids) {
+		t.Fatalf("coarse grid not deterministic: %v vs %v", ids, again)
+	}
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatalf("coarse grid not deterministic: %v vs %v", ids, again)
+		}
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want []int
+	}{
+		{5, 10, []int{0, 1, 2, 3, 4}},
+		{5, 1, []int{0}},
+		{5, 2, []int{0, 4}},
+		{7, 3, []int{0, 3, 6}},
+		{2, 2, []int{0, 1}},
+	}
+	for _, tc := range cases {
+		got := sampleIndices(tc.n, tc.k)
+		if len(got) != len(tc.want) {
+			t.Errorf("sampleIndices(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("sampleIndices(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import "io"
+
+// Frontier rendering: an advisor frontier is a set of sweep rows (the
+// schemas are shared — see SweepRow) plus a recommendation, so the
+// table/CSV forms are the sweep renderers with a leading "pick" column
+// marking the recommended configuration.
+
+// frontierHeaders prepends the pick marker to the shared sweep schema.
+var frontierHeaders = append([]string{"pick"}, sweepHeaders...)
+
+// frontierCells renders the rows with the pick marker on row rec
+// (rec < 0 marks nothing).
+func frontierCells(rows []SweepRow, rec int) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		mark := ""
+		if i == rec {
+			mark = "*"
+		}
+		out[i] = append([]string{mark}, r.cells()...)
+	}
+	return out
+}
+
+// FrontierTable writes the frontier rows as an aligned text table, with
+// "*" in the pick column of the recommended row (rec is its index; pass
+// a negative rec when no configuration satisfied the constraints).
+func FrontierTable(w io.Writer, rows []SweepRow, rec int) error {
+	return Table(w, frontierHeaders, frontierCells(rows, rec))
+}
+
+// FrontierCSV writes the frontier rows as CSV with the same columns.
+func FrontierCSV(w io.Writer, rows []SweepRow, rec int) error {
+	return CSV(w, frontierHeaders, frontierCells(rows, rec))
+}

@@ -26,6 +26,14 @@ type SweepRow struct {
 	AvgTDP, PeakTDP float64
 	// EnergyJ is overlapped-mode total energy in joules.
 	EnergyJ float64
+	// AvgPowerW is average overlapped-mode board power in watts, summed
+	// across every GPU in the system.
+	AvgPowerW float64
+	// EnergyPerIterJ is the energy of an average overlapped iteration in
+	// joules (board power x mean iteration latency) — the advisor's
+	// energy objective, reported for plain sweeps too so both share one
+	// row schema.
+	EnergyPerIterJ float64
 }
 
 // ok reports whether the row carries metrics (computed or cached).
@@ -38,13 +46,13 @@ func (r SweepRow) ok() bool { return r.Status == "ok" || r.Status == "hit" }
 var sweepHeaders = []string{
 	"config", "status", "e2e_ovl_ms", "e2e_seq_ms", "seq_penalty_%",
 	"overlap_%", "slowdown_%", "avg_tdp_%", "peak_tdp_%", "energy_j",
-	"detail",
+	"avg_power_w", "energy_per_iter_j", "detail",
 }
 
 // cells renders the row.
 func (r SweepRow) cells() []string {
 	if !r.ok() {
-		return []string{r.Label, r.Status, "", "", "", "", "", "", "", "", r.Detail}
+		return []string{r.Label, r.Status, "", "", "", "", "", "", "", "", "", "", r.Detail}
 	}
 	return []string{
 		r.Label,
@@ -57,6 +65,8 @@ func (r SweepRow) cells() []string {
 		fmt.Sprintf("%.0f", r.AvgTDP*100),
 		fmt.Sprintf("%.0f", r.PeakTDP*100),
 		fmt.Sprintf("%.0f", r.EnergyJ),
+		fmt.Sprintf("%.0f", r.AvgPowerW),
+		fmt.Sprintf("%.1f", r.EnergyPerIterJ),
 		"",
 	}
 }

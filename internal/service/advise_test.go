@@ -1,0 +1,195 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// adviseQuery is a small advisor query with a real trade-off: the
+// power-cap axis trades iteration time against power and energy.
+const adviseQuery = `{
+	"name": "api-advise",
+	"spec": {
+		"gpus": ["A100"],
+		"models": ["GPT-3 XL"],
+		"power_caps_w": [100, 200, 300, 400, 0]
+	},
+	"objectives": ["time_per_iter_s", "energy_per_iter_j", "avg_power_w"],
+	"minimize": "energy_per_iter_j",
+	"seed_evals": 3
+}`
+
+func waitForAdvise(t *testing.T, ts *httptest.Server, id string) jobBody {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/advise/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := decode[jobBody](t, resp, http.StatusOK)
+		if body.Status != statusRunning {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("advise %s still running: %+v", id, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAdviseJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/advise", "application/json", strings.NewReader(adviseQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := decode[submitBody](t, resp, http.StatusAccepted)
+	if sub.ID == "" || !strings.HasPrefix(sub.ID, "advise-") || sub.Points != 5 {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	body := waitForAdvise(t, ts, sub.ID)
+	if body.Status != statusDone {
+		t.Fatalf("job finished as %q: %+v", body.Status, body)
+	}
+	if body.Kind != kindAdvise {
+		t.Errorf("job kind %q", body.Kind)
+	}
+	if body.Advice == nil {
+		t.Fatal("done advise job carries no advice")
+	}
+	adv := body.Advice
+	if len(adv.Frontier.Points) == 0 || adv.Recommended == nil {
+		t.Fatalf("advice has %d frontier points, recommended %v", len(adv.Frontier.Points), adv.Recommended)
+	}
+	if adv.Stats.Evaluated == 0 || body.Completed != adv.Stats.Evaluated {
+		t.Errorf("progress %d vs evaluated %d", body.Completed, adv.Stats.Evaluated)
+	}
+	// The recommendation minimizes energy: no frontier point beats it.
+	energyIdx := 1
+	for _, p := range adv.Frontier.Points {
+		if p.Values[energyIdx] < adv.Recommended.Values[energyIdx] {
+			t.Errorf("frontier point %s (%.1f J) beats recommendation %s (%.1f J)",
+				p.Label, p.Values[energyIdx], adv.Recommended.Label, adv.Recommended.Values[energyIdx])
+		}
+	}
+
+	// Resubmitting the identical query is served fully from the shared
+	// cache and returns an identical frontier.
+	resp, err = http.Post(ts.URL+"/v1/advise", "application/json", strings.NewReader(adviseQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2 := decode[submitBody](t, resp, http.StatusAccepted)
+	warm := waitForAdvise(t, ts, sub2.ID)
+	if warm.Status != statusDone || warm.Advice == nil {
+		t.Fatalf("warm job: %+v", warm)
+	}
+	if warm.Advice.Stats.FreshEvals != 0 {
+		t.Errorf("warm advise simulated %d fresh configs, want 0", warm.Advice.Stats.FreshEvals)
+	}
+	if len(warm.Advice.Frontier.Points) != len(adv.Frontier.Points) {
+		t.Errorf("warm frontier has %d points, cold had %d",
+			len(warm.Advice.Frontier.Points), len(adv.Frontier.Points))
+	}
+	for i, p := range warm.Advice.Frontier.Points {
+		if p.Key != adv.Frontier.Points[i].Key {
+			t.Errorf("warm frontier point %d key %s, cold %s", i, p.Key, adv.Frontier.Points[i].Key)
+		}
+	}
+
+	// Advise jobs list under /v1/advise only; sweeps stay empty.
+	resp, err = http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[map[string][]jobBody](t, resp, http.StatusOK)
+	if len(list["advise_jobs"]) != 2 {
+		t.Errorf("listed %d advise jobs, want 2", len(list["advise_jobs"]))
+	}
+	resp, err = http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps := decode[map[string][]jobBody](t, resp, http.StatusOK)
+	if len(sweeps["sweeps"]) != 0 {
+		t.Errorf("advise jobs leaked into the sweep listing: %+v", sweeps["sweeps"])
+	}
+
+	// Kinds do not cross-resolve: an advise id is not a sweep.
+	resp, err = http.Get(ts.URL + "/v1/sweeps/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode[errorBody](t, resp, http.StatusNotFound)
+
+	// DELETE on the finished job forgets it.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/advise/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode[jobBody](t, resp, http.StatusOK)
+	resp, err = http.Get(ts.URL + "/v1/advise/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode[errorBody](t, resp, http.StatusNotFound)
+}
+
+func TestAdviseValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []string{
+		`{"spec":{"models":["GPT-3 XL"]}}`,                                                                        // no platform axis
+		`{"spec":{"gpus":["A100"],"models":["GPT-3 XL"]},"objectives":["nope"]}`,                                  // unknown objective
+		`{"spec":{"gpus":["A100"],"models":["GPT-3 XL"]},"objektives":["x"]}`,                                     // unknown field
+		`{"spec":{"gpus":["A100"],"models":["GPT-3 XL"]},"minimize":"peak_power_w","objectives":["avg_power_w"]}`, // minimize not listed
+	}
+	for _, q := range bad {
+		resp, err := http.Post(ts.URL+"/v1/advise", "application/json", strings.NewReader(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode[errorBody](t, resp, http.StatusBadRequest)
+	}
+
+	// Oversized spaces are rejected arithmetically.
+	srv := New(Options{MaxSweepPoints: 2})
+	small := httptest.NewServer(srv)
+	defer small.Close()
+	defer srv.Close()
+	resp, err := http.Post(small.URL+"/v1/advise", "application/json",
+		strings.NewReader(`{"spec":{"gpus":["A100"],"models":["GPT-3 XL"],"batches":[8,16,32]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode[errorBody](t, resp, http.StatusRequestEntityTooLarge)
+}
+
+func TestCatalogServesObjectives(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[catalogBody](t, resp, http.StatusOK)
+	want := map[string]bool{"time_per_iter_s": false, "energy_per_iter_j": false, "avg_power_w": false}
+	for _, name := range body.Objectives {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, got := range want {
+		if !got {
+			t.Errorf("catalog misses objective %s (have %v)", name, body.Objectives)
+		}
+	}
+}

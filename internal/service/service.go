@@ -1,16 +1,22 @@
 // Package service implements the overlapd HTTP/JSON API: synchronous
-// single experiments, asynchronous sweep jobs with progress polling and
-// cancellation, and catalog discovery. All endpoints share one
-// content-addressed result cache, so a result computed for any client is
-// served from memory for every later request with the same canonical
-// configuration.
+// single experiments, asynchronous sweep and advisor jobs with progress
+// polling and cancellation, and catalog discovery. All endpoints share
+// one content-addressed result cache, so a result computed for any
+// client is served from memory for every later request with the same
+// canonical configuration — and a repeated or overlapping advisor query
+// evaluates nothing fresh.
 //
 //	POST   /v1/experiments  — run one experiment, return its point
 //	POST   /v1/sweeps       — submit a sweep spec, returns a job id
-//	GET    /v1/sweeps       — list jobs
+//	GET    /v1/sweeps       — list sweep jobs
 //	GET    /v1/sweeps/{id}  — job status, progress and (when done) results
 //	DELETE /v1/sweeps/{id}  — cancel a running job, or forget a finished one
-//	GET    /v1/catalog      — available GPUs, systems, models, strategies, formats
+//	POST   /v1/advise       — submit an advisor query, returns a job id
+//	GET    /v1/advise       — list advisor jobs
+//	GET    /v1/advise/{id}  — job status and (when done) frontier + recommendation
+//	DELETE /v1/advise/{id}  — cancel a running job, or forget a finished one
+//	GET    /v1/catalog      — available GPUs, systems, models, strategies,
+//	                          formats, advisor objectives
 //	GET    /healthz         — liveness
 package service
 
@@ -26,6 +32,7 @@ import (
 	"overlapsim/internal/core"
 	"overlapsim/internal/hw"
 	"overlapsim/internal/model"
+	"overlapsim/internal/opt"
 	"overlapsim/internal/precision"
 	"overlapsim/internal/report"
 	"overlapsim/internal/strategy"
@@ -61,18 +68,37 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// jobStatus is the lifecycle of a sweep job.
+// jobStatus is the lifecycle of an asynchronous job.
 type jobStatus string
 
 const (
 	statusRunning   jobStatus = "running"
 	statusDone      jobStatus = "done"
 	statusCancelled jobStatus = "cancelled"
+	statusFailed    jobStatus = "failed"
 )
 
-// job is one asynchronous sweep.
+// jobKind separates the two asynchronous job families; each is listed
+// and addressed only under its own endpoint.
+type jobKind string
+
+const (
+	kindSweep  jobKind = "sweep"
+	kindAdvise jobKind = "advise"
+)
+
+// listKey is the field the kind's job list is keyed by.
+func (k jobKind) listKey() string {
+	if k == kindAdvise {
+		return "advise_jobs"
+	}
+	return "sweeps"
+}
+
+// job is one asynchronous sweep or advisor query.
 type job struct {
 	id      string
+	kind    jobKind
 	name    string
 	total   int
 	started time.Time
@@ -88,6 +114,9 @@ type job struct {
 	// aggregate is the precomputed summary of res; a finished job's
 	// result is immutable, so status polls never recompute it.
 	aggregate string
+	// advice is an advise job's result; errMsg its failure, if any.
+	advice *opt.Advice
+	errMsg string
 }
 
 // New returns a ready-to-serve Server. Close releases its background
@@ -111,9 +140,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleList(kindSweep))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet(kindSweep))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel(kindSweep))
+	s.mux.HandleFunc("POST /v1/advise", s.handleAdviseSubmit)
+	s.mux.HandleFunc("GET /v1/advise", s.handleList(kindAdvise))
+	s.mux.HandleFunc("GET /v1/advise/{id}", s.handleGet(kindAdvise))
+	s.mux.HandleFunc("DELETE /v1/advise/{id}", s.handleCancel(kindAdvise))
 	return s
 }
 
@@ -216,6 +249,9 @@ type catalogBody struct {
 	Strategies   []catalogStrategy `json:"strategies"`
 	Parallelisms []string          `json:"parallelisms"`
 	Formats      []string          `json:"formats"`
+	// Objectives are the advisor objective names POST /v1/advise
+	// queries may trade off.
+	Objectives []string `json:"objectives"`
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
@@ -256,6 +292,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	for _, f := range precision.Formats() {
 		body.Formats = append(body.Formats, f.String())
 	}
+	body.Objectives = opt.Names()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -331,19 +368,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx, cancel := context.WithCancel(s.ctx)
-	s.mu.Lock()
-	s.nextID++
-	j := &job{
-		id:      fmt.Sprintf("sweep-%06d", s.nextID),
-		name:    spec.Name,
-		total:   len(cfgs),
-		started: time.Now(),
-		cancel:  cancel,
-		status:  statusRunning,
-	}
-	s.jobs[j.id] = j
-	s.evictLocked()
-	s.mu.Unlock()
+	j := s.newJob(kindSweep, spec.Name, len(cfgs), cancel)
 
 	runner := s.runner(func(p sweep.Point) {
 		j.mu.Lock()
@@ -391,9 +416,29 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: spec.Name, Points: len(cfgs)})
 }
 
-// jobBody is the sweep job status payload.
+// newJob registers a running job of the given kind.
+func (s *Server) newJob(kind jobKind, name string, total int, cancel context.CancelFunc) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("%s-%06d", kind, s.nextID),
+		kind:    kind,
+		name:    name,
+		total:   total,
+		started: time.Now(),
+		cancel:  cancel,
+		status:  statusRunning,
+	}
+	s.jobs[j.id] = j
+	s.evictLocked()
+	return j
+}
+
+// jobBody is the job status payload shared by sweep and advise jobs.
 type jobBody struct {
 	ID        string    `json:"id"`
+	Kind      jobKind   `json:"kind"`
 	Name      string    `json:"name,omitempty"`
 	Status    jobStatus `json:"status"`
 	Total     int       `json:"total"`
@@ -402,10 +447,13 @@ type jobBody struct {
 	OOMs      int       `json:"ooms"`
 	Failures  int       `json:"failures"`
 	ElapsedMS float64   `json:"elapsed_ms"`
+	Error     string    `json:"error,omitempty"`
 
-	// Aggregate and Points are present once the job has finished.
+	// Aggregate and Points are present once a sweep job has finished.
 	Aggregate string        `json:"aggregate,omitempty"`
 	Points    []sweep.Point `json:"points,omitempty"`
+	// Advice is present once an advise job has finished.
+	Advice *opt.Advice `json:"advice,omitempty"`
 }
 
 // body snapshots the job under its lock. includePoints controls whether
@@ -418,10 +466,11 @@ func (j *job) body(includePoints bool) jobBody {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	b := jobBody{
-		ID: j.id, Name: j.name, Status: j.status,
+		ID: j.id, Kind: j.kind, Name: j.name, Status: j.status,
 		Total: j.total, Completed: j.completed,
 		CacheHits: j.hits, OOMs: j.ooms, Failures: j.failures,
 		ElapsedMS: float64(time.Since(j.started)) / float64(time.Millisecond),
+		Error:     j.errMsg,
 	}
 	if j.res != nil {
 		b.ElapsedMS = float64(j.res.Elapsed) / float64(time.Millisecond)
@@ -429,6 +478,10 @@ func (j *job) body(includePoints bool) jobBody {
 		if includePoints {
 			b.Points = j.res.Points
 		}
+	}
+	if j.advice != nil {
+		b.ElapsedMS = float64(j.advice.Stats.Elapsed) / float64(time.Millisecond)
+		b.Advice = j.advice
 	}
 	return b
 }
@@ -454,8 +507,8 @@ func (s *Server) evictLocked() {
 			finished = append(finished, j)
 		}
 	}
-	// Sequential ids sort oldest-first.
-	sort.Slice(finished, func(i, k int) bool { return finished[i].id < finished[k].id })
+	// Oldest first; submission time orders across job kinds.
+	sort.Slice(finished, func(i, k int) bool { return finished[i].started.Before(finished[k].started) })
 	for _, j := range finished {
 		if len(s.jobs) <= maxRetainedJobs {
 			break
@@ -464,50 +517,131 @@ func (s *Server) evictLocked() {
 	}
 }
 
-func (s *Server) lookup(id string) *job {
+func (s *Server) lookup(id string, kind jobKind) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.jobs[id]
+	if j := s.jobs[id]; j != nil && j.kind == kind {
+		return j
+	}
+	return nil
 }
 
-func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
-	}
-	s.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
-	bodies := make([]jobBody, len(jobs))
-	for i, j := range jobs {
-		bodies[i] = j.body(false)
-	}
-	writeJSON(w, http.StatusOK, map[string][]jobBody{"sweeps": bodies})
-}
-
-func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
-	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
-	}
-	writeJSON(w, http.StatusOK, j.body(r.URL.Query().Get("points") != "0"))
-}
-
-// handleSweepCancel cancels a running job; on a finished job it instead
-// releases the job (and its retained results) from the server.
-func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
-	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
-		return
-	}
-	j.cancel()
-	body := j.body(false)
-	if body.Status != statusRunning {
+// handleList lists the jobs of one kind, keyed by the kind's plural.
+func (s *Server) handleList(kind jobKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
-		delete(s.jobs, j.id)
+		jobs := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			if j.kind == kind {
+				jobs = append(jobs, j)
+			}
+		}
 		s.mu.Unlock()
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+		bodies := make([]jobBody, len(jobs))
+		for i, j := range jobs {
+			bodies[i] = j.body(false)
+		}
+		writeJSON(w, http.StatusOK, map[string][]jobBody{kind.listKey(): bodies})
 	}
-	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleGet(kind jobKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.lookup(r.PathValue("id"), kind)
+		if j == nil {
+			writeError(w, http.StatusNotFound, "unknown %s %q", kind, r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.body(r.URL.Query().Get("points") != "0"))
+	}
+}
+
+// handleCancel cancels a running job; on a finished job it instead
+// releases the job (and its retained results) from the server.
+func (s *Server) handleCancel(kind jobKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.lookup(r.PathValue("id"), kind)
+		if j == nil {
+			writeError(w, http.StatusNotFound, "unknown %s %q", kind, r.PathValue("id"))
+			return
+		}
+		j.cancel()
+		body := j.body(false)
+		if body.Status != statusRunning {
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// handleAdviseSubmit validates and launches an advisor query as an
+// asynchronous job with the sweep job lifecycle. Total reports the
+// query's candidate-space size — an upper bound on evaluations; the
+// advisor usually finishes well short of it, and entirely from cache
+// when an overlapping query ran before.
+func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
+	q, err := opt.ParseQuery(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Check the grid size arithmetically before materializing the
+	// candidate space, mirroring sweep submission.
+	if n := q.Spec.Size(); n > s.opts.MaxSweepPoints {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"advisor space expands to %d points, limit %d", n, s.opts.MaxSweepPoints)
+		return
+	}
+	space, err := q.Space()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := len(space.Cands)
+
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := s.newJob(kindAdvise, q.Name, n, cancel)
+
+	advisor := &opt.Advisor{Runner: s.runner(func(p sweep.Point) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.completed++
+		switch {
+		case p.OOM != nil:
+			j.ooms++
+		case p.Err != nil:
+			j.failures++
+		case p.CacheHit:
+			j.hits++
+		}
+	})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		adv, err := advisor.RunSpace(ctx, q, space)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		switch {
+		case err == nil:
+			j.advice = adv
+			j.completed = adv.Stats.Evaluated
+			j.hits = adv.Stats.CacheHits
+			j.ooms = adv.Stats.OOMs
+			j.failures = adv.Stats.Failures
+			j.status = statusDone
+		case ctx.Err() != nil:
+			j.status = statusCancelled
+		default:
+			// Queries validate before the job starts, so this is an
+			// internal failure worth surfacing verbatim.
+			j.errMsg = err.Error()
+			j.status = statusFailed
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: q.Name, Points: n})
 }

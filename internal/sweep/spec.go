@@ -258,11 +258,14 @@ func (s *Spec) platformPoints() int {
 	return pts
 }
 
-// Size returns the number of grid points the spec expands to — exact,
-// including the per-strategy TP-degree axis collapse, so the service's
-// pre-materialization limit check never falsely rejects a valid spec. It
-// saturates at math.MaxInt so adversarially long axes cannot wrap the
-// product past a size limit.
+// Size returns the number of cartesian grid points the spec describes,
+// including the per-strategy TP-degree axis collapse. Expand additionally
+// deduplicates points that canonicalize to the same fingerprint, so Size
+// is an exact upper bound on the expansion (equal to it whenever the
+// axes hold no overlapping values) — the service's pre-materialization
+// limit check therefore never falsely rejects a valid spec. It saturates
+// at math.MaxInt so adversarially long axes cannot wrap the product past
+// a size limit.
 func (s *Spec) Size() int {
 	base := satMul(s.platformPoints(), len(s.Models))
 	for _, k := range []int{
@@ -303,25 +306,25 @@ func satMul(a, b int) int {
 	return a * b
 }
 
-// platform is one point of the platform axes: a named system, or a
+// Platform is one point of the platform axes: a named system, or a
 // GPU/shape triple.
-type platform struct {
-	system string
-	gpu    string
-	count  int
-	nodes  int
+type Platform struct {
+	System   string
+	GPU      string
+	GPUCount int
+	Nodes    int
 }
 
 // platforms materializes the platform axis, validating the
 // Systems-versus-GPUs exclusivity.
-func (s *Spec) platforms() ([]platform, error) {
+func (s *Spec) platforms() ([]Platform, error) {
 	if len(s.Systems) > 0 {
 		if len(s.GPUs) > 0 || len(s.GPUCounts) > 0 || len(s.Nodes) > 0 {
 			return nil, fmt.Errorf("sweep: spec %q lists both systems and gpus/gpu_counts/nodes axes", s.Name)
 		}
-		out := make([]platform, len(s.Systems))
+		out := make([]Platform, len(s.Systems))
 		for i, name := range s.Systems {
-			out[i] = platform{system: name}
+			out[i] = Platform{System: name}
 		}
 		return out, nil
 	}
@@ -336,97 +339,160 @@ func (s *Spec) platforms() ([]platform, error) {
 	if len(nodes) == 0 {
 		nodes = []int{s.Base.Nodes}
 	}
-	var out []platform
+	var out []Platform
 	for _, gpu := range s.GPUs {
 		for _, n := range counts {
 			for _, nd := range nodes {
-				out = append(out, platform{gpu: gpu, count: n, nodes: nd})
+				out = append(out, Platform{GPU: gpu, GPUCount: n, Nodes: nd})
 			}
 		}
 	}
 	return out, nil
 }
 
-// Expand resolves the spec into one Experiment per grid point, in
-// deterministic row-major axis order (platform outermost, matrix units
-// innermost). It fails on an empty grid or any name that does not
-// resolve against the registries — systems, GPUs, models and strategies
-// alike.
-func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
+// Axes is a spec's normalized axis set: every axis non-empty with the
+// Base defaults applied, and the platform axes resolved into one
+// Platform per point. Expand iterates it in row-major order, and the
+// advisor (internal/opt) derives coordinate search spaces from it, so
+// both agree on axis order, defaults and the per-strategy TP-degree
+// collapse.
+type Axes struct {
+	Platforms    []Platform
+	Models       []string
+	Parallelisms []string
+	Batches      []int
+	TPDegrees    []int
+	Formats      []string
+	PowerCapsW   []float64
+	MatrixUnits  []bool
+	Base         Experiment
+}
+
+// Axes normalizes the spec's axes, validating the platform-axis
+// exclusivity and that models are present. Registry names are resolved
+// later, per point, by Experiment.Config.
+func (s *Spec) Axes() (*Axes, error) {
 	plats, err := s.platforms()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Models) == 0 {
+		return nil, fmt.Errorf("sweep: spec %q lists no models", s.Name)
+	}
+	a := &Axes{
+		Platforms:    plats,
+		Models:       s.Models,
+		Parallelisms: s.Parallelisms,
+		Batches:      s.Batches,
+		TPDegrees:    s.TPDegrees,
+		Formats:      s.Formats,
+		PowerCapsW:   s.PowerCapsW,
+		MatrixUnits:  s.MatrixUnits,
+		Base:         s.Base,
+	}
+	if len(a.Parallelisms) == 0 {
+		a.Parallelisms = []string{s.Base.Parallelism}
+	}
+	if len(a.Batches) == 0 {
+		a.Batches = []int{s.Base.Batch}
+	}
+	if len(a.TPDegrees) == 0 {
+		a.TPDegrees = []int{s.Base.TPDegree}
+	}
+	if len(a.Formats) == 0 {
+		a.Formats = []string{s.Base.Format}
+	}
+	if len(a.PowerCapsW) == 0 {
+		a.PowerCapsW = []float64{s.Base.PowerCapW}
+	}
+	if len(a.MatrixUnits) == 0 {
+		a.MatrixUnits = []bool{!s.Base.VectorOnly}
+	}
+	return a, nil
+}
+
+// Dims returns the axis lengths in row-major iteration order: platform,
+// model, parallelism, batch, TP degree, format, power cap, matrix units.
+func (a *Axes) Dims() []int {
+	return []int{
+		len(a.Platforms), len(a.Models), len(a.Parallelisms),
+		len(a.Batches), len(a.TPDegrees), len(a.Formats),
+		len(a.PowerCapsW), len(a.MatrixUnits),
+	}
+}
+
+// At builds the experiment at one coordinate of the axis grid (indices
+// in Dims order). Strategies whose registry Info does not read the
+// TP-degree knob are pinned to the base degree, so every coordinate
+// along an inert degree axis yields the same experiment — Expand and the
+// advisor both collapse those through fingerprint deduplication.
+func (a *Axes) At(coord []int) Experiment {
+	e := a.Base
+	plat := a.Platforms[coord[0]]
+	e.System = plat.System
+	e.GPU = plat.GPU
+	e.GPUCount = plat.GPUCount
+	e.Nodes = plat.Nodes
+	e.Model = a.Models[coord[1]]
+	e.Parallelism = a.Parallelisms[coord[2]]
+	e.Batch = a.Batches[coord[3]]
+	e.TPDegree = a.TPDegrees[coord[4]]
+	if st, err := effectiveStrategy(e.Parallelism); err == nil && !st.Describe().TPDegree {
+		e.TPDegree = a.Base.TPDegree
+	}
+	e.Format = a.Formats[coord[5]]
+	e.PowerCapW = a.PowerCapsW[coord[6]]
+	e.VectorOnly = !a.MatrixUnits[coord[7]]
+	return e
+}
+
+// Next advances coord to the following row-major grid point, returning
+// false after the last one. A coord of all zeros is the first point.
+func Next(coord, dims []int) bool {
+	for i := len(coord) - 1; i >= 0; i-- {
+		coord[i]++
+		if coord[i] < dims[i] {
+			return true
+		}
+		coord[i] = 0
+	}
+	return false
+}
+
+// Expand resolves the spec into one Experiment per unique grid point, in
+// deterministic row-major axis order (platform outermost, matrix units
+// innermost). Points whose configs canonicalize to the same fingerprint
+// — overlapping axis values, or knobs inert for a strategy — expand
+// once, at their first coordinate, so no grid ever runs (or caches) the
+// same configuration twice. It fails on an empty grid or any name that
+// does not resolve against the registries — systems, GPUs, models and
+// strategies alike.
+func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
+	axes, err := s.Axes()
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(s.Models) == 0 {
-		return nil, nil, fmt.Errorf("sweep: spec %q lists no models", s.Name)
-	}
-	pars := s.Parallelisms
-	if len(pars) == 0 {
-		pars = []string{s.Base.Parallelism}
-	}
-	batches := s.Batches
-	if len(batches) == 0 {
-		batches = []int{s.Base.Batch}
-	}
-	degrees := s.TPDegrees
-	if len(degrees) == 0 {
-		degrees = []int{s.Base.TPDegree}
-	}
-	formats := s.Formats
-	if len(formats) == 0 {
-		formats = []string{s.Base.Format}
-	}
-	caps := s.PowerCapsW
-	if len(caps) == 0 {
-		caps = []float64{s.Base.PowerCapW}
-	}
-	matrix := s.MatrixUnits
-	if len(matrix) == 0 {
-		matrix = []bool{!s.Base.VectorOnly}
-	}
-
+	dims := axes.Dims()
+	coord := make([]int, len(dims))
+	seen := make(map[string]struct{})
 	var exps []Experiment
 	var cfgs []core.Config
-	for _, plat := range plats {
-		for _, mdl := range s.Models {
-			for _, par := range pars {
-				parDegrees := degrees
-				if st, err := effectiveStrategy(par); err == nil && !st.Describe().TPDegree {
-					// The degree axis is inert for this strategy; a
-					// single point at the base degree avoids expanding
-					// duplicates that canonicalize to one fingerprint.
-					parDegrees = []int{s.Base.TPDegree}
-				}
-				for _, bs := range batches {
-					for _, deg := range parDegrees {
-						for _, f := range formats {
-							for _, cap := range caps {
-								for _, mu := range matrix {
-									e := s.Base
-									e.System = plat.system
-									e.GPU = plat.gpu
-									e.GPUCount = plat.count
-									e.Nodes = plat.nodes
-									e.Model = mdl
-									e.Parallelism = par
-									e.Batch = bs
-									e.TPDegree = deg
-									e.Format = f
-									e.PowerCapW = cap
-									e.VectorOnly = !mu
-									cfg, err := e.Config()
-									if err != nil {
-										return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
-									}
-									exps = append(exps, e)
-									cfgs = append(cfgs, cfg)
-								}
-							}
-						}
-					}
-				}
-			}
+	for ok := true; ok; ok = Next(coord, dims) {
+		e := axes.At(coord)
+		cfg, err := e.Config()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
 		}
+		key, err := cfg.Fingerprint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: spec %q point %d: %w", s.Name, len(exps), err)
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		exps = append(exps, e)
+		cfgs = append(cfgs, cfg)
 	}
 	return exps, cfgs, nil
 }
@@ -434,7 +500,8 @@ func (s *Spec) Expand() ([]Experiment, []core.Config, error) {
 // Validate expands the spec without running anything, so a CLI (or CI
 // step) can reject bad axes — unknown system/GPU/model/strategy names,
 // invalid shapes, conflicting platform axes — before any simulation
-// starts. It returns the number of grid points the spec describes.
+// starts. It returns the number of unique grid points the spec expands
+// to after fingerprint deduplication.
 func (s *Spec) Validate() (int, error) {
 	_, cfgs, err := s.Expand()
 	if err != nil {

@@ -2,16 +2,54 @@ package sweep
 
 import "overlapsim/internal/report"
 
+// TimePerIterS returns the overlapped-mode mean iteration latency in
+// seconds, the canonical time metric sweep rows and advisor objectives
+// share. ok is false when the point carries no result.
+func (p *Point) TimePerIterS() (float64, bool) {
+	if p.Res == nil {
+		return 0, false
+	}
+	return p.Res.Overlapped.Mean.E2E, true
+}
+
+// BoardPowerW returns average overlapped-mode board power in watts:
+// per-GPU average power summed over every GPU in the system.
+func (p *Point) BoardPowerW() (float64, bool) {
+	if p.Res == nil || len(p.Res.Overlapped.GPUPower) == 0 {
+		return 0, false
+	}
+	var w float64
+	for _, st := range p.Res.Overlapped.GPUPower {
+		w += st.AvgW
+	}
+	return w, true
+}
+
+// EnergyPerIterJ returns the energy of an average overlapped iteration
+// in joules: mean board power times mean iteration latency (the run's
+// total EnergyJ spans warmup too).
+func (p *Point) EnergyPerIterJ() (float64, bool) {
+	w, ok := p.BoardPowerW()
+	if !ok {
+		return 0, false
+	}
+	t, ok := p.TimePerIterS()
+	return w * t, ok
+}
+
 // Rows converts a sweep result into report rows, in grid order.
 func Rows(res *Result) []report.SweepRow {
 	rows := make([]report.SweepRow, len(res.Points))
 	for i := range res.Points {
-		rows[i] = row(&res.Points[i])
+		rows[i] = Row(&res.Points[i])
 	}
 	return rows
 }
 
-func row(p *Point) report.SweepRow {
+// Row renders one point into the shared report row schema — the same
+// schema advisor frontiers render through, so sweep tables and frontier
+// tables stay column-compatible.
+func Row(p *Point) report.SweepRow {
 	r := report.SweepRow{Label: p.Config.Label()}
 	switch {
 	case p.OOM != nil:
@@ -37,6 +75,8 @@ func row(p *Point) report.SweepRow {
 		r.AvgTDP = p.Res.Overlapped.AvgTDP
 		r.PeakTDP = p.Res.Overlapped.PeakTDP
 		r.EnergyJ = p.Res.Overlapped.EnergyJ
+		r.AvgPowerW, _ = p.BoardPowerW()
+		r.EnergyPerIterJ, _ = p.EnergyPerIterJ()
 	}
 	return r
 }

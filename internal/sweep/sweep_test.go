@@ -123,6 +123,52 @@ func TestSpecExpansionTPDegrees(t *testing.T) {
 	}
 }
 
+// Overlapping axis values (and knobs that canonicalize away) must
+// collapse: the expansion is deduplicated by canonical fingerprint, so a
+// dup-axis spec runs exactly its unique configurations.
+func TestSpecExpansionDedupesByFingerprint(t *testing.T) {
+	spec := Spec{
+		GPUs:       []string{"H100", "H100", "A100"},
+		Models:     []string{"GPT-3 XL"},
+		Batches:    []int{8, 8},
+		PowerCapsW: []float64{0, 300, 0},
+	}
+	// 3 GPUs x 2 batches x 3 caps = 18 cartesian points, 4 unique:
+	// {H100, A100} x bs=8 x {uncapped, 300 W}.
+	if got := spec.Size(); got != 18 {
+		t.Fatalf("Size() = %d, want the pre-dedup bound 18", got)
+	}
+	exps, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 4 || len(cfgs) != 4 {
+		t.Fatalf("expanded to %d experiments / %d configs, want 4 unique", len(exps), len(cfgs))
+	}
+	keys := make(map[string]int)
+	for i, cfg := range cfgs {
+		key, err := cfg.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := keys[key]; dup {
+			t.Errorf("points %d and %d share fingerprint %s", prev, i, key)
+		}
+		keys[key] = i
+	}
+	// First-coordinate-wins ordering: the deduped grid stays row-major.
+	wantOrder := []struct {
+		gpu string
+		cap float64
+	}{{"H100", 0}, {"H100", 300}, {"A100", 0}, {"A100", 300}}
+	for i, w := range wantOrder {
+		if exps[i].GPU != w.gpu || exps[i].PowerCapW != w.cap {
+			t.Errorf("point %d = %s cap %g, want %s cap %g",
+				i, exps[i].GPU, exps[i].PowerCapW, w.gpu, w.cap)
+		}
+	}
+}
+
 func TestSpecExpansionErrors(t *testing.T) {
 	cases := map[string]Spec{
 		"no gpus":     {Models: []string{"GPT-3 XL"}},
