@@ -32,6 +32,7 @@ import (
 	"overlapsim/internal/opt"
 	"overlapsim/internal/report"
 	"overlapsim/internal/sweep"
+	"overlapsim/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 		csvPath   = flag.String("csv", "", "also write the frontier as CSV to this file")
 		jsonPath  = flag.String("json", "", `also write the advice as JSON to this file ("-" writes stdout)`)
 		quiet     = flag.Bool("q", false, "suppress the frontier table (recommendation and stats only)")
+		showTel   = flag.Bool("telemetry", false, "print the process telemetry (Prometheus text format) after the search")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: advise -query <query.json> [flags]\n\n")
@@ -132,6 +134,12 @@ objectives: %v
 		st.Evaluated, st.FreshEvals, st.CacheHits, st.Rounds, st.Elapsed.Round(1e6))
 	if st.OOMs > 0 || st.Failures > 0 || st.Infeasible > 0 {
 		fmt.Printf("excluded: %d OOM, %d failed, %d constraint-infeasible\n", st.OOMs, st.Failures, st.Infeasible)
+	}
+	if *showTel {
+		fmt.Println()
+		if err := telemetry.Default.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *csvPath != "" {

@@ -30,6 +30,7 @@ import (
 	"overlapsim/internal/hw"
 	"overlapsim/internal/report"
 	"overlapsim/internal/sweep"
+	"overlapsim/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		quiet    = flag.Bool("q", false, "suppress the result table (summary only)")
+		showTel  = flag.Bool("telemetry", false, "print the process telemetry (Prometheus text format) after the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sweep -spec <spec.json> [flags]\n\n")
@@ -119,6 +121,12 @@ example specs:
 	fmt.Printf("%s\n", agg)
 	fmt.Printf("cache: %d hits, %d misses; elapsed %s\n",
 		res.CacheHits, res.CacheMisses, res.Elapsed.Round(1e6))
+	if *showTel {
+		fmt.Println()
+		if err := telemetry.Default.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

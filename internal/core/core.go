@@ -26,6 +26,7 @@ import (
 	"overlapsim/internal/model"
 	"overlapsim/internal/power"
 	"overlapsim/internal/precision"
+	"overlapsim/internal/sim"
 	"overlapsim/internal/strategy"
 	_ "overlapsim/internal/strategy/all" // register the stock strategies
 )
@@ -254,6 +255,11 @@ type ModeResult struct {
 	Traces [][]power.Sample
 	// OverlapRatio is Eq. 2 measured on this mode's trace.
 	OverlapRatio float64
+	// Engine is the simulation engine's self-report for this mode's run
+	// (epochs, dirty-set rechecks, arena usage). Deterministic per
+	// config, so cached results replay it unchanged; results cached
+	// before the field existed decode it as zero.
+	Engine sim.Stats `json:"engine_stats"`
 }
 
 // Result is a full characterization: both modes plus derived metrics.
@@ -308,6 +314,7 @@ func RunMode(ctx context.Context, cfg Config, mode exec.Mode) (*ModeResult, erro
 	res := &ModeResult{Mode: mode, Iterations: its}
 	res.Mean = metrics.Mean(res.Iterations)
 	res.OverlapRatio = res.Mean.OverlapRatio()
+	res.Engine = plan.EngineStats()
 	cl := plan.Cluster
 	for i := 0; i < cl.N(); i++ {
 		st := cl.PowerStats(i)

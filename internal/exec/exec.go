@@ -78,6 +78,13 @@ func (p *Plan) RunContext(ctx context.Context) error {
 // the plan has executed.
 var ErrNotRun = errors.New("exec: plan has not run")
 
+// EngineStats reports the engine's scheduling self-stats (epochs, dirty
+// rechecks, arena usage — see sim.Stats). Valid at any time; most useful
+// after the plan has run, when it describes the whole execution.
+func (p *Plan) EngineStats() sim.Stats {
+	return p.Engine.Stats()
+}
+
 // MeasuredIterations returns the per-iteration measurements of the
 // non-warmup iterations. Kernel times are per-GPU means (devices are
 // symmetric under FSDP; under pipeline parallelism the mean is the paper's

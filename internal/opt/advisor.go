@@ -292,6 +292,7 @@ func (a *Advisor) RunSpace(ctx context.Context, q *Query, space *Space) (*Advice
 
 	adv := st.advice(q, objs, minIdx, front)
 	adv.Stats.Elapsed = time.Since(start)
+	noteQuery(adv.Stats)
 	return adv, nil
 }
 

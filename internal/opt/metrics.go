@@ -1,0 +1,25 @@
+package opt
+
+import "overlapsim/internal/telemetry"
+
+// Process-wide advisor instrumentation on the default telemetry
+// registry. Per-query numbers stay in Stats; these accumulate across
+// queries so /metrics shows how hard the advisor is working and how
+// much the shared cache is saving.
+var (
+	mQueries = telemetry.Default.Counter("advisor_queries_total",
+		"Advisor queries completed.")
+	mRounds = telemetry.Default.Counter("advisor_rounds_total",
+		"Successive-halving refinement rounds run after the seed grid.")
+	mEvals = telemetry.Default.CounterVec("advisor_evals_total",
+		"Candidate evaluations by source: fresh (simulated) or cached.",
+		"source")
+)
+
+// noteQuery records one finished query's search effort.
+func noteQuery(st Stats) {
+	mQueries.Inc()
+	mRounds.Add(uint64(st.Rounds))
+	mEvals.With("fresh").Add(uint64(st.FreshEvals))
+	mEvals.With("cached").Add(uint64(st.CacheHits))
+}

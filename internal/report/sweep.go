@@ -34,6 +34,11 @@ type SweepRow struct {
 	// energy objective, reported for plain sweeps too so both share one
 	// row schema.
 	EnergyPerIterJ float64
+	// Tasks and Epochs are the overlapped-mode engine self-stats (task
+	// count and scheduling epochs) — the explanatory columns that relate
+	// a point's latency to how much scheduling work the simulation did.
+	Tasks  int
+	Epochs int64
 }
 
 // ok reports whether the row carries metrics (computed or cached).
@@ -46,13 +51,20 @@ func (r SweepRow) ok() bool { return r.Status == "ok" || r.Status == "hit" }
 var sweepHeaders = []string{
 	"config", "status", "e2e_ovl_ms", "e2e_seq_ms", "seq_penalty_%",
 	"overlap_%", "slowdown_%", "avg_tdp_%", "peak_tdp_%", "energy_j",
-	"avg_power_w", "energy_per_iter_j", "detail",
+	"avg_power_w", "energy_per_iter_j", "tasks", "epochs", "detail",
 }
 
 // cells renders the row.
 func (r SweepRow) cells() []string {
 	if !r.ok() {
-		return []string{r.Label, r.Status, "", "", "", "", "", "", "", "", "", "", r.Detail}
+		return []string{r.Label, r.Status, "", "", "", "", "", "", "", "", "", "", "", "", r.Detail}
+	}
+	// Engine stats are zero for results cached before the stats existed;
+	// render those as empty rather than a misleading 0.
+	tasks, epochs := "", ""
+	if r.Tasks > 0 {
+		tasks = fmt.Sprintf("%d", r.Tasks)
+		epochs = fmt.Sprintf("%d", r.Epochs)
 	}
 	return []string{
 		r.Label,
@@ -67,6 +79,8 @@ func (r SweepRow) cells() []string {
 		fmt.Sprintf("%.0f", r.EnergyJ),
 		fmt.Sprintf("%.0f", r.AvgPowerW),
 		fmt.Sprintf("%.1f", r.EnergyPerIterJ),
+		tasks,
+		epochs,
 		"",
 	}
 }
@@ -97,6 +111,13 @@ type SweepAggregate struct {
 	Points, OK, Hits, OOMs, Errors            int
 	MeanSeqPenalty, MeanOverlap, MeanSlowdown float64
 	MeanAvgTDP, MaxPeakTDP                    float64
+	// Misses counts points not served from the cache (fresh simulations,
+	// including the ones that ended in OOM or error) — together with Hits
+	// this is the sweep's cache provenance.
+	Misses int
+	// TotalTasks and TotalEpochs sum the overlapped-mode engine
+	// self-stats over the rows that carry them.
+	TotalTasks, TotalEpochs int64
 }
 
 // AggregateSweep computes the aggregate over the rows.
@@ -113,6 +134,11 @@ func AggregateSweep(rows []SweepRow) SweepAggregate {
 		case "error":
 			a.Errors++
 		}
+		if r.Status != "hit" {
+			a.Misses++
+		}
+		a.TotalTasks += int64(r.Tasks)
+		a.TotalEpochs += r.Epochs
 		if !r.ok() {
 			continue
 		}
@@ -143,6 +169,10 @@ func (a SweepAggregate) String() string {
 		s += fmt.Sprintf("; mean seq penalty %.1f%%, mean overlap %.1f%%, mean compute slowdown %.1f%%, mean avg power %.0f%% TDP, max peak %.0f%% TDP",
 			a.MeanSeqPenalty*100, a.MeanOverlap*100, a.MeanSlowdown*100,
 			a.MeanAvgTDP*100, a.MaxPeakTDP*100)
+	}
+	s += fmt.Sprintf("; cache: %d hits, %d misses", a.Hits, a.Misses)
+	if a.TotalTasks > 0 {
+		s += fmt.Sprintf("; engine: %d tasks over %d epochs", a.TotalTasks, a.TotalEpochs)
 	}
 	return s
 }

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// finishJobForTest moves a job to a terminal status the way the worker
+// goroutines do, keeping the lifecycle gauges balanced.
+func (s *Server) finishJobForTest(j *job, status jobStatus) {
+	j.mu.Lock()
+	j.status = status
+	j.mu.Unlock()
+	s.finishJob(j, status)
+}
+
+func TestJobEviction(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+
+	// A running job submitted first must survive any amount of finished
+	// traffic after it.
+	pinned := srv.newJob(kindSweep, "pinned-running", 1, func() {})
+
+	const extra = 40
+	var oldest *job
+	for i := 0; i < maxRetainedJobs+extra; i++ {
+		j := srv.newJob(kindSweep, "churn", 1, func() {})
+		if oldest == nil {
+			oldest = j
+		}
+		srv.finishJobForTest(j, statusDone)
+	}
+
+	srv.mu.Lock()
+	n := len(srv.jobs)
+	_, pinnedKept := srv.jobs[pinned.id]
+	_, oldestKept := srv.jobs[oldest.id]
+	srv.mu.Unlock()
+
+	if n > maxRetainedJobs {
+		t.Errorf("%d jobs retained, cap is %d", n, maxRetainedJobs)
+	}
+	if !pinnedKept {
+		t.Error("running job was evicted")
+	}
+	if oldestKept {
+		t.Error("oldest finished job survived the cap")
+	}
+	srv.finishJobForTest(pinned, statusCancelled)
+}
+
+// Eviction only removes finished jobs: with every job running, the map
+// may exceed the cap rather than drop live work.
+func TestEvictionSparesRunningJobs(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+
+	jobs := make([]*job, 0, maxRetainedJobs+10)
+	for i := 0; i < maxRetainedJobs+10; i++ {
+		jobs = append(jobs, srv.newJob(kindAdvise, "live", 1, func() {}))
+	}
+	srv.mu.Lock()
+	n := len(srv.jobs)
+	srv.mu.Unlock()
+	if n != maxRetainedJobs+10 {
+		t.Errorf("running jobs evicted: %d retained of %d", n, maxRetainedJobs+10)
+	}
+	for _, j := range jobs {
+		srv.finishJobForTest(j, statusCancelled)
+	}
+}
+
+// The job endpoints are kind-scoped: a sweep id does not resolve under
+// /v1/advise and vice versa, missing ids 404, and a DELETE of a
+// finished job releases it so a second DELETE 404s.
+func TestJobEndpointErrorPaths(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"gpus":["H100"],"models":["GPT-3 XL"],"formats":["fp16"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := decode[submitBody](t, resp, http.StatusAccepted)
+	if body := waitForJob(t, ts, sub.ID); body.Status != statusDone {
+		t.Fatalf("job finished as %q", body.Status)
+	}
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	del := func(path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Wrong kind: the sweep job must not leak through the advise endpoints.
+	decode[errorBody](t, get("/v1/advise/"+sub.ID), http.StatusNotFound)
+	decode[errorBody](t, del("/v1/advise/"+sub.ID), http.StatusNotFound)
+
+	// Missing ids 404 on both kinds.
+	decode[errorBody](t, get("/v1/sweeps/sweep-424242"), http.StatusNotFound)
+	decode[errorBody](t, del("/v1/advise/advise-424242"), http.StatusNotFound)
+
+	// First DELETE of the finished job releases it...
+	body := decode[jobBody](t, del("/v1/sweeps/"+sub.ID), http.StatusOK)
+	if body.Status != statusDone {
+		t.Errorf("released job reported %q", body.Status)
+	}
+	// ...so the second DELETE, and any further GET, 404.
+	decode[errorBody](t, del("/v1/sweeps/"+sub.ID), http.StatusNotFound)
+	decode[errorBody](t, get("/v1/sweeps/"+sub.ID), http.StatusNotFound)
+
+	// The job map no longer holds it.
+	srv.mu.Lock()
+	_, held := srv.jobs[sub.ID]
+	srv.mu.Unlock()
+	if held {
+		t.Error("released job still retained")
+	}
+}
+
+// Listing is also kind-scoped: each list carries only its own kind
+// under its own key.
+func TestJobListsAreKindScoped(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"gpus":["H100"],"models":["GPT-3 XL"],"formats":["fp16"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := decode[submitBody](t, resp, http.StatusAccepted)
+	waitForJob(t, ts, sub.ID)
+
+	resp, err = http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[map[string][]jobBody](t, resp, http.StatusOK)
+	if _, ok := list["advise_jobs"]; !ok {
+		t.Errorf("advise list keys: %v", list)
+	}
+	if n := len(list["advise_jobs"]); n != 0 {
+		t.Errorf("sweep job leaked into the advise list (%d entries)", n)
+	}
+}
+
+// newTestServer variant check: the middleware keeps serving when the
+// Options carry no logger (nil Logger must not panic).
+func TestNilLoggerServes(t *testing.T) {
+	srv := New(Options{Logger: nil})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,37 @@
+package service
+
+import "overlapsim/internal/telemetry"
+
+// Process-wide server instrumentation on the default telemetry
+// registry, served back by this same server's GET /metrics.
+var (
+	mRequests = telemetry.Default.CounterVec("overlapd_http_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		"route", "code")
+	mDuration = telemetry.Default.HistogramVec("overlapd_http_request_duration_seconds",
+		"HTTP request latency by route pattern.",
+		nil, "route")
+	mInFlight = telemetry.Default.Gauge("overlapd_http_in_flight_requests",
+		"HTTP requests currently being served.")
+
+	mJobsRunning = telemetry.Default.GaugeVec("overlapd_jobs_running",
+		"Asynchronous jobs currently running, by kind.",
+		"kind")
+	mJobsDone = telemetry.Default.CounterVec("overlapd_jobs_total",
+		"Asynchronous jobs finished, by kind and terminal status.",
+		"kind", "status")
+	mJobsEvicted = telemetry.Default.Counter("overlapd_jobs_evicted_total",
+		"Finished jobs dropped by the retention cap.")
+)
+
+// noteJobStarted and noteJobFinished keep the job gauges in step with
+// the job lifecycle; every started job finishes in exactly one terminal
+// status.
+func noteJobStarted(kind jobKind) {
+	mJobsRunning.With(string(kind)).Inc()
+}
+
+func noteJobFinished(kind jobKind, status jobStatus) {
+	mJobsRunning.With(string(kind)).Dec()
+	mJobsDone.With(string(kind), string(status)).Inc()
+}

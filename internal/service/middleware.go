@@ -1,0 +1,65 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"overlapsim/internal/telemetry"
+)
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the standard observability envelope:
+// a per-request ID on the context, request/latency/in-flight metrics
+// labeled by the route pattern (never the raw URL, which is unbounded),
+// and one structured log line per request. 5xx responses log at error
+// level, 4xx at warn, the rest at debug — so an info-level production
+// logger stays quiet on healthy traffic.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, reqID := telemetry.WithRequestID(r.Context())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mInFlight.Inc()
+		start := time.Now()
+		h(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		mInFlight.Dec()
+		mRequests.With(route, strconv.Itoa(rec.status)).Inc()
+		mDuration.With(route).Observe(elapsed.Seconds())
+
+		level := slog.LevelDebug
+		switch {
+		case rec.status >= 500:
+			level = slog.LevelError
+		case rec.status >= 400:
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(ctx, level, "request",
+			slog.String("req_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+// handle registers an instrumented handler. The pattern doubles as the
+// metric route label, with the method prefix kept so GET and DELETE on
+// the same path stay distinct series.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+}

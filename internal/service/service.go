@@ -24,6 +24,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -37,6 +38,7 @@ import (
 	"overlapsim/internal/report"
 	"overlapsim/internal/strategy"
 	"overlapsim/internal/sweep"
+	"overlapsim/internal/telemetry"
 )
 
 // Options configure a Server.
@@ -49,6 +51,9 @@ type Options struct {
 	// MaxSweepPoints rejects sweep specs that expand beyond this many
 	// points (0 means DefaultMaxSweepPoints).
 	MaxSweepPoints int
+	// Logger receives one structured line per request and per job
+	// transition; nil discards logs.
+	Logger *slog.Logger
 }
 
 // DefaultMaxSweepPoints bounds the grid size one job may submit.
@@ -56,8 +61,10 @@ const DefaultMaxSweepPoints = 4096
 
 // Server is the overlapd request handler.
 type Server struct {
-	opts Options
-	mux  *http.ServeMux
+	opts    Options
+	mux     *http.ServeMux
+	log     *slog.Logger
+	started time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -128,25 +135,34 @@ func New(opts Options) *Server {
 	if opts.MaxSweepPoints <= 0 {
 		opts.MaxSweepPoints = DefaultMaxSweepPoints
 	}
+	if opts.Logger == nil {
+		opts.Logger = telemetry.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		mux:    http.NewServeMux(),
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		log:     opts.Logger,
+		started: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps", s.handleList(kindSweep))
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet(kindSweep))
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel(kindSweep))
-	s.mux.HandleFunc("POST /v1/advise", s.handleAdviseSubmit)
-	s.mux.HandleFunc("GET /v1/advise", s.handleList(kindAdvise))
-	s.mux.HandleFunc("GET /v1/advise/{id}", s.handleGet(kindAdvise))
-	s.mux.HandleFunc("DELETE /v1/advise/{id}", s.handleCancel(kindAdvise))
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /v1/catalog", s.handleCatalog)
+	s.handle("POST /v1/experiments", s.handleExperiment)
+	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
+	s.handle("GET /v1/sweeps", s.handleList(kindSweep))
+	s.handle("GET /v1/sweeps/{id}", s.handleGet(kindSweep))
+	s.handle("DELETE /v1/sweeps/{id}", s.handleCancel(kindSweep))
+	s.handle("POST /v1/advise", s.handleAdviseSubmit)
+	s.handle("GET /v1/advise", s.handleList(kindAdvise))
+	s.handle("GET /v1/advise/{id}", s.handleGet(kindAdvise))
+	s.handle("DELETE /v1/advise/{id}", s.handleCancel(kindAdvise))
+	// The metrics endpoint is deliberately uninstrumented: scrapes should
+	// not inflate the request series they are reading.
+	s.mux.Handle("GET /metrics", telemetry.Default.Handler())
+	s.handle("GET /v1/stats", s.handleStats)
 	return s
 }
 
@@ -157,8 +173,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close cancels every running job and waits for their workers to exit.
 func (s *Server) Close() {
+	_ = s.Shutdown(context.Background())
+}
+
+// Shutdown cancels every running job and waits for their workers to
+// exit, giving up with ctx.Err() when ctx expires first. Jobs observe
+// the cancellation between simulation epochs, so a drain normally
+// completes in milliseconds; a ctx deadline bounds the wait against a
+// wedged worker. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.log.Info("shutdown complete")
+		return nil
+	case <-ctx.Done():
+		s.log.Error("shutdown drain timed out", slog.Any("err", ctx.Err()))
+		return ctx.Err()
+	}
 }
 
 // runner builds the sweep runner every endpoint shares.
@@ -398,19 +435,20 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 				completed++
 			}
 		}
+		status := statusDone
+		if err != nil {
+			status = statusCancelled
+		}
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		j.res = res
 		j.aggregate = aggregate
 		j.completed = completed
 		j.hits = res.CacheHits
 		j.ooms = res.OOMs
 		j.failures = res.Failures
-		if err != nil {
-			j.status = statusCancelled
-		} else {
-			j.status = statusDone
-		}
+		j.status = status
+		j.mu.Unlock()
+		s.finishJob(j, status)
 	}()
 
 	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: spec.Name, Points: len(cfgs)})
@@ -432,7 +470,21 @@ func (s *Server) newJob(kind jobKind, name string, total int, cancel context.Can
 	}
 	s.jobs[j.id] = j
 	s.evictLocked()
+	noteJobStarted(kind)
+	s.log.Info("job started",
+		slog.String("job", j.id), slog.String("kind", string(kind)),
+		slog.String("name", name), slog.Int("total", total))
 	return j
+}
+
+// finishJob records a job's terminal transition in the gauges and the
+// log. Callers invoke it exactly once per job, after releasing j.mu.
+func (s *Server) finishJob(j *job, status jobStatus) {
+	noteJobFinished(j.kind, status)
+	s.log.Info("job finished",
+		slog.String("job", j.id), slog.String("kind", string(j.kind)),
+		slog.String("status", string(status)),
+		slog.Duration("elapsed", time.Since(j.started)))
 }
 
 // jobBody is the job status payload shared by sweep and advise jobs.
@@ -444,10 +496,14 @@ type jobBody struct {
 	Total     int       `json:"total"`
 	Completed int       `json:"completed"`
 	CacheHits int       `json:"cache_hits"`
-	OOMs      int       `json:"ooms"`
-	Failures  int       `json:"failures"`
-	ElapsedMS float64   `json:"elapsed_ms"`
-	Error     string    `json:"error,omitempty"`
+	// CacheMisses counts completed points not served from the cache
+	// (fresh simulations, including failed ones) — with CacheHits, the
+	// job's cache provenance.
+	CacheMisses int     `json:"cache_misses"`
+	OOMs        int     `json:"ooms"`
+	Failures    int     `json:"failures"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
 
 	// Aggregate and Points are present once a sweep job has finished.
 	Aggregate string        `json:"aggregate,omitempty"`
@@ -468,7 +524,8 @@ func (j *job) body(includePoints bool) jobBody {
 	b := jobBody{
 		ID: j.id, Kind: j.kind, Name: j.name, Status: j.status,
 		Total: j.total, Completed: j.completed,
-		CacheHits: j.hits, OOMs: j.ooms, Failures: j.failures,
+		CacheHits: j.hits, CacheMisses: j.completed - j.hits,
+		OOMs: j.ooms, Failures: j.failures,
 		ElapsedMS: float64(time.Since(j.started)) / float64(time.Millisecond),
 		Error:     j.errMsg,
 	}
@@ -514,6 +571,8 @@ func (s *Server) evictLocked() {
 			break
 		}
 		delete(s.jobs, j.id)
+		mJobsEvicted.Inc()
+		s.log.Debug("job evicted", slog.String("job", j.id))
 	}
 }
 
@@ -624,7 +683,6 @@ func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		adv, err := advisor.RunSpace(ctx, q, space)
 		j.mu.Lock()
-		defer j.mu.Unlock()
 		switch {
 		case err == nil:
 			j.advice = adv
@@ -641,6 +699,9 @@ func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
 			j.errMsg = err.Error()
 			j.status = statusFailed
 		}
+		status := j.status
+		j.mu.Unlock()
+		s.finishJob(j, status)
 	}()
 
 	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: q.Name, Points: n})

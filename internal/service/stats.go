@@ -1,0 +1,39 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"overlapsim/internal/telemetry"
+)
+
+// statsBody is the GET /v1/stats response: a JSON mirror of the
+// Prometheus exposition plus the server's own uptime and job ledger,
+// for clients that want numbers without a scrape pipeline.
+type statsBody struct {
+	UptimeS float64                    `json:"uptime_s"`
+	Jobs    map[string]map[string]int  `json:"jobs"`
+	Metrics []telemetry.FamilySnapshot `json:"metrics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	body := statsBody{
+		UptimeS: time.Since(s.started).Seconds(),
+		Jobs:    map[string]map[string]int{},
+		Metrics: telemetry.Default.Snapshot(),
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		st := string(j.status)
+		j.mu.Unlock()
+		byStatus := body.Jobs[string(j.kind)]
+		if byStatus == nil {
+			byStatus = map[string]int{}
+			body.Jobs[string(j.kind)] = byStatus
+		}
+		byStatus[st]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}

@@ -248,6 +248,20 @@ type Engine struct {
 	strmArena []*Stream // slab for per-task stream sets
 	strmNext  int
 	doneTmp   []*Task // retirement scratch, reused across epochs
+
+	// Self-stats (see Stats). Plain ints, incremented from the single
+	// scheduler goroutine: counting stays off the allocation path and
+	// costs one add per event, so instrumented runs schedule
+	// bit-identically to uninstrumented ones.
+	stEpochs      int64
+	stInstant     int64
+	stAdmitPasses int64
+	stRechecks    int64
+	stAdmissions  int64
+	stMaxRunning  int
+	stSlabAllocs  int64
+	stArenaBytes  int64
+	stReserved    int64
 }
 
 // timeEps is the tolerance used when comparing simulated times and residual
@@ -282,9 +296,11 @@ func (e *Engine) Reserve(n int) {
 	if n <= 0 {
 		return
 	}
+	e.stReserved += int64(n)
 	if free := len(e.taskArena) - e.taskNext; free < n {
 		e.taskArena = make([]Task, n)
 		e.taskNext = 0
+		e.noteSlab(int64(n) * taskBytes)
 	}
 	if cap(e.tasks)-len(e.tasks) < n {
 		grown := make([]*Task, len(e.tasks), len(e.tasks)+n)
@@ -294,11 +310,19 @@ func (e *Engine) Reserve(n int) {
 	if free := len(e.succArena) - e.succNext; free < n*succChunkLen {
 		e.succArena = make([]*Task, n*succChunkLen)
 		e.succNext = 0
+		e.noteSlab(int64(n*succChunkLen) * ptrBytes)
 	}
 	if free := len(e.strmArena) - e.strmNext; free < n {
 		e.strmArena = make([]*Stream, n)
 		e.strmNext = 0
+		e.noteSlab(int64(n) * ptrBytes)
 	}
+}
+
+// noteSlab records one arena slab allocation for Stats.
+func (e *Engine) noteSlab(bytes int64) {
+	e.stSlabAllocs++
+	e.stArenaBytes += bytes
 }
 
 // allocTask carves the next task from the slab arena.
@@ -306,6 +330,7 @@ func (e *Engine) allocTask() *Task {
 	if e.taskNext == len(e.taskArena) {
 		e.taskArena = make([]Task, taskChunk)
 		e.taskNext = 0
+		e.noteSlab(taskChunk * taskBytes)
 	}
 	t := &e.taskArena[e.taskNext]
 	e.taskNext++
@@ -317,6 +342,7 @@ func (e *Engine) succChunk() []*Task {
 	if e.succNext+succChunkLen > len(e.succArena) {
 		e.succArena = make([]*Task, taskChunk*succChunkLen)
 		e.succNext = 0
+		e.noteSlab(taskChunk * succChunkLen * ptrBytes)
 	}
 	c := e.succArena[e.succNext : e.succNext : e.succNext+succChunkLen]
 	e.succNext += succChunkLen
@@ -332,6 +358,7 @@ func (e *Engine) strmChunk(n int) []*Stream {
 		}
 		e.strmArena = make([]*Stream, size)
 		e.strmNext = 0
+		e.noteSlab(int64(size) * ptrBytes)
 	}
 	c := e.strmArena[e.strmNext : e.strmNext : e.strmNext+n]
 	e.strmNext += n
@@ -442,6 +469,10 @@ func (e *Engine) RunContext(ctx context.Context) error {
 			}
 			return fmt.Errorf("%w: %s", ErrDeadlock, e.diagnose())
 		}
+		if len(e.running) > e.stMaxRunning {
+			e.stMaxRunning = len(e.running)
+		}
+		e.stEpochs++
 		e.platform.Rates(e.now, e.running)
 
 		// One pass over the running set finds instant completions
@@ -466,6 +497,7 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		}
 		if instant {
 			// Complete without advancing time (no observer segment).
+			e.stInstant++
 			e.finishCompleted()
 			continue
 		}
@@ -501,6 +533,8 @@ func (e *Engine) RunContext(ctx context.Context) error {
 // creation-sequence position so the running set stays seq-ordered without
 // a per-epoch sort.
 func (e *Engine) admit() {
+	e.stAdmitPasses++
+	e.stRechecks += int64(len(e.dirty))
 	for _, s := range e.dirty {
 		s.dirty = false
 		t := s.headTask()
@@ -515,6 +549,7 @@ func (e *Engine) admit() {
 			t.started = true
 			t.start = e.now
 		}
+		e.stAdmissions++
 		e.insertRunning(t)
 	}
 	e.dirty = e.dirty[:0]

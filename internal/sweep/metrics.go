@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/telemetry"
+)
+
+// Process-wide sweep instrumentation, registered on the default
+// telemetry registry. Counters are cumulative over the process (not per
+// sweep); per-sweep provenance stays in Result.
+var (
+	mCacheRequests = telemetry.Default.CounterVec("sweep_cache_requests_total",
+		"Cache lookups by backend and outcome (hit or miss).",
+		"backend", "outcome")
+	mCachePutErrors = telemetry.Default.CounterVec("sweep_cache_put_errors_total",
+		"Cache writes that failed, by backend.",
+		"backend")
+	mPoints = telemetry.Default.CounterVec("sweep_points_total",
+		"Sweep points simulated (cache misses only), by outcome: ok, oom or error.",
+		"outcome")
+	mPointSeconds = telemetry.Default.Histogram("sweep_point_sim_seconds",
+		"Wall-clock duration of one point's simulation (cache misses only).",
+		nil)
+	mFingerprints = telemetry.Default.Counter("sweep_fingerprints_total",
+		"Config fingerprints computed.")
+	mFingerprintRepeats = telemetry.Default.Counter("sweep_fingerprint_repeats_total",
+		"Fingerprints seen before in this process - repeat work a singleflight layer could coalesce.")
+
+	mEngineEpochs = telemetry.Default.Counter("sim_engine_epochs_total",
+		"Scheduling epochs executed by simulation engines, summed over both modes.")
+	mEngineTasks = telemetry.Default.Counter("sim_engine_tasks_retired_total",
+		"Tasks retired by simulation engines, summed over both modes.")
+	mEngineRechecks = telemetry.Default.Counter("sim_engine_stream_rechecks_total",
+		"Dirty-set stream rechecks performed by simulation engines.")
+	mEngineFullScans = telemetry.Default.Counter("sim_engine_full_scan_checks_total",
+		"Counterfactual full-rescan stream checks - compare with stream rechecks for the dirty-set win.")
+	mEngineArenaBytes = telemetry.Default.Counter("sim_engine_arena_bytes_total",
+		"Bytes of slab arena allocated by simulation engines.")
+	mEngineArenaSlabs = telemetry.Default.Counter("sim_engine_arena_slabs_total",
+		"Slab allocations made by simulation engines.")
+
+	// seenFingerprints backs the repeat counter: the set of fingerprints
+	// this process has looked up at least once.
+	seenFingerprints sync.Map
+)
+
+// cacheName labels a cache backend for metrics: the stock backends map
+// to "mem" and "dir", anything exporting Name() uses that, and other
+// implementations fall back to "custom".
+func cacheName(c Cache) string {
+	switch c := c.(type) {
+	case *MemCache:
+		return "mem"
+	case *DirCache:
+		return "dir"
+	case interface{ Name() string }:
+		return c.Name()
+	default:
+		return "custom"
+	}
+}
+
+// noteFingerprint records a computed fingerprint and whether this
+// process has seen it before.
+func noteFingerprint(key string) {
+	mFingerprints.Inc()
+	if _, loaded := seenFingerprints.LoadOrStore(key, struct{}{}); loaded {
+		mFingerprintRepeats.Inc()
+	}
+}
+
+// noteCacheLookup records one cache Get.
+func noteCacheLookup(backend string, hit bool) {
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	mCacheRequests.With(backend, outcome).Inc()
+}
+
+// noteSimulated records one freshly simulated point: its outcome, its
+// wall-clock duration, and the engine work both modes performed.
+func noteSimulated(outcome string, elapsed time.Duration, res *core.Result) {
+	mPoints.With(outcome).Inc()
+	mPointSeconds.Observe(elapsed.Seconds())
+	if res == nil {
+		return
+	}
+	var agg = res.Overlapped.Engine
+	agg.Add(res.Sequential.Engine)
+	mEngineEpochs.Add(uint64(agg.Epochs))
+	mEngineTasks.Add(uint64(agg.TasksRetired))
+	mEngineRechecks.Add(uint64(agg.StreamRechecks))
+	mEngineFullScans.Add(uint64(agg.FullScanChecks))
+	mEngineArenaBytes.Add(uint64(agg.ArenaBytes))
+	mEngineArenaSlabs.Add(uint64(agg.ArenaSlabs))
+}

@@ -10,6 +10,7 @@ import (
 
 	"overlapsim/internal/core"
 	"overlapsim/internal/model"
+	"overlapsim/internal/sim"
 )
 
 // Point is the outcome of one grid point.
@@ -55,6 +56,10 @@ type Result struct {
 	// OOMs counts infeasible configurations, Failures all other errors.
 	OOMs     int `json:"ooms"`
 	Failures int `json:"failures"`
+	// Engine aggregates the per-point engine self-stats (both modes
+	// summed) over every point carrying a result, cached or fresh —
+	// cached results replay the stats their simulation recorded.
+	Engine sim.Stats `json:"engine_stats"`
 	// Elapsed is the wall-clock duration of the sweep.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -164,6 +169,10 @@ dispatch:
 		default:
 			res.CacheMisses++
 		}
+		if p.Res != nil {
+			res.Engine.Add(p.Res.Overlapped.Engine)
+			res.Engine.Add(p.Res.Sequential.Engine)
+		}
 	}
 	res.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
@@ -182,30 +191,38 @@ func (r *Runner) runPoint(ctx context.Context, i int, cfg core.Config) Point {
 		return pt
 	}
 	pt.Key = key
+	noteFingerprint(key)
 	if r.Cache != nil {
-		if cached, ok := r.Cache.Get(key); ok {
+		cached, ok := r.Cache.Get(key)
+		noteCacheLookup(cacheName(r.Cache), ok)
+		if ok {
 			pt.Res = cached
 			pt.CacheHit = true
 			return pt
 		}
 	}
+	simStart := time.Now()
 	res, err := core.Run(ctx, cfg)
 	if err != nil {
 		var oom *model.ErrOOM
 		if errors.As(err, &oom) {
 			pt.OOM = oom
+			noteSimulated("oom", time.Since(simStart), nil)
 		} else {
 			pt.Err = err
 			pt.ErrString = err.Error()
+			noteSimulated("error", time.Since(simStart), nil)
 		}
 		return pt
 	}
+	noteSimulated("ok", time.Since(simStart), res)
 	pt.Res = res
 	if r.Cache != nil {
 		if err := r.Cache.Put(key, res); err != nil {
 			// A cache write failure costs recomputation later, not
 			// correctness now — the point stays successful.
 			pt.Note = fmt.Sprintf("cache put: %v", err)
+			mCachePutErrors.With(cacheName(r.Cache)).Inc()
 		}
 	}
 	return pt

@@ -77,6 +77,8 @@ func Row(p *Point) report.SweepRow {
 		r.EnergyJ = p.Res.Overlapped.EnergyJ
 		r.AvgPowerW, _ = p.BoardPowerW()
 		r.EnergyPerIterJ, _ = p.EnergyPerIterJ()
+		r.Tasks = p.Res.Overlapped.Engine.Tasks
+		r.Epochs = p.Res.Overlapped.Engine.Epochs
 	}
 	return r
 }

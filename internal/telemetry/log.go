@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level
+// ("debug", "info", "warn", "error") in the given format ("text" or
+// "json"). The zero values default to info-level text logging.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// ParseLevel resolves a log level name; the empty string means info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedders that did not configure logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// reqIDKey is the context key request IDs travel under.
+type reqIDKey struct{}
+
+// reqSeq numbers requests within the process; reqPrefix distinguishes
+// processes, so IDs stay meaningful across daemon restarts in one log
+// stream.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		var b [3]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "req"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// WithRequestID returns ctx carrying a fresh request ID, plus the ID.
+// If ctx already carries one (e.g. an internal sub-request), it is
+// reused.
+func WithRequestID(ctx context.Context) (context.Context, string) {
+	if id := RequestID(ctx); id != "" {
+		return ctx, id
+	}
+	id := fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+	return context.WithValue(ctx, reqIDKey{}, id), id
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,322 @@
+// Package telemetry is the repo's observability substrate: a
+// dependency-free metrics registry (counters, gauges, histograms, and
+// labeled families of each, all with atomic hot paths), Prometheus text
+// exposition with a JSON mirror, and structured-logging helpers built on
+// log/slog with per-request IDs.
+//
+// Instruments are cheap enough to update from simulation worker pools:
+// a counter increment is one atomic add, a histogram observation is two
+// atomic adds plus a CAS loop on the sum. Families resolve label values
+// to instruments through an RWMutex-guarded map; hot callers keep the
+// resolved instrument.
+//
+// The package-level Default registry is what the overlapd /metrics and
+// /v1/stats endpoints serve and what the sweep, advisor and service
+// layers register into. Isolated registries (NewRegistry) exist for
+// tests and embedders.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type classifies a metric family.
+type Type string
+
+// Metric family types, matching the Prometheus exposition TYPE names.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// DefBuckets are general-purpose latency buckets in seconds, spanning
+// HTTP handler times through multi-second simulations.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative d decrements) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// upper bounds; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, non-cumulative
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram buckets not strictly increasing: %v", buckets))
+		}
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search in practice
+	// and is branch-predictable for clustered observations.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric is the common interface of the three instrument kinds, used at
+// exposition time.
+type metric interface{}
+
+// Family is one named metric family: a scalar instrument, or a set of
+// instruments keyed by label values.
+type Family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string  // label keys; nil for scalar families
+	buckets []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]metric // key joins the label values; "" for scalar
+	order    []string          // child keys in creation order
+}
+
+// Name returns the family name.
+func (f *Family) Name() string { return f.name }
+
+// child returns (creating if needed) the instrument for the label-value
+// key.
+func (f *Family) child(key string) metric {
+	f.mu.RLock()
+	m := f.children[key]
+	f.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m := f.children[key]; m != nil {
+		return m
+	}
+	switch f.typ {
+	case TypeCounter:
+		m = &Counter{}
+	case TypeGauge:
+		m = &Gauge{}
+	case TypeHistogram:
+		m = newHistogram(f.buckets)
+	}
+	f.children[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// labelSep joins label values into child keys; it cannot appear in a
+// label value (values are escaped at exposition, not at keying, so the
+// separator must be outside the plausible value alphabet).
+const labelSep = "\x1f"
+
+func (f *Family) key(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *Family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(v.f.key(values)).(*Counter)
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *Family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(v.f.key(values)).(*Gauge)
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct{ f *Family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(v.f.key(values)).(*Histogram)
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*Family
+}
+
+// Default is the process-wide registry the daemon endpoints serve.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*Family)}
+}
+
+// register creates the family or panics on a conflicting redefinition.
+// Registration happens in package init blocks, where failing loudly
+// beats silently shadowing an earlier instrument.
+func (r *Registry) register(name, help string, typ Type, labels []string, buckets []float64) *Family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.fams[name]; ok {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	f := &Family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]metric),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// validName checks the Prometheus metric/label name alphabet
+// ([a-zA-Z_][a-zA-Z0-9_]*; colons are reserved for rules, so rejected).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, nil, nil)
+	return f.child("").(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge registers and returns a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil)
+	return f.child("").(*Gauge)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram registers and returns a scalar histogram with the given
+// bucket upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, buckets)
+	return f.child("").(*Histogram)
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, labels, buckets)}
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*Family {
+	r.mu.RLock()
+	out := make([]*Family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
