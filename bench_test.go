@@ -350,7 +350,10 @@ func BenchmarkEngineScale(b *testing.B) {
 // BenchmarkPowerSampling measures telemetry overhead.
 func BenchmarkPowerSampling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := power.NewSampler(power.AMDSMIInterval)
+		s, err := power.NewSampler(power.AMDSMIInterval)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for k := 0; k < 1000; k++ {
 			s.Add(float64(k)*1e-3, float64(k+1)*1e-3, float64(100+k%300))
 		}

@@ -1,0 +1,161 @@
+// Command overlaplint is the repository's determinism and contract
+// linter: a multichecker over five custom analyzers that enforce, at
+// compile time, the guarantees the runtime test suite asserts after the
+// fact — bit-identical schedules (simdeterminism), byte-identical
+// canonical fingerprints (fingerprintstable), the error-or-valid
+// library contract (nopanic), caller-driven cancellation (ctxflow) and
+// bounded metric cardinality (metriclabels).
+//
+// Usage:
+//
+//	overlaplint [-run list] [-json] [packages]
+//
+// Packages default to ./... in the current directory. Findings print as
+// file:line:col: analyzer: message; the exit status is 1 when there are
+// findings, 2 when analysis could not run, and 0 on a clean pass, so
+// the CI job (and any pre-commit hook) can gate on it directly.
+//
+// Intentional exceptions are written in the source, not in a config
+// file:
+//
+//	//overlaplint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. The reason is mandatory.
+//
+// -write-baseline prints the fingerprintstable baseline computed from
+// the current json tags, for pasting into
+// internal/analysis/fingerprintstable/baseline.go when a deliberate
+// encoding change (with a fingerprintVersion bump) re-freezes the
+// canonical encoding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"overlapsim/internal/analysis/ctxflow"
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/fingerprintstable"
+	"overlapsim/internal/analysis/metriclabels"
+	"overlapsim/internal/analysis/nopanic"
+	"overlapsim/internal/analysis/simdeterminism"
+)
+
+func analyzers() []*driver.Analyzer {
+	return []*driver.Analyzer{
+		simdeterminism.Analyzer,
+		fingerprintstable.Analyzer,
+		nopanic.Analyzer,
+		ctxflow.Analyzer,
+		metriclabels.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("overlaplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runList       = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut       = fs.Bool("json", false, "print findings as a JSON array")
+		list          = fs.Bool("list", false, "list the analyzers and exit")
+		writeBaseline = fs.Bool("write-baseline", false, "print the fingerprintstable baseline from current json tags and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: overlaplint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintln(stdout, a.Name)
+		}
+		return 0
+	}
+
+	selected := all
+	if *runList != "" {
+		byName := map[string]*driver.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "overlaplint: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "overlaplint: %v\n", err)
+		return 2
+	}
+	prog, err := driver.Load(dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "overlaplint: %v\n", err)
+		return 2
+	}
+
+	if *writeBaseline {
+		entries, err := fingerprintstable.EmitBaseline(prog)
+		if err != nil {
+			fmt.Fprintf(stderr, "overlaplint: %v\n", err)
+			return 2
+		}
+		for _, e := range entries {
+			fmt.Fprintf(stdout, "\t%q: %q,\n", e.Key, e.Tag)
+		}
+		return 0
+	}
+
+	findings, err := prog.Run(selected)
+	if err != nil {
+		fmt.Fprintf(stderr, "overlaplint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{f.Analyzer, f.Position.String(), f.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "overlaplint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "overlaplint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

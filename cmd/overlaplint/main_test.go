@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint invokes run() from inside dir with stdout and stderr captured.
+func runLint(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(abs)
+	outPath := filepath.Join(t.TempDir(), "stdout")
+	errPath := filepath.Join(t.TempDir(), "stderr")
+	outF, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(errPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errF.Close()
+	code = run(args, outF, errF)
+	outB, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(outB), string(errB)
+}
+
+const fixture = "testdata/fixture"
+
+// TestFixtureFindings runs the full multichecker over the fixture
+// module: the deliberate panic and dropped context must be reported and
+// the exit status must be 1.
+func TestFixtureFindings(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixture, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"lib.go:8:2: nopanic: panic in a library package",
+		"lib.go:11:14: ctxflow: exported Dropped never uses its context parameter",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr = %q, want a finding count", stderr)
+	}
+}
+
+// TestFixtureCleanSubset selects only the analyzers that have nothing
+// to say about the fixture: exit 0 and no output.
+func TestFixtureCleanSubset(t *testing.T) {
+	code, stdout, stderr := runLint(t, fixture, "-run", "simdeterminism,fingerprintstable,metriclabels", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("stdout = %q, want empty", stdout)
+	}
+}
+
+// TestFixtureJSON checks the machine-readable output shape.
+func TestFixtureJSON(t *testing.T) {
+	code, stdout, _ := runLint(t, fixture, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		Position string `json:"position"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if findings[0].Analyzer != "ctxflow" && findings[0].Analyzer != "nopanic" {
+		t.Errorf("unexpected analyzer %q", findings[0].Analyzer)
+	}
+}
+
+// TestUnknownAnalyzer is a usage error: exit 2.
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, stderr := runLint(t, fixture, "-run", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", stderr)
+	}
+}
+
+// TestList prints the analyzer names.
+func TestList(t *testing.T) {
+	code, stdout, _ := runLint(t, fixture, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	names := strings.Fields(stdout)
+	want := []string{"simdeterminism", "fingerprintstable", "nopanic", "ctxflow", "metriclabels"}
+	if len(names) != len(want) {
+		t.Fatalf("listed %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package lib carries one deliberate finding for each analyzer whose
+// scope applies outside overlapsim's own import paths.
+package lib
+
+import "context"
+
+func Explode() {
+	panic("boom")
+}
+
+func Dropped(ctx context.Context) int {
+	return 0
+}

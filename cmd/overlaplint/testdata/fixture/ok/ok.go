@@ -1,0 +1,4 @@
+// Package ok is clean under every analyzer.
+package ok
+
+func Fine() int { return 1 }

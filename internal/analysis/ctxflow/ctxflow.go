@@ -1,0 +1,106 @@
+// Package ctxflow enforces the repository's cancellation contract:
+// context flows down from main. Library packages (anything that is not
+// package main) must not mint fresh contexts with context.Background or
+// context.TODO — a simulation or sweep that detaches from its caller's
+// context cannot be cancelled by the service, the CLI's signal handler,
+// or a test timeout. Exported entrypoints that accept a context must
+// actually thread it: a dropped ctx parameter advertises cancellation
+// the implementation silently ignores.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// Analyzer checks every non-main package.
+var Analyzer = New()
+
+// New returns the analyzer.
+func New() *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "ctxflow",
+		Doc: "below cmd/ (package main), forbid context.Background/context.TODO " +
+			"and flag exported functions that accept a context.Context but never " +
+			"use it: cancellation must flow from the caller",
+		Run: func(pass *driver.Pass) error {
+			if pass.Pkg.Name() == "main" {
+				return nil // binaries are where fresh root contexts belong
+			}
+			run(pass)
+			return nil
+		},
+	}
+}
+
+func run(pass *driver.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFreshContext(pass, n)
+			case *ast.FuncDecl:
+				checkDroppedContext(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkFreshContext(pass *driver.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(), "context.%s below cmd/: accept a context.Context from the caller so cancellation reaches this code", name)
+	}
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkDroppedContext(pass *driver.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "exported %s discards its context parameter: thread it through (or drop the parameter)", fd.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "exported %s never uses its context parameter %q: thread it through (or drop the parameter)", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"overlapsim/internal/analysis/ctxflow"
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+)
+
+// TestCorpus covers corpus/flow (library: findings) and
+// corpus/cmd/tool (package main: silent).
+func TestCorpus(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{ctxflow.New()})
+}

@@ -1,0 +1,10 @@
+// Command tool is package main: minting root contexts here is exactly
+// where they belong, so ctxflow stays silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,41 @@
+// Package flow exercises the cancellation contract below cmd/.
+package flow
+
+import "context"
+
+func Detach() error {
+	ctx := context.Background() // want `context\.Background below cmd/`
+	return ctx.Err()
+}
+
+func Todo() error {
+	return context.TODO().Err() // want `context\.TODO below cmd/`
+}
+
+func Dropped(ctx context.Context, n int) int { // want `exported Dropped never uses its context parameter "ctx"`
+	return n + 1
+}
+
+func Discarded(_ context.Context) int { // want `exported Discarded discards its context parameter`
+	return 1
+}
+
+// Threaded is the required shape: the context reaches the work.
+func Threaded(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// unexported helpers may ignore their context; only exported
+// entrypoints advertise cancellation.
+func quietDrop(ctx context.Context) int {
+	return 2
+}
+
+// Compat is the sanctioned exception: a no-context convenience wrapper
+// kept for compatibility, behind a directive.
+func Compat() error {
+	//overlaplint:allow ctxflow corpus case: compat wrapper; cancellable callers use Threaded
+	return Threaded(context.Background())
+}
+
+var _ = quietDrop

@@ -1,0 +1,199 @@
+// Package driver is a self-contained analysis harness: the working core
+// of golang.org/x/tools/go/analysis (Analyzer, Pass, diagnostics, a
+// multichecker runner) reimplemented on the standard library alone, so
+// the overlaplint analyzers build in environments without the x/tools
+// module. Packages are enumerated and compiled through `go list
+// -export`; dependencies import through the toolchain's export data, so
+// a full run over the repository type-checks only the module's own
+// sources.
+//
+// The API mirrors go/analysis closely enough that porting an analyzer
+// onto the upstream framework is a mechanical change of import paths:
+// an Analyzer has a Name, a Doc and a Run func over a Pass carrying the
+// FileSet, syntax, types.Package and types.Info of one package.
+//
+// On top of the upstream shape the driver adds one convention shared by
+// every analyzer: the suppression directive
+//
+//	//overlaplint:allow <analyzer> <reason>
+//
+// written on the offending line or on its own line directly above.
+// The reason is mandatory — an exception that cannot say why it exists
+// is a finding, not an exception. Malformed or unknown directives are
+// reported as findings of the reserved analyzer name "overlaplint".
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow directives.
+	Name string
+	// Doc is the one-paragraph description `overlaplint -help` prints.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// the pass. A returned error aborts the whole run (it means the
+	// analyzer is broken, not that the code has findings).
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one package of the loaded program.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset is the program-wide file set; positions from any loaded
+	// package (including dependencies' export data) resolve through it.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checked package and its maps.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding before position resolution.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is one resolved diagnostic of one analyzer.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("overlaplint" for
+	// directive-hygiene findings from the driver itself).
+	Analyzer string
+	// Position locates the finding in the source.
+	Position token.Position
+	// Message describes it.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// DirectivePrefix introduces a suppression comment.
+const DirectivePrefix = "//overlaplint:"
+
+// directive is one parsed //overlaplint:allow comment.
+type directive struct {
+	analyzer string
+	line     int
+}
+
+// parseDirectives extracts the file's allow directives, reporting
+// malformed ones (bad verb, unknown analyzer, missing reason) through
+// report. known holds the acceptable analyzer names.
+func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Finding)) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, DirectivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			bad := func(format string, args ...any) {
+				report(Finding{Analyzer: "overlaplint", Position: pos, Message: fmt.Sprintf(format, args...)})
+			}
+			rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			if verb != "allow" {
+				bad("unknown directive %q (only %sallow is defined)", DirectivePrefix+verb, DirectivePrefix)
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+			if name == "" {
+				bad("%sallow needs an analyzer name and a reason", DirectivePrefix)
+				continue
+			}
+			if !known[name] {
+				names := make([]string, 0, len(known))
+				for n := range known {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				bad("%sallow of unknown analyzer %q (have %s)", DirectivePrefix, name, strings.Join(names, ", "))
+				continue
+			}
+			if strings.TrimSpace(reason) == "" {
+				bad("%sallow %s needs a reason — say why the exception is intentional", DirectivePrefix, name)
+				continue
+			}
+			out = append(out, directive{analyzer: name, line: pos.Line})
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every target package and returns the
+// surviving findings sorted by position. Findings suppressed by an
+// allow directive on their line (or the line directly above) are
+// dropped; directive-hygiene findings are always kept.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		// allowed[line] is the set of analyzer names suppressed there.
+		allowed := map[int]map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, d := range parseDirectives(prog.Fset, file, known, func(f Finding) {
+				findings = append(findings, f)
+			}) {
+				if allowed[d.line] == nil {
+					allowed[d.line] = map[string]bool{}
+				}
+				allowed[d.line][d.analyzer] = true
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				if allowed[pos.Line][a.Name] || allowed[pos.Line-1][a.Name] {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

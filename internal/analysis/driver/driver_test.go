@@ -1,0 +1,73 @@
+package driver_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+)
+
+// flagBad is a minimal analyzer for exercising the driver machinery:
+// it flags every function whose name starts with Bad.
+func flagBad() *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "flagbad",
+		Doc:  "test analyzer flagging functions named Bad*",
+		Run: func(pass *driver.Pass) error {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+						pass.Reportf(fd.Name.Pos(), "function %s is flagged", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// TestSuppression checks the allow-directive placement rules: a
+// directive on the finding's line or the line above suppresses it, a
+// directive further away does not.
+func TestSuppression(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{flagBad()}, ".")
+}
+
+// TestMalformedDirectives checks that directives with a bad verb, a
+// missing reason, or an unknown analyzer name are reported as findings
+// of the reserved "overlaplint" analyzer and suppress nothing.
+func TestMalformedDirectives(t *testing.T) {
+	prog, err := driver.Load("testdata/src/corpus", []string{"./malformed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := prog.Run([]*driver.Analyzer{flagBad()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hygiene, flagged []driver.Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "overlaplint":
+			hygiene = append(hygiene, f)
+		case "flagbad":
+			flagged = append(flagged, f)
+		default:
+			t.Errorf("finding from unexpected analyzer: %s", f)
+		}
+	}
+	if len(flagged) != 1 {
+		t.Errorf("got %d flagbad findings, want 1 (malformed directives must not suppress)", len(flagged))
+	}
+	wantMsgs := []string{"unknown directive", "needs a reason", "unknown analyzer"}
+	if len(hygiene) != len(wantMsgs) {
+		t.Fatalf("got %d directive-hygiene findings, want %d: %v", len(hygiene), len(wantMsgs), hygiene)
+	}
+	for i, want := range wantMsgs {
+		if !strings.Contains(hygiene[i].Message, want) {
+			t.Errorf("hygiene finding %d = %q, want it to mention %q", i, hygiene[i].Message, want)
+		}
+	}
+}

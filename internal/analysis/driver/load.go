@@ -1,0 +1,159 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Files is the parsed syntax of the package's non-test Go files.
+	Files []*ast.File
+	// Types and Info are the type-checker's output.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Program is a loaded set of target packages sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns in dir via
+// `go list -export -deps`, parses the matched (non-dependency-only)
+// packages from source and type-checks them against their dependencies'
+// compiler export data. Test files are not loaded: the determinism and
+// error contracts overlaplint enforces bind library code, and corpora
+// under testdata stay out of ordinary builds the same way.
+func Load(dir string, patterns []string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.Name != "" && len(lp.GoFiles) > 0 {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	// One shared gc importer resolves every dependency from its export
+	// data (and caches it across target packages); per-package wrappers
+	// apply the package's ImportMap (vendored stdlib remappings) first.
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &Program{Fset: fset}
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: remapImporter{base: base, importMap: lp.ImportMap},
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		prog.Packages = append(prog.Packages, &Package{
+			Path:  lp.ImportPath,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return prog, nil
+}
+
+// remapImporter resolves one package's source-level import paths
+// through its go list ImportMap before delegating to the shared
+// export-data importer.
+type remapImporter struct {
+	base      types.Importer
+	importMap map[string]string
+}
+
+func (r remapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return r.base.Import(path)
+}

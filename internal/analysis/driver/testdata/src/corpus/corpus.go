@@ -1,0 +1,17 @@
+// Package corpus exercises the driver's suppression rules through a
+// test-only analyzer that flags every function whose name starts with
+// Bad.
+package corpus
+
+func Bad() int { return 1 } // want `function Bad is flagged`
+
+func Good() int { return 2 }
+
+//overlaplint:allow flagbad corpus case: suppressed by a directive on the line above
+func BadAllowedAbove() int { return 3 }
+
+func BadAllowedInline() int { return 4 } //overlaplint:allow flagbad corpus case: suppressed by an inline directive
+
+//overlaplint:allow flagbad corpus case: a directive two lines up does not reach the finding
+
+func BadDirectiveTooFar() int { return 5 } // want `function BadDirectiveTooFar is flagged`

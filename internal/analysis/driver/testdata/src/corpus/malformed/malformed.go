@@ -1,0 +1,14 @@
+// Package malformed holds directives the driver must reject: a bad
+// verb, a missing reason, and an unknown analyzer name. None of them
+// suppress the finding below.
+package malformed
+
+//overlaplint:deny flagbad no such verb
+
+//overlaplint:allow flagbad
+
+//overlaplint:allow nosuchanalyzer because reasons
+
+//overlaplint:allow flagbad this one is fine but sits nowhere near a finding
+
+func Bad() int { return 1 }

@@ -1,0 +1,110 @@
+// Package drivertest runs analyzers over a corpus module and compares
+// their findings against `// want` expectations written in the corpus
+// sources — the analysistest workflow, rebuilt on the repository's own
+// driver so analyzer tests read the same way they would upstream.
+//
+// An expectation is a line comment on the offending line:
+//
+//	out = append(out, k) // want `map iteration appends`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match the message of exactly one finding reported on that line;
+// findings with no matching expectation, and expectations with no
+// matching finding, fail the test. Corpora live in their analyzer's
+// testdata directory as self-contained modules (their own go.mod), so
+// ordinary `go build ./...` and `go list ./...` over the repository
+// never see them.
+package drivertest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// expectation is one want pattern awaiting a finding on its line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// patternRE extracts the quoted patterns of a want comment.
+var patternRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the corpus module rooted at dir (a path relative to the
+// test's working directory), applies the analyzers, and reports any
+// mismatch between findings and want expectations through t.
+func Run(t *testing.T, dir string, analyzers []*driver.Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := driver.Load(abs, patterns)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	findings, err := prog.Run(analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	wants := map[string][]*expectation{} // "filename:line" -> pending expectations
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range patternRE.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1) {
+						pat := m[1]
+						if strings.HasPrefix(m[0], "`") {
+							pat = m[2]
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{rx: rx})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, e := range wants[key] {
+			if !e.matched && e.rx.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, e := range wants[key] {
+			if !e.matched {
+				t.Errorf("%s: no finding matched want `%s`", key, e.rx)
+			}
+		}
+	}
+}

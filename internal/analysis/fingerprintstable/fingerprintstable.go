@@ -1,0 +1,189 @@
+// Package fingerprintstable guards the canonical config encoding that
+// content-addresses every sweep and advisor cache. It walks the struct
+// type graph reachable from core.Config's canonical JSON and enforces
+// the change discipline that has kept fingerprints byte-identical
+// across three redesigns:
+//
+//   - every exported field carries an explicit json tag, so a rename of
+//     the Go identifier cannot silently rename the encoded key;
+//   - fields frozen in the baseline must keep exactly their recorded
+//     tag — renaming the key or toggling omitempty changes bytes, which
+//     aliases or orphans every cached result addressed by the old
+//     encoding;
+//   - fields added after the freeze must be omitempty, so configs that
+//     do not use the new knob keep their pre-existing fingerprints (the
+//     TPDegree/Nodes/Fabric/NIC discipline from the strategy and
+//     platform redesigns).
+//
+// Types with a custom MarshalJSON (core.Parallelism's legacy-enum
+// encoding) are their own contract and stop the walk. A deliberate
+// encoding change is made by bumping core's fingerprintVersion and
+// regenerating Baseline together (`overlaplint -write-baseline`) — the
+// analyzer's error message says so, which is the point: the two must
+// never drift apart silently.
+package fingerprintstable
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// Config parameterizes the analyzer for tests; the package-level
+// Analyzer uses the repository root and baseline below.
+type Config struct {
+	// RootPkg and RootType name the struct whose canonical JSON is the
+	// fingerprint input.
+	RootPkg, RootType string
+	// Baseline maps "pkgpath.Type.Field" to the exact json tag value
+	// frozen with the current fingerprintVersion.
+	Baseline map[string]string
+}
+
+// Analyzer checks overlapsim's core.Config graph against Baseline.
+var Analyzer = New(Config{
+	RootPkg:  "overlapsim/internal/core",
+	RootType: "Config",
+	Baseline: Baseline,
+})
+
+// New returns the analyzer for the given root and baseline.
+func New(cfg Config) *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "fingerprintstable",
+		Doc: "walk the struct graph reachable from the canonical config encoding " +
+			"and require explicit json tags, baseline-exact tags on frozen " +
+			"fields, and omitempty on fields added since the freeze — the " +
+			"change shapes that break fingerprint (cache-address) compatibility",
+		Run: func(pass *driver.Pass) error {
+			if pass.Pkg.Path() != cfg.RootPkg {
+				return nil
+			}
+			root := pass.Pkg.Scope().Lookup(cfg.RootType)
+			if root == nil {
+				return fmt.Errorf("root type %s not found in %s", cfg.RootType, cfg.RootPkg)
+			}
+			walk(root.Type(), func(field *types.Var, key, tag string, hasTag bool) {
+				switch {
+				case !hasTag || strings.HasPrefix(tag, ","):
+					pass.Reportf(field.Pos(), "%s is reachable from the canonical config encoding but has no explicit json name: tag it json:%q (frozen fields) or json:%q (new fields) so renaming the Go field cannot change fingerprint bytes", key, field.Name(), field.Name()+",omitempty")
+				case cfg.Baseline[key] != "":
+					if tag != cfg.Baseline[key] {
+						pass.Reportf(field.Pos(), "%s changes the frozen canonical encoding: json tag is %q but the fingerprint baseline froze %q — this re-addresses every cached result; if the change is deliberate, bump fingerprintVersion and regenerate the baseline together", key, tag, cfg.Baseline[key])
+					}
+				default:
+					if !hasOption(tag, "omitempty") {
+						pass.Reportf(field.Pos(), "%s is new since the fingerprint freeze but is not omitempty: configs that leave it zero would change encoding and lose their cache addresses — tag it json:%q (and add it to the baseline)", key, field.Name()+",omitempty")
+					}
+				}
+			})
+			return nil
+		},
+	}
+}
+
+// A BaselineEntry is one frozen field of the canonical encoding.
+type BaselineEntry struct{ Key, Tag string }
+
+// EmitBaseline computes the baseline map from the current json tags of
+// the default root's type graph — the content of baseline.go after a
+// deliberate re-freeze. Fields still missing explicit tags are skipped;
+// the checking run reports them.
+func EmitBaseline(prog *driver.Program) ([]BaselineEntry, error) {
+	const rootPkg, rootType = "overlapsim/internal/core", "Config"
+	for _, pkg := range prog.Packages {
+		if pkg.Path != rootPkg {
+			continue
+		}
+		root := pkg.Types.Scope().Lookup(rootType)
+		if root == nil {
+			return nil, fmt.Errorf("root type %s not found in %s", rootType, rootPkg)
+		}
+		var entries []BaselineEntry
+		walk(root.Type(), func(_ *types.Var, key, tag string, hasTag bool) {
+			if hasTag && !strings.HasPrefix(tag, ",") {
+				entries = append(entries, BaselineEntry{Key: key, Tag: tag})
+			}
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+		return entries, nil
+	}
+	return nil, fmt.Errorf("package %s not among the loaded packages", rootPkg)
+}
+
+// walk descends through the types the encoder would visit, calling
+// onField for every exported non-embedded struct field that
+// participates in the encoding.
+func walk(root types.Type, onField func(field *types.Var, key, tag string, hasTag bool)) {
+	seen := map[*types.Named]bool{}
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Elem()) // keys encode via their String/TextMarshaler form
+		case *types.Named:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			if hasCustomMarshal(t) {
+				return // its encoding is its own (tested) contract, not tag-driven
+			}
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				prefix := t.Obj().Name()
+				if p := t.Obj().Pkg(); p != nil {
+					prefix = p.Path() + "." + prefix
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					field := st.Field(i)
+					if !field.Exported() {
+						continue // encoding/json ignores unexported fields
+					}
+					tag, hasTag := reflect.StructTag(st.Tag(i)).Lookup("json")
+					if tag == "-" {
+						continue // excluded from the encoding entirely
+					}
+					if !field.Embedded() {
+						onField(field, prefix+"."+field.Name(), tag, hasTag)
+					}
+					visit(field.Type())
+				}
+				return
+			}
+			visit(t.Underlying())
+		}
+	}
+	visit(root)
+}
+
+// hasOption reports whether the json tag value carries the option.
+func hasOption(tag, opt string) bool {
+	for _, o := range strings.Split(tag, ",")[1:] {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCustomMarshal reports whether T or *T defines MarshalJSON.
+func hasCustomMarshal(t *types.Named) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		if obj, _, _ := types.LookupFieldOrMethod(typ, true, t.Obj().Pkg(), "MarshalJSON"); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

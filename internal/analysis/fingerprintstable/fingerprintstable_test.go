@@ -1,0 +1,62 @@
+package fingerprintstable_test
+
+import (
+	"strings"
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+	"overlapsim/internal/analysis/fingerprintstable"
+)
+
+// TestCorpus freezes two fields of the corpus root and checks each
+// change shape: kept, renamed, untagged, added with and without
+// omitempty, nested descent, and the custom-marshaler stop.
+func TestCorpus(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{
+		fingerprintstable.New(fingerprintstable.Config{
+			RootPkg:  "corpus/fp",
+			RootType: "Config",
+			Baseline: map[string]string{
+				"corpus/fp.Config.Kept":    "Kept",
+				"corpus/fp.Config.Renamed": "Renamed",
+				"corpus/fp.Nested.Inner":   "Inner",
+			},
+		}),
+	})
+}
+
+// TestRepoBaselineInSync regenerates the baseline from the repository's
+// current json tags and requires it to equal the frozen baseline.go —
+// the drift this analyzer exists to prevent must also be impossible
+// between the baseline file and the source it freezes.
+func TestRepoBaselineInSync(t *testing.T) {
+	prog, err := driver.Load("../../..", []string{"./internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fingerprintstable.EmitBaseline(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string, len(entries))
+	for _, e := range entries {
+		got[e.Key] = e.Tag
+	}
+	for key, tag := range fingerprintstable.Baseline {
+		if got[key] != tag {
+			t.Errorf("baseline %s = %q, but current tags give %q", key, tag, got[key])
+		}
+	}
+	for key, tag := range got {
+		if _, ok := fingerprintstable.Baseline[key]; ok {
+			continue
+		}
+		// Fields added since the freeze legitimately sit outside the
+		// baseline — but only in the omitempty shape the analyzer
+		// requires; anything else is drift.
+		if !strings.Contains(tag, ",omitempty") {
+			t.Errorf("field %s (tag %q) is reachable but neither frozen in the baseline nor omitempty", key, tag)
+		}
+	}
+}

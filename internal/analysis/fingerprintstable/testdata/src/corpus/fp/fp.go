@@ -1,0 +1,35 @@
+// Package fp is a miniature canonical-config graph for the
+// fingerprintstable corpus: a frozen root with a compliant field, a
+// renamed field, an untagged field, post-freeze additions with and
+// without omitempty, a nested struct reached through the walk, and a
+// custom-marshaler leaf that stops it.
+package fp
+
+type Config struct {
+	Kept     string `json:"Kept"`
+	Renamed  string `json:"renamed_now"` // want `changes the frozen canonical encoding`
+	Untagged int    // want `has no explicit json name`
+	Added    int    `json:"Added"` // want `new since the fingerprint freeze but is not omitempty`
+	AddedOK  int    `json:"AddedOK,omitempty"`
+	Skipped  string `json:"-"`
+	Nested   Nested `json:"Nested,omitempty"`
+	Leaf     Opaque `json:"Leaf,omitempty"`
+
+	internal int
+}
+
+type Nested struct {
+	Inner string `json:"Inner"`
+	Fresh int    `json:"Fresh"` // want `new since the fingerprint freeze but is not omitempty`
+}
+
+// Opaque encodes itself: the walk must stop here and never report its
+// untagged field.
+type Opaque struct {
+	Secret string
+}
+
+func (Opaque) MarshalJSON() ([]byte, error) { return []byte(`"opaque"`), nil }
+
+// Use keeps the unexported field referenced.
+func (c Config) Use() int { return c.internal }

@@ -1,0 +1,234 @@
+// Package metriclabels guards the telemetry exposition path against
+// cardinality blowups: every Prometheus series a process can emit must
+// be enumerable at compile time. Metric names and label keys passed to
+// the telemetry registry must be compile-time constants, and label
+// values handed to With(...) must come from bounded sets — constants,
+// locals only ever assigned constants, or values of a named string type
+// that declares its vocabulary as package-level constants (the jobKind
+// idiom). An interpolated request path or error string used as a label
+// value would mint an unbounded series per distinct input; this
+// analyzer makes that a compile failure instead of an ops incident.
+package metriclabels
+
+import (
+	"go/ast"
+	"go/types"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// registerMethods are the registry constructors: argument 0 is the
+// metric name, and for the *Vec variants every trailing variadic string
+// is a label key. All must be compile-time constants.
+var registerMethods = map[string]bool{
+	"Counter": true, "CounterVec": true,
+	"Gauge": true, "GaugeVec": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+// Analyzer checks calls into overlapsim's telemetry package.
+var Analyzer = New([]string{"overlapsim/internal/telemetry"})
+
+// New returns the analyzer scoped to the given telemetry package import
+// paths (the packages whose registry constructors and With methods are
+// checked).
+func New(telemetryPkgs []string) *driver.Analyzer {
+	pkgs := make(map[string]bool, len(telemetryPkgs))
+	for _, p := range telemetryPkgs {
+		pkgs[p] = true
+	}
+	return &driver.Analyzer{
+		Name: "metriclabels",
+		Doc: "require telemetry metric names and label keys to be compile-time " +
+			"constants and With(...) label values to come from bounded sets " +
+			"(constants, const-only locals, or named string types with a " +
+			"declared constant vocabulary), preventing exposition cardinality " +
+			"blowups",
+		Run: func(pass *driver.Pass) error {
+			run(pass, pkgs)
+			return nil
+		},
+	}
+}
+
+func run(pass *driver.Pass, pkgs map[string]bool) {
+	for _, file := range pass.Files {
+		var stack []ast.Node // enclosing nodes, for finding the current function body
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !pkgs[fn.Pkg().Path()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			switch {
+			case registerMethods[fn.Name()]:
+				checkRegistration(pass, call, fn.Name(), sig)
+			case fn.Name() == "With":
+				checkWith(pass, call, enclosingBody(stack))
+			}
+			return true
+		})
+	}
+}
+
+// enclosingBody returns the body of the innermost function declaration
+// or literal on the node stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			return n.Body
+		case *ast.FuncLit:
+			return n.Body
+		}
+	}
+	return nil
+}
+
+func isConst(pass *driver.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkRegistration requires the metric name (arg 0) and, past the
+// signature's fixed parameters, every variadic label key to be
+// constant.
+func checkRegistration(pass *driver.Pass, call *ast.CallExpr, method string, sig *types.Signature) {
+	if len(call.Args) > 0 && !isConst(pass, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(), "metric name passed to %s must be a compile-time constant", method)
+	}
+	if !sig.Variadic() || call.Ellipsis.IsValid() {
+		if call.Ellipsis.IsValid() {
+			pass.Reportf(call.Ellipsis, "label keys passed to %s must be listed as compile-time constants, not spread from a slice", method)
+		}
+		return
+	}
+	for _, arg := range call.Args[sig.Params().Len()-1:] {
+		if !isConst(pass, arg) {
+			pass.Reportf(arg.Pos(), "label key passed to %s must be a compile-time constant", method)
+		}
+	}
+}
+
+// checkWith requires every label value to be bounded.
+func checkWith(pass *driver.Pass, call *ast.CallExpr, body *ast.BlockStmt) {
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis, "label values passed to With must be listed individually, not spread from a slice")
+		return
+	}
+	for _, arg := range call.Args {
+		if !bounded(pass, arg, body) {
+			pass.Reportf(arg.Pos(), "label value is not from a bounded set: use a constant, a local assigned only constants, or a named string type with a declared constant vocabulary")
+		}
+	}
+}
+
+// bounded reports whether the expression's values are enumerable at
+// compile time.
+func bounded(pass *driver.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	e = ast.Unparen(e)
+	if isConst(pass, e) {
+		return true
+	}
+	// A conversion — string(kind) or labelType(x) — is bounded when its
+	// operand is, or when either side's named type declares a constant
+	// vocabulary.
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			if boundedType(tv.Type) {
+				return true
+			}
+			return bounded(pass, call.Args[0], body)
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && boundedType(tv.Type) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			return constOnlyLocal(pass, v, body)
+		}
+	}
+	return false
+}
+
+// boundedType reports whether t is a named string type whose defining
+// package declares at least one constant of it — evidence the type is a
+// closed vocabulary rather than an open string.
+func boundedType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), t) {
+			return true
+		}
+	}
+	return false
+}
+
+// constOnlyLocal reports whether v is a non-parameter local variable
+// whose every assignment inside body is a constant expression (the
+// `outcome := "miss"; if hit { outcome = "hit" }` idiom).
+func constOnlyLocal(pass *driver.Pass, v *types.Var, body *ast.BlockStmt) bool {
+	if body == nil || v.Pos() < body.Pos() || v.Pos() > body.End() {
+		return false // parameters and outer-scope variables: assigned elsewhere
+	}
+	allConst := true
+	assigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || !allConst {
+			return allConst
+		}
+		for i, lhs := range asg.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != v {
+				continue
+			}
+			assigned = true
+			if len(asg.Rhs) == len(asg.Lhs) {
+				if !isConst(pass, asg.Rhs[i]) {
+					allConst = false
+				}
+			} else {
+				allConst = false // multi-value assignment: not a constant source
+			}
+		}
+		return allConst
+	})
+	return assigned && allConst
+}

@@ -1,0 +1,17 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+	"overlapsim/internal/analysis/metriclabels"
+)
+
+// TestCorpus points the analyzer at the corpus's stand-in telemetry
+// package and checks every registration/With shape in corpus/app.
+func TestCorpus(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{
+		metriclabels.New([]string{"corpus/telemetry"}),
+	})
+}

@@ -1,0 +1,38 @@
+// Package app registers and labels metrics in every shape the analyzer
+// rules on: constant and computed names and keys, and label values from
+// each bounded idiom next to an unbounded one.
+package app
+
+import "corpus/telemetry"
+
+const requestsName = "app_requests_total"
+
+var dynamicName = "app_dynamic_total"
+
+var (
+	mGood    = telemetry.Default.CounterVec(requestsName, "Requests by outcome.", "outcome")
+	mBadName = telemetry.Default.CounterVec(dynamicName, "Computed name.", "outcome")       // want `metric name passed to CounterVec must be a compile-time constant`
+	mBadKey  = telemetry.Default.CounterVec("app_keys_total", "Computed key.", dynamicName) // want `label key passed to CounterVec must be a compile-time constant`
+	mPlain   = telemetry.Default.Counter("app_plain_total", "No labels at all.")
+)
+
+// outcome is the closed-vocabulary idiom: a named string type with a
+// declared package-level constant.
+type outcome string
+
+const outcomeOK outcome = "ok"
+
+func Record(result string, oc outcome) {
+	mGood.With("ok").Inc()       // constant: bounded
+	mGood.With(string(oc)).Inc() // named type with a constant vocabulary: bounded
+	mGood.With(result).Inc()     // want `label value is not from a bounded set`
+	o := "miss"
+	if result == "" {
+		o = "hit"
+	}
+	mGood.With(o).Inc() // const-only local: bounded
+
+	//overlaplint:allow metriclabels corpus case: bounded by construction in the caller
+	mGood.With(result).Inc()
+	mPlain.Inc()
+}

@@ -1,0 +1,21 @@
+// Package telemetry mirrors the real registry's constructor and With
+// shapes, so the analyzer's method matching can be exercised without
+// importing overlapsim itself.
+package telemetry
+
+type Registry struct{}
+
+// Default is the registry the corpus registers against.
+var Default = &Registry{}
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Family struct{}
+
+func (*Family) With(values ...string) *Counter { return &Counter{} }
+
+func (*Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (*Registry) CounterVec(name, help string, labels ...string) *Family { return &Family{} }

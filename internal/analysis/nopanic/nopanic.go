@@ -1,0 +1,87 @@
+// Package nopanic forbids panic, log.Fatal* and os.Exit in library
+// packages (internal/*): a simulator embedded in a long-running service
+// must surface invalid configurations as errors the caller can handle,
+// not tear the process down. It continues the exec.ErrNotRun
+// error-or-valid conversion: every reachable failure returns an error.
+//
+// Init-time registration panics (duplicate strategy names, malformed
+// built-in hardware) and true invariant checks keep their panics behind
+// explicit //overlaplint:allow directives, so each remaining call site
+// documents why it cannot happen on a reachable path.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// Analyzer checks every internal/* library package.
+var Analyzer = New(nil)
+
+// New returns the analyzer. With a nil or empty packages list it
+// applies to any package whose import path has an "internal" element;
+// otherwise only to the listed import paths.
+func New(packages []string) *driver.Analyzer {
+	set := make(map[string]bool, len(packages))
+	for _, p := range packages {
+		set[p] = true
+	}
+	return &driver.Analyzer{
+		Name: "nopanic",
+		Doc: "forbid panic, log.Fatal* and os.Exit in internal/* library packages; " +
+			"reachable failures must return errors (init-time registration panics " +
+			"carry //overlaplint:allow nopanic directives)",
+		Run: func(pass *driver.Pass) error {
+			if len(set) > 0 {
+				if !set[pass.Pkg.Path()] {
+					return nil
+				}
+			} else if !isInternal(pass.Pkg.Path()) {
+				return nil
+			}
+			run(pass)
+			return nil
+		},
+	}
+}
+
+func isInternal(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *driver.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in a library package: return an error (or document the invariant with an allow directive)")
+				}
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+					pass.Reportf(call.Pos(), "log.%s in a library package exits the process: return an error instead", fn.Name())
+				case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+					pass.Reportf(call.Pos(), "os.Exit in a library package: only main may decide to exit")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+	"overlapsim/internal/analysis/nopanic"
+)
+
+// TestCorpus runs the default (nil) scope: corpus/internal/lib is
+// checked because its path has an internal element, corpus/pub is not.
+func TestCorpus(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{nopanic.New(nil)})
+}
+
+// TestExplicitScope pins the listed-packages mode: with only corpus/pub
+// listed, its panic is flagged and internal/lib's are not.
+func TestExplicitScope(t *testing.T) {
+	prog, err := driver.Load("testdata/src/corpus", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := prog.Run([]*driver.Analyzer{nopanic.New([]string{"corpus/pub"})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the one panic in corpus/pub: %v", len(findings), findings)
+	}
+}

@@ -1,0 +1,38 @@
+// Package lib is an internal library package: every process-exit below
+// is a finding unless an allow directive documents the invariant.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func Explode() {
+	panic("boom") // want `panic in a library package`
+}
+
+func Quit(err error) {
+	log.Fatalf("fatal: %v", err) // want `log\.Fatalf in a library package exits the process`
+}
+
+func Leave() {
+	os.Exit(1) // want `os\.Exit in a library package`
+}
+
+// Handled is the required shape: reachable failures return errors.
+func Handled() error {
+	return errors.New("returned, not panicked")
+}
+
+var registry = map[string]bool{}
+
+// MustRegister shows the sanctioned exception: an init-time
+// registration collision fails the process loudly, behind a directive.
+func MustRegister(name string) {
+	if registry[name] {
+		//overlaplint:allow nopanic corpus case: init-time registration must fail the process loudly
+		panic("duplicate registration " + name)
+	}
+	registry[name] = true
+}

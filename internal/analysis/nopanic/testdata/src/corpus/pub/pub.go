@@ -1,0 +1,5 @@
+// Package pub has no internal path element, so nopanic's default scope
+// ignores it.
+package pub
+
+func Explode() { panic("allowed out here") }

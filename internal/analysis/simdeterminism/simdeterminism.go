@@ -1,0 +1,229 @@
+// Package simdeterminism flags nondeterminism sources in the packages
+// whose output must be bit-identical run to run: wall-clock reads,
+// global math/rand state, and map iteration feeding order-sensitive
+// writes. These are exactly the bug classes the golden engine digests
+// and the canonical-fingerprint regression tests exist to catch — this
+// analyzer catches them before a simulation ever runs.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"overlapsim/internal/analysis/driver"
+)
+
+// DefaultPackages is the repository's deterministic core: every package
+// whose outputs feed the golden digests, canonical fingerprints or the
+// advisor's byte-identical frontiers.
+var DefaultPackages = []string{
+	"overlapsim/internal/sim",
+	"overlapsim/internal/core",
+	"overlapsim/internal/collective",
+	"overlapsim/internal/topo",
+	"overlapsim/internal/strategy",
+	"overlapsim/internal/strategy/all",
+	"overlapsim/internal/fsdp",
+	"overlapsim/internal/ddp",
+	"overlapsim/internal/tp",
+	"overlapsim/internal/pipeline",
+	"overlapsim/internal/trace",
+	"overlapsim/internal/opt",
+}
+
+// Analyzer checks the repository's deterministic packages.
+var Analyzer = New(DefaultPackages)
+
+// New returns the analyzer scoped to the given package import paths.
+func New(packages []string) *driver.Analyzer {
+	set := make(map[string]bool, len(packages))
+	for _, p := range packages {
+		set[p] = true
+	}
+	return &driver.Analyzer{
+		Name: "simdeterminism",
+		Doc: "forbid nondeterminism in the simulator's deterministic packages: " +
+			"time.Now/Since/Until, global math/rand functions (seeded *rand.Rand " +
+			"values are fine), and map iteration that feeds appends without a " +
+			"subsequent sort or accumulates floats (map order is random; float " +
+			"addition is not associative)",
+		Run: func(pass *driver.Pass) error {
+			if !set[pass.Pkg.Path()] {
+				return nil
+			}
+			run(pass)
+			return nil
+		},
+	}
+}
+
+func run(pass *driver.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BlockStmt:
+				checkBlock(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's callee to its function object, or nil.
+func calleeFunc(pass *driver.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkCall flags wall-clock reads and global math/rand functions.
+func checkCall(pass *driver.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in a deterministic package: simulated timelines must not read the wall clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on a seeded *rand.Rand are deterministic
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // constructors of seeded generators
+		}
+		pass.Reportf(call.Pos(), "global %s.%s in a deterministic package: draw from a seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkBlock looks for range-over-map loops in the block whose bodies
+// perform order-sensitive writes: appends to variables declared outside
+// the loop with no subsequent sort over them in the same block, and
+// floating-point accumulation (+= over map order is not associative).
+func checkBlock(pass *driver.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		appended, floatAccum := mapOrderWrites(pass, rng)
+		for _, obj := range floatAccum {
+			pass.Reportf(rng.Pos(), "map iteration accumulates into float %q: float addition is not associative, so the result depends on map order", obj.Name())
+		}
+		for _, obj := range appended {
+			if sortedAfter(pass, block.List[i+1:], obj) {
+				continue
+			}
+			pass.Reportf(rng.Pos(), "map iteration appends to %q without a subsequent sort: map order is random, so the slice's order differs run to run", obj.Name())
+		}
+	}
+}
+
+// mapOrderWrites collects the outer-scope variables the range body
+// appends to, and those it accumulates floats into.
+func mapOrderWrites(pass *driver.Pass, rng *ast.RangeStmt) (appended, floatAccum []*types.Var) {
+	outer := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if ok && (v.Pos() < rng.Pos() || v.Pos() > rng.End()) {
+			return v
+		}
+		return nil
+	}
+	seen := map[*types.Var]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch asg.Tok {
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range asg.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(asg.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if v := outer(asg.Lhs[i]); v != nil && !seen[v] {
+					seen[v] = true
+					appended = append(appended, v)
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range asg.Lhs {
+				v := outer(lhs)
+				if v == nil || seen[v] {
+					continue
+				}
+				if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					seen[v] = true
+					floatAccum = append(floatAccum, v)
+				}
+			}
+		}
+		return true
+	})
+	return appended, floatAccum
+}
+
+// sortedAfter reports whether any statement after the loop in the same
+// block passes obj to a sort/slices function — the collect-then-sort
+// idiom that makes a map-fed slice deterministic.
+func sortedAfter(pass *driver.Pass, rest []ast.Stmt, obj *types.Var) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"overlapsim/internal/analysis/driver"
+	"overlapsim/internal/analysis/drivertest"
+	"overlapsim/internal/analysis/simdeterminism"
+)
+
+// TestCorpus scopes the analyzer to corpus/det; corpus/free holds the
+// same wall-clock read outside the set and must stay silent.
+func TestCorpus(t *testing.T) {
+	drivertest.Run(t, "testdata/src/corpus", []*driver.Analyzer{
+		simdeterminism.New([]string{"corpus/det"}),
+	})
+}

@@ -1,0 +1,69 @@
+// Package det plays the role of a deterministic simulator package:
+// everything simdeterminism flags, next to the idioms it must accept.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Wall() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}
+
+func GlobalDraw() float64 {
+	return rand.Float64() // want `global rand\.Float64 in a deterministic package`
+}
+
+// SeededDraw is the accepted pattern: constructors of seeded generators
+// and methods on the resulting *rand.Rand are deterministic.
+func SeededDraw(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to "out" without a subsequent sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the collect-then-sort idiom: the append is fine because
+// a later statement in the same block sorts the slice.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration accumulates into float "sum"`
+		sum += v
+	}
+	return sum
+}
+
+// CountEntries accumulates an int, which is associative: no finding.
+func CountEntries(m map[string]int) int {
+	var n int
+	for range m {
+		n++
+	}
+	return n
+}
+
+func AllowedWall() int64 {
+	//overlaplint:allow simdeterminism corpus case: diagnostics-only timing excluded from simulated outputs
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,7 @@
+// Package free sits outside the configured deterministic set: the
+// wall-clock read below is legal here.
+package free
+
+import "time"
+
+func Wall() time.Time { return time.Now() }

@@ -236,6 +236,7 @@ func (d Desc) WireBytesPerRank() float64 {
 	case SendRecv:
 		return d.Bytes
 	default:
+		//overlaplint:allow nopanic op-enum exhaustiveness: Desc.Validate rejects unknown ops, so this default is unreachable
 		panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
 	}
 }
@@ -252,6 +253,7 @@ func (d Desc) Steps() int {
 	case SendRecv:
 		return 1
 	default:
+		//overlaplint:allow nopanic op-enum exhaustiveness: Desc.Validate rejects unknown ops, so this default is unreachable
 		panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
 	}
 }
@@ -378,9 +380,11 @@ func phases(d Desc, f topo.Fabric) []phase {
 			ph.bytes = d.Bytes * float64(filled*k-filled) / n
 			ph.steps = k - 1
 		default:
+			//overlaplint:allow nopanic op-enum exhaustiveness: Desc.Validate rejects unknown ops, so this default is unreachable
 			panic(fmt.Sprintf("collective: unknown op %d", int(d.Op)))
 		}
 		if ph.bw <= 0 {
+			//overlaplint:allow nopanic defensive: GPUSpec/NICSpec Validate enforce positive bandwidths, so a zero tier rate is a broken invariant, not user input
 			panic(fmt.Sprintf("collective: zero tier bandwidth for %q", d.Name))
 		}
 		out = append(out, ph)
@@ -399,6 +403,7 @@ func Time(d Desc, f topo.Fabric) float64 {
 	if d.Op == SendRecv {
 		bw := f.P2PBW(d.Src, d.Dst)
 		if bw <= 0 {
+			//overlaplint:allow nopanic defensive: GPUSpec/NICSpec Validate enforce positive bandwidths, so a zero pair rate is a broken invariant, not user input
 			panic(fmt.Sprintf("collective: zero bandwidth for %q", d.Name))
 		}
 		return d.Bytes/bw + f.PathLatency(d.Src, d.Dst)

@@ -45,7 +45,13 @@ func (c Config) Canonicalize() Config {
 	if c.Warmup == 0 {
 		c.Warmup = 1
 	} else if c.Warmup < 0 {
-		c.Warmup = 0 // the executors treat any negative as "no warmup"
+		// The executors treat any negative as "no warmup". The canonical
+		// spelling must be negative too: 0 canonicalizes to the default 1,
+		// so using 0 here would make canonicalization non-idempotent (a
+		// re-canonicalized no-warmup config would silently take the
+		// default-warmup address — the aliasing FuzzCanonicalConfig
+		// guards against).
+		c.Warmup = -1
 	}
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"overlapsim/internal/hw"
+)
+
+// FuzzCanonicalConfig asserts that canonicalization is a fixed point of
+// the encode/parse cycle: for any config that parses at all,
+//
+//	CanonicalJSON(parse(CanonicalJSON(c))) == CanonicalJSON(c)
+//
+// If it were not, a config round-tripped through its own canonical
+// encoding (a stored sweep spec, a cache key re-derived from a result
+// file) would silently take a different content address than the run
+// that produced it — the no-warmup/default-warmup aliasing this fuzz
+// target originally caught.
+func FuzzCanonicalConfig(f *testing.F) {
+	seed := func(cfg Config) {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(tinyCfg(FSDP))
+	seed(tinyCfg(Pipeline))
+	tp := tinyCfg("tp")
+	tp.TPDegree = 2
+	seed(tp)
+	neg := tinyCfg(FSDP)
+	neg.Warmup = -3 // the non-idempotent corner: negatives must canonicalize to a fixed point
+	seed(neg)
+	jit := tinyCfg(FSDP)
+	jit.JitterSigma = 0.01
+	jit.Seed = 7 // jittered configs encode through the JitterScheme wrapper
+	seed(jit)
+	multi := tinyCfg(FSDP)
+	multi.System = hw.NewMultiNode(hw.H100(), 4, 2)
+	seed(multi)
+	unknown := tinyCfg(FSDP)
+	unknown.Parallelism = "not-a-registered-strategy"
+	seed(unknown)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cfg Config
+		if json.Unmarshal(data, &cfg) != nil {
+			t.Skip("not a config")
+		}
+		first, err := cfg.CanonicalJSON()
+		if err != nil {
+			t.Skip("not encodable")
+		}
+		var reparsed Config
+		if err := json.Unmarshal(first, &reparsed); err != nil {
+			t.Fatalf("canonical JSON does not re-parse: %v\n%s", err, first)
+		}
+		second, err := reparsed.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("re-parsed canonical config does not encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonicalization is not a fixed point:\n first: %s\nsecond: %s", first, second)
+		}
+		fp1, err1 := cfg.Fingerprint()
+		fp2, err2 := reparsed.Fingerprint()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("fingerprint errors: %v, %v", err1, err2)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("round-tripped config changed address: %s vs %s", fp1, fp2)
+		}
+	})
+}

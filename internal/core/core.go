@@ -140,47 +140,47 @@ type Config struct {
 	// System is the GPU platform — a single node or a multi-node fabric.
 	// Any registered system works here: set it directly, or resolve a
 	// registry name (built-in or JSON-loaded) with ResolveSystem.
-	System hw.System
+	System hw.System `json:"System"`
 	// Model is the workload (Table II).
-	Model model.Config
+	Model model.Config `json:"Model"`
 	// Parallelism is the distribution strategy's registry name.
-	Parallelism Parallelism
+	Parallelism Parallelism `json:"Parallelism"`
 	// Batch is the batch size: per-GPU for FSDP, per-pipeline for
 	// pipeline parallelism.
-	Batch int
+	Batch int `json:"Batch"`
 	// MicroBatch is the pipeline microbatch size (pipeline only; 0 picks
 	// the default).
-	MicroBatch int
+	MicroBatch int `json:"MicroBatch"`
 	// Format is the training precision (the paper's default is FP16).
-	Format precision.Format
+	Format precision.Format `json:"Format"`
 	// MatrixUnits enables Tensor-Core/Matrix-Core GEMM execution; the
 	// Fig. 11 ablation toggles this with FP32/TF32.
-	MatrixUnits bool
+	MatrixUnits bool `json:"MatrixUnits"`
 	// NoCheckpoint disables activation recomputation (on by default, as
 	// in the Megatron/DeepSpeed configurations of this model scale).
-	NoCheckpoint bool
+	NoCheckpoint bool `json:"NoCheckpoint"`
 	// GradAccumSteps enables gradient accumulation under FSDP (§II-B
 	// mitigation; 0 or 1 disables).
-	GradAccumSteps int
+	GradAccumSteps int `json:"GradAccumSteps"`
 	// TPDegree is the tensor-parallel group size (tp only; 0 selects the
 	// whole node). The field is omitted from the canonical encoding when
 	// zero, so configs of strategies that ignore it fingerprint exactly
 	// as before the field existed.
 	TPDegree int `json:"TPDegree,omitempty"`
 	// Iterations is the number of measured iterations (0 means 2).
-	Iterations int
+	Iterations int `json:"Iterations"`
 	// Warmup is the number of unmeasured iterations (0 means 1).
-	Warmup int
+	Warmup int `json:"Warmup"`
 	// Caps are the power/frequency limits (Fig. 9).
-	Caps power.Caps
+	Caps power.Caps `json:"Caps"`
 	// TraceInterval, when nonzero, records per-GPU power traces at this
 	// interval (Fig. 7 uses power.TraceInterval).
-	TraceInterval float64
+	TraceInterval float64 `json:"TraceInterval"`
 	// JitterSigma adds run-to-run kernel-time variation; Seed seeds it.
-	JitterSigma float64
-	Seed        int64
+	JitterSigma float64 `json:"JitterSigma"`
+	Seed        int64   `json:"Seed"`
 	// SkipMemoryCheck disables the HBM feasibility gate.
-	SkipMemoryCheck bool
+	SkipMemoryCheck bool `json:"SkipMemoryCheck"`
 }
 
 // Label returns a compact human-readable description of the experiment.

@@ -61,6 +61,7 @@ type Plan struct {
 
 // Run executes the simulation.
 func (p *Plan) Run() error {
+	//overlaplint:allow ctxflow compat entrypoint: Run() is the no-context convenience wrapper; cancellable callers use RunContext
 	return p.RunContext(context.Background())
 }
 

@@ -156,6 +156,7 @@ func (b *builder) allDevices() []int {
 func (b *builder) newCollective(name string, op collective.Op, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: op, Bytes: bytes, N: b.n}
 	if err := cd.Validate(); err != nil {
+		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
 	cd, work := collective.Prepare(cd, b.cl.Fabric())

@@ -110,9 +110,17 @@ func New(cfg Config) (*Cluster, error) {
 		c.freq[i] = 1
 	}
 	for i := 0; i < n; i++ {
-		c.samplers = append(c.samplers, power.NewSampler(interval))
+		s, err := power.NewSampler(interval)
+		if err != nil {
+			return nil, err
+		}
+		c.samplers = append(c.samplers, s)
 		if cfg.TraceInterval > 0 {
-			c.traces = append(c.traces, power.NewSampler(cfg.TraceInterval))
+			tr, err := power.NewSampler(cfg.TraceInterval)
+			if err != nil {
+				return nil, err
+			}
+			c.traces = append(c.traces, tr)
 		}
 	}
 	c.idleFreq = power.SolveFreq(c.g, power.Activity{}, c.cfg.Caps)

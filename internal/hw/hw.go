@@ -61,28 +61,28 @@ func ParseVendor(s string) (Vendor, error) {
 // internal/power for how they compose.
 type PowerParams struct {
 	// IdleW is static power with no work running.
-	IdleW float64
+	IdleW float64 `json:"IdleW"`
 	// VectorW is the vector (CUDA-core / stream-processor) datapath peak
 	// dynamic power.
-	VectorW float64
+	VectorW float64 `json:"VectorW"`
 	// MatrixW is the matrix-unit (Tensor Core / Matrix Core) datapath peak
 	// dynamic power.
-	MatrixW float64
+	MatrixW float64 `json:"MatrixW"`
 	// MemW is HBM and memory-system peak dynamic power.
-	MemW float64
+	MemW float64 `json:"MemW"`
 	// CommW is interconnect (NVLink / Infinity Fabric PHY + copy engine)
 	// peak dynamic power.
-	CommW float64
+	CommW float64 `json:"CommW"`
 	// SurgeW is the additional transient draw observed when compute and
 	// communication are simultaneously active (di/dt and duplicated
 	// LSU/L2 activity). This component reproduces the paper's finding that
 	// overlapping execution shows up to ~25% higher peak power.
-	SurgeW float64
+	SurgeW float64 `json:"SurgeW"`
 	// FMin is the lowest DVFS frequency factor power capping can reach.
-	FMin float64
+	FMin float64 `json:"FMin"`
 	// FreqExp is the exponent of dynamic power in the frequency factor
 	// (P_dyn ∝ f^FreqExp, capturing combined f·V² scaling).
-	FreqExp float64
+	FreqExp float64 `json:"FreqExp"`
 }
 
 // ContentionParams govern how concurrent communication degrades compute on
@@ -91,69 +91,69 @@ type PowerParams struct {
 type ContentionParams struct {
 	// CollSMsReduce is the number of SMs/CUs a reducing collective
 	// (all-reduce, reduce-scatter) occupies while running.
-	CollSMsReduce int
+	CollSMsReduce int `json:"CollSMsReduce"`
 	// CollSMsCopy is the number of SMs/CUs a pure-copy collective
 	// (all-gather, broadcast, send/recv) occupies.
-	CollSMsCopy int
+	CollSMsCopy int `json:"CollSMsCopy"`
 	// HBMPerWireByte is the HBM traffic generated per byte moved on the
 	// wire by a collective (read + write + reduction traffic).
-	HBMPerWireByte float64
+	HBMPerWireByte float64 `json:"HBMPerWireByte"`
 	// SerializeFrac is the fraction by which compute issue rate drops
 	// while any collective kernel is resident, beyond explicit SM and
 	// bandwidth stealing. It models collective-library scheduler
 	// interference; RCCL's coarser kernel scheduling gives AMD parts a
 	// larger value (the "architectural distinctions" of §IV-B).
-	SerializeFrac float64
+	SerializeFrac float64 `json:"SerializeFrac"`
 }
 
 // GPUSpec describes one GPU model.
 type GPUSpec struct {
 	// Name is the marketing name used throughout reports ("A100", ...).
-	Name string
+	Name string `json:"Name"`
 	// Vendor selects NCCL- or RCCL-like collective behaviour.
-	Vendor Vendor
+	Vendor Vendor `json:"Vendor"`
 	// Year is the launch year (Table I).
-	Year int
+	Year int `json:"Year"`
 
 	// SMs is the number of streaming multiprocessors (NVIDIA) or compute
 	// units (AMD; both GCDs for MI250).
-	SMs int
+	SMs int `json:"SMs"`
 	// BoostMHz is the nominal boost clock; frequency factors are relative
 	// to it.
-	BoostMHz int
+	BoostMHz int `json:"BoostMHz"`
 
 	// MemGB is HBM capacity in GiB (Table I).
-	MemGB float64
+	MemGB float64 `json:"MemGB"`
 	// MemBWGBs is peak HBM bandwidth in GB/s.
-	MemBWGBs float64
+	MemBWGBs float64 `json:"MemBWGBs"`
 	// MemHeadroom is the fraction of peak HBM bandwidth achievable by
 	// well-tuned kernels.
-	MemHeadroom float64
+	MemHeadroom float64 `json:"MemHeadroom"`
 
 	// LinkBWGBs is the aggregate bidirectional interconnect bandwidth in
 	// GB/s as marketed (NVLink 900/600, Infinity Fabric 300) — the numbers
 	// the paper quotes in §IV-A.
-	LinkBWGBs float64
+	LinkBWGBs float64 `json:"LinkBWGBs"`
 	// LinkLatency is the per-hop latency of one collective step in
 	// seconds.
-	LinkLatency float64
+	LinkLatency float64 `json:"LinkLatency"`
 	// AlgEff is the fraction of unidirectional link bandwidth a tuned
 	// collective sustains (protocol + pipelining overheads).
-	AlgEff float64
+	AlgEff float64 `json:"AlgEff"`
 
 	// TDPW is the thermal design power in watts; power plots normalize to
 	// it.
-	TDPW float64
+	TDPW float64 `json:"TDPW"`
 
 	// VectorTFLOPS is peak dense TFLOPS on the vector datapath per format.
-	VectorTFLOPS map[precision.Format]float64
+	VectorTFLOPS map[precision.Format]float64 `json:"VectorTFLOPS"`
 	// MatrixTFLOPS is peak dense TFLOPS on the matrix datapath per format.
-	MatrixTFLOPS map[precision.Format]float64
+	MatrixTFLOPS map[precision.Format]float64 `json:"MatrixTFLOPS"`
 
 	// TableFP32TFLOPS and TableFP16TFLOPS are the headline Table I numbers
 	// (the FP16 entries are the vendor marketing peaks the paper prints).
-	TableFP32TFLOPS float64
-	TableFP16TFLOPS float64
+	TableFP32TFLOPS float64 `json:"TableFP32TFLOPS"`
+	TableFP16TFLOPS float64 `json:"TableFP16TFLOPS"`
 
 	// KHalfVector, KHalfMatrix and KHalfMatrixTF32 parameterize the GEMM
 	// saturation-efficiency curve eff(k) = MaxEff·k/(k+KHalf) on each
@@ -162,15 +162,15 @@ type GPUSpec struct {
 	// GEMMs to saturate than vector units, which is what makes low
 	// precision and Tensor Cores cheap on small models and contended on
 	// large ones (Figs. 10 and 11).
-	KHalfVector     float64
-	KHalfMatrix     float64
-	KHalfMatrixTF32 float64
+	KHalfVector     float64 `json:"KHalfVector"`
+	KHalfMatrix     float64 `json:"KHalfMatrix"`
+	KHalfMatrixTF32 float64 `json:"KHalfMatrixTF32"`
 	// MaxEff is the asymptotic fraction of peak a perfect-size GEMM
 	// reaches.
-	MaxEff float64
+	MaxEff float64 `json:"MaxEff"`
 
-	Power      PowerParams
-	Contention ContentionParams
+	Power      PowerParams      `json:"Power"`
+	Contention ContentionParams `json:"Contention"`
 }
 
 // PeakFLOPS returns the peak dense throughput in FLOP/s for the given
@@ -291,10 +291,10 @@ type NICSpec struct {
 	// BWGBs is the achievable unidirectional inter-node bandwidth per GPU
 	// in GB/s (e.g. one 400 Gb/s NDR InfiniBand rail per GPU ≈ 50 GB/s
 	// raw, derated below).
-	BWGBs float64
+	BWGBs float64 `json:"BWGBs"`
 	// Latency is the per-hop latency of one inter-node collective step in
 	// seconds.
-	Latency float64
+	Latency float64 `json:"Latency"`
 	// AlgEff is the fraction of BWGBs a tuned collective sustains across
 	// the NIC tier (0 picks DefaultNICAlgEff).
 	AlgEff float64 `json:"AlgEff,omitempty"`
@@ -343,11 +343,11 @@ func (n NICSpec) Validate() error {
 type System struct {
 	// Name labels the system in reports and keys it in the registry
 	// ("H100x8", "H100x8x4", ...).
-	Name string
+	Name string `json:"Name"`
 	// GPU is the device model every GPU in the system instantiates.
-	GPU *GPUSpec
+	GPU *GPUSpec `json:"GPU"`
 	// N is the number of GPUs per node.
-	N int
+	N int `json:"N"`
 	// Nodes is the number of nodes; 0 (and 1) mean a single node.
 	Nodes int `json:"Nodes,omitempty"`
 	// Fabric names the intra-node interconnect kind (FabricSwitched or
@@ -361,9 +361,11 @@ type System struct {
 // NewSystem builds a single-node system of n identical GPUs.
 func NewSystem(g *GPUSpec, n int) System {
 	if g == nil {
+		//overlaplint:allow nopanic constructor contract: user-supplied shapes are validated by sweep specs and registry Load before construction; a bad shape here is a programming error
 		panic("hw: nil GPU spec")
 	}
 	if n < 1 {
+		//overlaplint:allow nopanic constructor contract: user-supplied shapes are validated by sweep specs and registry Load before construction; a bad shape here is a programming error
 		panic(fmt.Sprintf("hw: invalid GPU count %d", n))
 	}
 	return System{Name: fmt.Sprintf("%sx%d", g.Name, n), GPU: g, N: n}
@@ -374,9 +376,11 @@ func NewSystem(g *GPUSpec, n int) System {
 // ("H100x8x4" is four 8-GPU H100 nodes).
 func NewMultiNode(g *GPUSpec, perNode, nodes int) System {
 	if g == nil {
+		//overlaplint:allow nopanic constructor contract: user-supplied shapes are validated by sweep specs and registry Load before construction; a bad shape here is a programming error
 		panic("hw: nil GPU spec")
 	}
 	if perNode < 1 || nodes < 1 {
+		//overlaplint:allow nopanic constructor contract: user-supplied shapes are validated by sweep specs and registry Load before construction; a bad shape here is a programming error
 		panic(fmt.Sprintf("hw: invalid shape %d GPUs x %d nodes", perNode, nodes))
 	}
 	s := System{Name: fmt.Sprintf("%sx%d", g.Name, perNode), GPU: g, N: perNode}

@@ -61,6 +61,7 @@ func regKey(name string) string {
 // through Load, which reports errors instead.
 func Register(build func() *GPUSpec) {
 	if err := defaultReg.register(build); err != nil {
+		//overlaplint:allow nopanic init-time registration: a duplicate or invalid builtin must fail process start loudly; runtime-loaded hardware goes through Load, which returns errors
 		panic(err)
 	}
 }
@@ -93,6 +94,7 @@ func (reg *Registry) register(build func() *GPUSpec) error {
 // Register.
 func RegisterSystem(build func() System) {
 	if err := defaultReg.registerSystem(build); err != nil {
+		//overlaplint:allow nopanic init-time registration: a duplicate or invalid builtin must fail process start loudly; runtime-loaded hardware goes through Load, which returns errors
 		panic(err)
 	}
 }
@@ -251,6 +253,7 @@ func (reg *Registry) Systems() []System {
 		if err != nil {
 			// Registrations are add-only, so a listed name always
 			// resolves; a miss means the registry invariant broke.
+			//overlaplint:allow nopanic registry invariant: registrations are add-only, so a listed name always resolves
 			panic(fmt.Sprintf("hw: registered system %q does not resolve: %v", n, err))
 		}
 		out = append(out, s)

@@ -80,12 +80,14 @@ type Desc struct {
 // most FLOPs.
 func Fuse(name string, parts ...Desc) Desc {
 	if len(parts) == 0 {
+		//overlaplint:allow nopanic caller contract: Fuse arguments are kernel descriptors written in executor code, not user input
 		panic("kernels: Fuse of no parts")
 	}
 	d := Desc{Name: name, Parts: append([]Desc(nil), parts...)}
 	best := 0
 	for i, p := range parts {
 		if len(p.Parts) > 0 {
+			//overlaplint:allow nopanic caller contract: Fuse arguments are kernel descriptors written in executor code, not user input
 			panic(fmt.Sprintf("kernels: Fuse of already-fused part %q", p.Name))
 		}
 		d.FLOPs += p.FLOPs

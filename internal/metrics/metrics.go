@@ -38,6 +38,7 @@ func (it Iteration) OverlapRatio() float64 {
 // Mean averages iterations element-wise; it panics on an empty slice.
 func Mean(its []Iteration) Iteration {
 	if len(its) == 0 {
+		//overlaplint:allow nopanic caller contract: documented to panic on empty input; executors always measure at least one iteration
 		panic("metrics: Mean of no iterations")
 	}
 	var m Iteration

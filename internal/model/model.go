@@ -40,24 +40,24 @@ func (a Arch) String() string {
 // Config describes one model (one Table II row).
 type Config struct {
 	// Name is the Table II label ("GPT-3 XL", ...).
-	Name string
+	Name string `json:"Name"`
 	// Arch is the block architecture.
-	Arch Arch
+	Arch Arch `json:"Arch"`
 	// NominalParams is the marketing parameter count ("1.3B"), used only
 	// for labels; exact counts come from TotalParams.
-	NominalParams float64
+	NominalParams float64 `json:"NominalParams"`
 	// Layers is the number of decoder blocks.
-	Layers int
+	Layers int `json:"Layers"`
 	// Heads is the number of attention heads.
-	Heads int
+	Heads int `json:"Heads"`
 	// Hidden is the model (embedding) dimension.
-	Hidden int
+	Hidden int `json:"Hidden"`
 	// FFN is the MLP intermediate dimension.
-	FFN int
+	FFN int `json:"FFN"`
 	// Vocab is the vocabulary size.
-	Vocab int
+	Vocab int `json:"Vocab"`
 	// SeqLen is the training sequence length.
-	SeqLen int
+	SeqLen int `json:"SeqLen"`
 }
 
 // Validate reports whether the configuration is well formed.

@@ -191,6 +191,7 @@ func (a *Advisor) Run(ctx context.Context, q *Query) (*Advice, error) {
 // q.Space()), so callers that validated the query up front — like the
 // service's submit handler — do not fingerprint the whole grid twice.
 func (a *Advisor) RunSpace(ctx context.Context, q *Query, space *Space) (*Advice, error) {
+	//overlaplint:allow simdeterminism Stats.Elapsed is wall-clock diagnostics only, excluded from Advice determinism and fingerprints
 	start := time.Now()
 	objs, minIdx, err := q.resolve()
 	if err != nil {
@@ -291,6 +292,7 @@ func (a *Advisor) RunSpace(ctx context.Context, q *Query, space *Space) (*Advice
 	}
 
 	adv := st.advice(q, objs, minIdx, front)
+	//overlaplint:allow simdeterminism Stats.Elapsed is wall-clock diagnostics only, excluded from Advice determinism and fingerprints
 	adv.Stats.Elapsed = time.Since(start)
 	noteQuery(adv.Stats)
 	return adv, nil

@@ -43,10 +43,12 @@ var objectives []Objective
 // shadowing an earlier definition.
 func Register(o Objective) {
 	if o.Name == "" || o.Extract == nil {
+		//overlaplint:allow nopanic init-time registration: an objective missing a name or extractor must fail process start loudly
 		panic("opt: objective needs a name and an extractor")
 	}
 	for _, have := range objectives {
 		if have.Name == o.Name {
+			//overlaplint:allow nopanic init-time registration: a duplicate objective must fail process start loudly
 			panic(fmt.Sprintf("opt: duplicate objective %q", o.Name))
 		}
 	}

@@ -85,10 +85,10 @@ func Instant(g *hw.GPUSpec, a Activity, f float64) float64 {
 type Caps struct {
 	// PowerW is the power cap in watts; 0 means uncapped (Fig. 9 sets
 	// this with nvidia-smi).
-	PowerW float64
+	PowerW float64 `json:"PowerW"`
 	// FreqFactor caps the DVFS frequency factor in (0,1]; 0 means
 	// uncapped.
-	FreqFactor float64
+	FreqFactor float64 `json:"FreqFactor"`
 }
 
 // Validate reports whether the caps are usable for GPU g.

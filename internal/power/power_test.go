@@ -109,8 +109,25 @@ func TestCapsValidate(t *testing.T) {
 	}
 }
 
+func mustSampler(t *testing.T, interval float64) *Sampler {
+	t.Helper()
+	s, err := NewSampler(interval)
+	if err != nil {
+		t.Fatalf("NewSampler(%g): %v", interval, err)
+	}
+	return s
+}
+
+func TestNewSamplerRejectsBadInterval(t *testing.T) {
+	for _, interval := range []float64{0, -0.1} {
+		if _, err := NewSampler(interval); err == nil {
+			t.Errorf("NewSampler(%g): expected error", interval)
+		}
+	}
+}
+
 func TestSamplerEnergyExact(t *testing.T) {
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	s.Add(0, 1, 100)
 	s.Add(1, 3, 50)
 	if got, want := s.Energy(), 100.0+100.0; got != want {
@@ -122,7 +139,7 @@ func TestSamplerEnergyExact(t *testing.T) {
 }
 
 func TestSamplerPointSamples(t *testing.T) {
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	s.Add(0, 0.25, 100) // ticks 0.0, 0.1, 0.2
 	s.Add(0.25, 0.5, 300)
 	samples := s.Samples()
@@ -135,7 +152,7 @@ func TestSamplerPointSamples(t *testing.T) {
 }
 
 func TestSamplerPeakCatchesWideExcursion(t *testing.T) {
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	s.Add(0, 0.5, 100)
 	s.Add(0.5, 0.65, 500) // 150ms spike: wider than the interval
 	s.Add(0.65, 1, 100)
@@ -147,7 +164,7 @@ func TestSamplerPeakCatchesWideExcursion(t *testing.T) {
 func TestSamplerPeakMayMissNarrowSpike(t *testing.T) {
 	// A spike much narrower than interval/phases can escape every grid;
 	// PeakInstant still records it.
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	s.Add(0, 0.0501, 100)
 	s.Add(0.0501, 0.0502, 900) // 0.1ms spike
 	s.Add(0.0502, 1, 100)
@@ -160,7 +177,7 @@ func TestSamplerPeakMayMissNarrowSpike(t *testing.T) {
 }
 
 func TestSamplerMergesEqualSegments(t *testing.T) {
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	for i := 0; i < 1000; i++ {
 		s.Add(float64(i)*0.001, float64(i+1)*0.001, 42)
 	}
@@ -170,7 +187,7 @@ func TestSamplerMergesEqualSegments(t *testing.T) {
 }
 
 func TestSamplerIgnoresEmptySpans(t *testing.T) {
-	s := NewSampler(0.1)
+	s := mustSampler(t, 0.1)
 	s.Add(1, 1, 100)
 	s.Add(2, 1, 100)
 	if s.Energy() != 0 || len(s.Samples()) != 0 {
@@ -180,7 +197,7 @@ func TestSamplerIgnoresEmptySpans(t *testing.T) {
 
 func TestStatsFor(t *testing.T) {
 	g := hw.A100()
-	s := NewSampler(0.02)
+	s := mustSampler(t, 0.02)
 	s.Add(0, 1, 200)
 	st := StatsFor(s, g)
 	if st.AvgTDP != 200/g.TDPW || st.AvgW != 200 {
@@ -206,7 +223,7 @@ func TestQuickEnergyIntegral(t *testing.T) {
 		if len(spans) == 0 || len(spans) > 64 {
 			return true
 		}
-		s := NewSampler(0.05)
+		s := mustSampler(t, 0.05)
 		tme, want := 0.0, 0.0
 		for _, sp := range spans {
 			dt := float64(sp%100)/1000 + 0.001

@@ -56,12 +56,15 @@ type Sampler struct {
 	peakInst float64
 }
 
-// NewSampler returns a sampler reading every interval seconds.
-func NewSampler(interval float64) *Sampler {
+// NewSampler returns a sampler reading every interval seconds. The
+// interval must be positive: it can come straight from user
+// configuration (core.Config.TraceInterval, the JSON hardware schema's
+// calibration fields), so a bad value is an error, not a panic.
+func NewSampler(interval float64) (*Sampler, error) {
 	if interval <= 0 {
-		panic(fmt.Sprintf("power: invalid sampler interval %g", interval))
+		return nil, fmt.Errorf("power: invalid sampler interval %g", interval)
 	}
-	return &Sampler{interval: interval}
+	return &Sampler{interval: interval}, nil
 }
 
 // Interval returns the sampler tick period.

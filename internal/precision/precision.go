@@ -64,6 +64,7 @@ func (f Format) Bytes() int {
 	case FP16, BF16:
 		return 2
 	default:
+		//overlaplint:allow nopanic enum exhaustiveness: Format values are validated at parse time, so this default is unreachable
 		panic(fmt.Sprintf("precision: unknown format %d", int(f)))
 	}
 }

@@ -138,6 +138,7 @@ func New(opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = telemetry.NopLogger()
 	}
+	//overlaplint:allow ctxflow server-lifetime root context: jobs outlive the submitting request by design; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
@@ -173,6 +174,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close cancels every running job and waits for their workers to exit.
 func (s *Server) Close() {
+	//overlaplint:allow ctxflow Close is the no-deadline convenience wrapper over Shutdown
 	_ = s.Shutdown(context.Background())
 }
 

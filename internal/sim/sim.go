@@ -106,6 +106,7 @@ func (t *Task) Streams() []*Stream { return t.streams }
 // It must only be called by the Platform from within Rates.
 func (t *Task) SetRate(r float64) {
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		//overlaplint:allow nopanic engine invariant: rates are computed by the Platform, not user input; NaN or negative means a model bug
 		panic(fmt.Sprintf("sim: invalid rate %v for task %q", r, t.name))
 	}
 	t.rate = r
@@ -187,6 +188,7 @@ func (s *Stream) headTask() *Task {
 
 func (s *Stream) pop(t *Task) {
 	if s.headTask() != t {
+		//overlaplint:allow nopanic engine invariant: pop is only ever called on the stream head by the scheduler
 		panic("sim: pop of non-head task")
 	}
 	s.queue[s.head] = nil
@@ -398,9 +400,11 @@ func (e *Engine) NewStream(name string, device int) *Stream {
 // non-negative; zero-work tasks complete immediately upon starting.
 func (e *Engine) NewTask(name string, kind Kind, work float64, payload any, streams ...*Stream) *Task {
 	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		//overlaplint:allow nopanic engine invariant: task work is computed by executor code, not user input; NaN or negative means a model bug
 		panic(fmt.Sprintf("sim: invalid work %v for task %q", work, name))
 	}
 	if len(streams) == 0 {
+		//overlaplint:allow nopanic engine invariant: executors always enqueue tasks on at least one stream
 		panic(fmt.Sprintf("sim: task %q enqueued on no stream", name))
 	}
 	t := e.allocTask()
@@ -422,6 +426,7 @@ func (e *Engine) NewTask(name string, kind Kind, work float64, payload any, stre
 enqueue:
 	for _, s := range streams {
 		if s == nil {
+			//overlaplint:allow nopanic engine invariant: executors never pass nil streams
 			panic(fmt.Sprintf("sim: nil stream for task %q", name))
 		}
 		for _, prev := range t.streams {
@@ -449,6 +454,7 @@ var ErrDeadlock = errors.New("sim: deadlock: unfinished tasks cannot make progre
 // Run executes the simulation until every task has completed. It returns
 // ErrDeadlock (wrapped with diagnostics) if progress stops.
 func (e *Engine) Run() error {
+	//overlaplint:allow ctxflow compat entrypoint: Run() is the no-context convenience wrapper; cancellable callers use RunContext
 	return e.RunContext(context.Background())
 }
 

@@ -150,17 +150,21 @@ func Register(s Strategy) {
 	info := s.Describe()
 	name := strings.ToLower(strings.TrimSpace(s.Name()))
 	if name == "" {
+		//overlaplint:allow nopanic init-time registration: a malformed strategy must fail process start loudly
 		panic("strategy: Register with empty name")
 	}
 	if info.Name != name {
+		//overlaplint:allow nopanic init-time registration: a malformed strategy must fail process start loudly
 		panic(fmt.Sprintf("strategy: %q describes itself as %q", name, info.Name))
 	}
 	mu.Lock()
 	defer mu.Unlock()
 	if _, dup := byName[name]; dup {
+		//overlaplint:allow nopanic init-time registration: a name collision must fail process start loudly
 		panic(fmt.Sprintf("strategy: duplicate registration of %q", name))
 	}
 	if owner, dup := byAlias[name]; dup {
+		//overlaplint:allow nopanic init-time registration: a name collision must fail process start loudly
 		panic(fmt.Sprintf("strategy: name %q already aliased to %q", name, owner))
 	}
 	byName[name] = s
@@ -171,9 +175,11 @@ func Register(s Strategy) {
 			continue
 		}
 		if _, dup := byName[a]; dup {
+			//overlaplint:allow nopanic init-time registration: an alias collision must fail process start loudly
 			panic(fmt.Sprintf("strategy: alias %q of %q collides with a registered strategy", a, name))
 		}
 		if owner, dup := byAlias[a]; dup {
+			//overlaplint:allow nopanic init-time registration: an alias collision must fail process start loudly
 			panic(fmt.Sprintf("strategy: alias %q of %q already claimed by %q", a, name, owner))
 		}
 		byAlias[a] = name

@@ -47,19 +47,50 @@ var (
 	seenFingerprints sync.Map
 )
 
+// cacheBackend is the closed label vocabulary identifying a cache
+// implementation on cache metrics. One value exists per cache type
+// linked into the binary — never per key or per request — so the label
+// cardinality is bounded by the (small, compile-time) set of
+// implementations.
+type cacheBackend string
+
+const (
+	backendMem    cacheBackend = "mem"
+	backendDir    cacheBackend = "dir"
+	backendCustom cacheBackend = "custom"
+)
+
+// lookupOutcome is the closed hit/miss vocabulary of cache lookups.
+type lookupOutcome string
+
+const (
+	lookupHit  lookupOutcome = "hit"
+	lookupMiss lookupOutcome = "miss"
+)
+
+// pointOutcome is the closed vocabulary of one simulated point's fate.
+type pointOutcome string
+
+const (
+	outcomeOK    pointOutcome = "ok"
+	outcomeOOM   pointOutcome = "oom"
+	outcomeError pointOutcome = "error"
+)
+
 // cacheName labels a cache backend for metrics: the stock backends map
-// to "mem" and "dir", anything exporting Name() uses that, and other
-// implementations fall back to "custom".
-func cacheName(c Cache) string {
+// to backendMem and backendDir, anything exporting Name() uses that
+// (one fixed name per implementation, so still bounded), and other
+// implementations fall back to backendCustom.
+func cacheName(c Cache) cacheBackend {
 	switch c := c.(type) {
 	case *MemCache:
-		return "mem"
+		return backendMem
 	case *DirCache:
-		return "dir"
+		return backendDir
 	case interface{ Name() string }:
-		return c.Name()
+		return cacheBackend(c.Name())
 	default:
-		return "custom"
+		return backendCustom
 	}
 }
 
@@ -73,18 +104,18 @@ func noteFingerprint(key string) {
 }
 
 // noteCacheLookup records one cache Get.
-func noteCacheLookup(backend string, hit bool) {
-	outcome := "miss"
+func noteCacheLookup(backend cacheBackend, hit bool) {
+	outcome := lookupMiss
 	if hit {
-		outcome = "hit"
+		outcome = lookupHit
 	}
-	mCacheRequests.With(backend, outcome).Inc()
+	mCacheRequests.With(string(backend), string(outcome)).Inc()
 }
 
 // noteSimulated records one freshly simulated point: its outcome, its
 // wall-clock duration, and the engine work both modes performed.
-func noteSimulated(outcome string, elapsed time.Duration, res *core.Result) {
-	mPoints.With(outcome).Inc()
+func noteSimulated(outcome pointOutcome, elapsed time.Duration, res *core.Result) {
+	mPoints.With(string(outcome)).Inc()
 	mPointSeconds.Observe(elapsed.Seconds())
 	if res == nil {
 		return

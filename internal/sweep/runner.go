@@ -207,22 +207,22 @@ func (r *Runner) runPoint(ctx context.Context, i int, cfg core.Config) Point {
 		var oom *model.ErrOOM
 		if errors.As(err, &oom) {
 			pt.OOM = oom
-			noteSimulated("oom", time.Since(simStart), nil)
+			noteSimulated(outcomeOOM, time.Since(simStart), nil)
 		} else {
 			pt.Err = err
 			pt.ErrString = err.Error()
-			noteSimulated("error", time.Since(simStart), nil)
+			noteSimulated(outcomeError, time.Since(simStart), nil)
 		}
 		return pt
 	}
-	noteSimulated("ok", time.Since(simStart), res)
+	noteSimulated(outcomeOK, time.Since(simStart), res)
 	pt.Res = res
 	if r.Cache != nil {
 		if err := r.Cache.Put(key, res); err != nil {
 			// A cache write failure costs recomputation later, not
 			// correctness now — the point stays successful.
 			pt.Note = fmt.Sprintf("cache put: %v", err)
-			mCachePutErrors.With(cacheName(r.Cache)).Inc()
+			mCachePutErrors.With(string(cacheName(r.Cache))).Inc()
 		}
 	}
 	return pt

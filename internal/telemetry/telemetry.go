@@ -98,6 +98,7 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	for i := 1; i < len(buckets); i++ {
 		if buckets[i] <= buckets[i-1] {
+			//overlaplint:allow nopanic init-time instrument definition: malformed buckets must fail process start loudly
 			panic(fmt.Sprintf("telemetry: histogram buckets not strictly increasing: %v", buckets))
 		}
 	}
@@ -184,6 +185,7 @@ const labelSep = "\x1f"
 
 func (f *Family) key(values []string) string {
 	if len(values) != len(f.labels) {
+		//overlaplint:allow nopanic instrument contract: With arity is fixed by the registration in this file; a mismatch is a programming error
 		panic(fmt.Sprintf("telemetry: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
 	}
 	return strings.Join(values, labelSep)
@@ -233,16 +235,19 @@ func NewRegistry() *Registry {
 // beats silently shadowing an earlier instrument.
 func (r *Registry) register(name, help string, typ Type, labels []string, buckets []float64) *Family {
 	if !validName(name) {
+		//overlaplint:allow nopanic init-time registration: an invalid or duplicate instrument must fail process start loudly
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
 	for _, l := range labels {
 		if !validName(l) {
+			//overlaplint:allow nopanic init-time registration: an invalid or duplicate instrument must fail process start loudly
 			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l, name))
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.fams[name]; ok {
+		//overlaplint:allow nopanic init-time registration: an invalid or duplicate instrument must fail process start loudly
 		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
 	}
 	f := &Family{

@@ -205,18 +205,20 @@ type Hierarchical struct {
 }
 
 // NewHierarchical composes an intra-node fabric with an inter-node NIC
-// tier over the given node count.
-func NewHierarchical(intra Fabric, nodes int, nic hw.NICSpec) *Hierarchical {
+// tier over the given node count. The shape arguments can come from
+// user-defined hardware, so violations return errors rather than
+// panicking.
+func NewHierarchical(intra Fabric, nodes int, nic hw.NICSpec) (*Hierarchical, error) {
 	if intra == nil {
-		panic("topo: nil intra-node fabric")
+		return nil, fmt.Errorf("topo: nil intra-node fabric")
 	}
 	if nodes < 2 {
-		panic(fmt.Sprintf("topo: hierarchical fabric needs at least 2 nodes, have %d", nodes))
+		return nil, fmt.Errorf("topo: hierarchical fabric needs at least 2 nodes, have %d", nodes)
 	}
 	if err := nic.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Hierarchical{intra: intra, nodes: nodes, nic: nic}
+	return &Hierarchical{intra: intra, nodes: nodes, nic: nic}, nil
 }
 
 // Kind implements Fabric.
@@ -284,6 +286,7 @@ func (t *Hierarchical) Tiers() []Tier {
 
 func checkRank(n, g int) {
 	if g < 0 || g >= n {
+		//overlaplint:allow nopanic caller contract: ranks are loop indices from executor code, not user input; out-of-range is a programming error
 		panic(fmt.Sprintf("topo: GPU index %d out of range [0,%d)", g, n))
 	}
 }

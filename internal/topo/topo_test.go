@@ -133,21 +133,23 @@ func TestHierarchicalCustomNIC(t *testing.T) {
 	}
 }
 
-func TestNewHierarchicalPanics(t *testing.T) {
+func TestNewHierarchicalErrors(t *testing.T) {
 	intra := NewSwitched(hw.NewSystem(hw.H100(), 8))
-	for name, fn := range map[string]func(){
-		"nil intra":  func() { NewHierarchical(nil, 2, hw.DefaultNIC()) },
-		"one node":   func() { NewHierarchical(intra, 1, hw.DefaultNIC()) },
-		"bad nic bw": func() { NewHierarchical(intra, 2, hw.NICSpec{BWGBs: -1}) },
+	for name, fn := range map[string]func() (*Hierarchical, error){
+		"nil intra":  func() (*Hierarchical, error) { return NewHierarchical(nil, 2, hw.DefaultNIC()) },
+		"one node":   func() (*Hierarchical, error) { return NewHierarchical(intra, 1, hw.DefaultNIC()) },
+		"bad nic bw": func() (*Hierarchical, error) { return NewHierarchical(intra, 2, hw.NICSpec{BWGBs: -1}) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		if _, err := fn(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	h, err := NewHierarchical(intra, 2, hw.DefaultNIC())
+	if err != nil {
+		t.Fatalf("valid shape: %v", err)
+	}
+	if h.N() != 16 {
+		t.Errorf("N() = %d, want 16", h.N())
 	}
 }
 

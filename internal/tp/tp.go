@@ -189,6 +189,7 @@ func (b *builder) allDevices() []int {
 func (b *builder) newGroupColl(name string, gr int, op collective.Op, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: op, Bytes: bytes, N: b.d, Ranks: b.ranks(gr)}
 	if err := cd.Validate(); err != nil {
+		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
 	cd, work := collective.Prepare(cd, b.cl.Fabric())
@@ -214,6 +215,7 @@ func (b *builder) newDPAllReduce(name string, bytes float64) *sim.Task {
 	}
 	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.groups, Ranks: b.allDevices(), Group: group}
 	if err := cd.Validate(); err != nil {
+		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
 	cd, work := collective.Prepare(cd, b.cl.Fabric())
