@@ -31,6 +31,7 @@ import (
 	"overlapsim/internal/hw"
 	"overlapsim/internal/opt"
 	"overlapsim/internal/report"
+	"overlapsim/internal/store"
 	"overlapsim/internal/sweep"
 	"overlapsim/internal/telemetry"
 )
@@ -44,6 +45,7 @@ func main() {
 		hwFile    = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file before resolving the query")
 		validate  = flag.Bool("validate", false, "parse and validate the query (objectives, axes, names) without running it")
 		cacheDir  = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
+		peers     = flag.String("peers", "", "comma-separated overlapd base URLs to use as a shared result cache (read-through and write-back)")
 		workers   = flag.Int("workers", 0, "concurrent simulations per search round (0 = NumCPU)")
 		csvPath   = flag.String("csv", "", "also write the frontier as CSV to this file")
 		jsonPath  = flag.String("json", "", `also write the advice as JSON to this file ("-" writes stdout)`)
@@ -96,13 +98,9 @@ objectives: %v
 		return
 	}
 
-	var cache sweep.Cache = sweep.NewMemCache()
-	if *cacheDir != "" {
-		dc, err := sweep.NewDirCache(*cacheDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cache = dc
+	cache, err := store.Compose(*cacheDir, *peers)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,19 +1,22 @@
 // Command overlapd serves the characterization harness over HTTP/JSON:
-// synchronous single experiments, asynchronous sweep jobs with progress
-// polling, and catalog discovery, all backed by one content-addressed
-// result cache (optionally persisted to disk). Operational surfaces —
-// Prometheus metrics, a JSON stats mirror, optional pprof, structured
-// request logs — are documented in the README's "Operating overlapd"
-// section.
+// synchronous single experiments, asynchronous sweep and advisor jobs
+// with progress polling, SSE streams and cancellation, and catalog
+// discovery, all backed by one content-addressed result cache
+// (optionally persisted to disk). Operational surfaces — Prometheus
+// metrics, a JSON stats mirror, optional pprof, structured request logs
+// — are documented in the README's "Operating overlapd" section;
+// -state-dir durability and the -peers cache mesh in "Scaling out".
 //
 // Example:
 //
-//	overlapd -addr :8080 -cache .sweepcache &
+//	overlapd -addr :8080 -state-dir .overlapd &
+//	overlapd -addr :8081 -peers http://localhost:8080 &
 //	curl -s localhost:8080/v1/catalog
 //	curl -s -X POST localhost:8080/v1/experiments \
 //	    -d '{"gpu":"H100","model":"GPT-3 XL","parallelism":"fsdp","batch":16}'
 //	curl -s -X POST localhost:8080/v1/sweeps -d @examples/sweeps/paper_grid.json
 //	curl -s localhost:8080/v1/sweeps/sweep-000001
+//	curl -sN localhost:8080/v1/sweeps/sweep-000001/events
 //	curl -s localhost:8080/metrics
 package main
 
@@ -27,11 +30,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"overlapsim/internal/hw"
 	"overlapsim/internal/service"
+	"overlapsim/internal/store"
 	"overlapsim/internal/sweep"
 	"overlapsim/internal/telemetry"
 )
@@ -43,7 +49,9 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		hwFile      = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file into the served catalog")
-		cacheDir    = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
+		cacheDir    = flag.String("cache", "", "content-addressed cache directory (empty = in-memory, or <state-dir>/cache with -state-dir)")
+		stateDir    = flag.String("state-dir", "", "durable state directory: job journal (and default cache) live here, so jobs survive restarts")
+		peers       = flag.String("peers", "", "comma-separated peer overlapd base URLs (e.g. http://b:8080,http://c:8080); replicas form a cache mesh sharded by content address")
 		workers     = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
 		maxPts      = flag.Int("max-points", service.DefaultMaxSweepPoints, "largest sweep grid a job may submit")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -64,17 +72,54 @@ func main() {
 		}
 	}
 
-	var cache sweep.Cache
+	// Local tiers: memory in front, optionally a durable directory behind
+	// it. -state-dir implies a durable cache — resumed jobs depend on it
+	// to skip the points that completed before the restart.
+	if *cacheDir == "" && *stateDir != "" {
+		*cacheDir = filepath.Join(*stateDir, "cache")
+	}
+	tiers := []sweep.Cache{sweep.NewMemCache()}
 	if *cacheDir != "" {
 		dc, err := sweep.NewDirCache(*cacheDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cache = dc
+		tiers = append(tiers, dc)
+	}
+	local := store.NewTiered(tiers...)
+
+	// The full lookup path adds the peer mesh as the slowest tier. The
+	// peer protocol itself serves only the local tiers, so replicas
+	// pointing at each other never recurse.
+	var cache sweep.Cache = local
+	if *peers != "" {
+		hc, err := store.NewHTTPCache(strings.Split(*peers, ","), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache = store.NewTiered(append(local.Tiers(), hc)...)
+		logger.Info("cache mesh enabled", slog.Any("peers", hc.Peers()))
+	}
+
+	var journal *store.Journal
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		journal, err = store.OpenJournal(filepath.Join(*stateDir, "jobs.journal"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		logger.Info("job journal open",
+			slog.String("path", journal.Path()),
+			slog.Int("records", len(journal.Records())),
+			slog.Int64("skipped_bytes", journal.SkippedBytes()))
 	}
 
 	srv := service.New(service.Options{
-		Cache: cache, Workers: *workers, MaxSweepPoints: *maxPts,
+		Cache: cache, LocalCache: local, Journal: journal,
+		Workers: *workers, MaxSweepPoints: *maxPts,
 		Logger: logger,
 	})
 	mux := http.NewServeMux()

@@ -29,6 +29,7 @@ import (
 
 	"overlapsim/internal/hw"
 	"overlapsim/internal/report"
+	"overlapsim/internal/store"
 	"overlapsim/internal/sweep"
 	"overlapsim/internal/telemetry"
 )
@@ -42,6 +43,7 @@ func main() {
 		hwFile   = flag.String("hw-file", "", "load custom GPUs/systems from this JSON file before resolving the spec")
 		validate = flag.Bool("validate", false, "parse and validate the spec (axes, names, shapes) without running it")
 		cacheDir = flag.String("cache", "", "content-addressed cache directory (empty = in-memory only)")
+		peers    = flag.String("peers", "", "comma-separated overlapd base URLs to use as a shared result cache (read-through and write-back)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		quiet    = flag.Bool("q", false, "suppress the result table (summary only)")
@@ -92,13 +94,9 @@ example specs:
 		return
 	}
 
-	var cache sweep.Cache = sweep.NewMemCache()
-	if *cacheDir != "" {
-		dc, err := sweep.NewDirCache(*cacheDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cache = dc
+	cache, err := store.Compose(*cacheDir, *peers)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

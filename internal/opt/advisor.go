@@ -128,6 +128,12 @@ type Stats struct {
 	Evaluated  int `json:"evaluated"`
 	FreshEvals int `json:"fresh_evals"`
 	CacheHits  int `json:"cache_hits"`
+	// Coalesced counts evaluations coalesced onto an identical
+	// in-flight simulation by a runner singleflight (a concurrent sweep
+	// or advisor job computing the same fingerprint). Excluded from the
+	// advice JSON like Elapsed: it depends on what else the process was
+	// doing, not on the query.
+	Coalesced int `json:"-"`
 	// Rounds counts refinement rounds after the seed grid.
 	Rounds int `json:"rounds"`
 	// Infeasible counts evaluated points that violated a constraint;
@@ -332,6 +338,7 @@ func (st *searchState) evalBatch(ctx context.Context, ids []int) error {
 	st.stats.Evaluated += len(fresh)
 	st.stats.FreshEvals += res.CacheMisses
 	st.stats.CacheHits += res.CacheHits
+	st.stats.Coalesced += res.Coalesced
 	st.stats.OOMs += res.OOMs
 	st.stats.Failures += res.Failures
 	for i, id := range fresh {

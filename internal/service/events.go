@@ -1,0 +1,104 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// SSE progress streaming: GET /v1/{sweeps,advise}/{id}/events replaces
+// poll-only status with a push stream. Each event's data is the same
+// jobBody the status endpoint serves (without points), so clients need
+// one schema for both. Events are coalescing state snapshots, not a
+// change log: a slow consumer skips intermediate states and always
+// lands on the latest, and the stream always ends with a "done" event
+// carrying the terminal status.
+
+// subscribe registers a progress subscriber and returns its nudge
+// channel plus an unsubscribe func. The channel has capacity 1: every
+// job update makes a non-blocking send, so a subscriber that fell
+// behind still wakes exactly once with the latest state.
+func (j *job) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan struct{}]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// notifyLocked nudges every subscriber. Callers must hold j.mu.
+func (j *job) notifyLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a pending nudge
+		}
+	}
+}
+
+// handleEvents streams a job's progress as server-sent events:
+// "progress" events while the job runs, one final "done" event with the
+// terminal status, then EOF. Connecting to an already-finished job
+// yields the "done" event immediately.
+func (s *Server) handleEvents(kind jobKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.lookup(r.PathValue("id"), kind)
+		if j == nil {
+			writeError(w, http.StatusNotFound, "unknown %s %q", kind, r.PathValue("id"))
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+		w.WriteHeader(http.StatusOK)
+
+		ch, unsubscribe := j.subscribe()
+		defer unsubscribe()
+		for {
+			body := j.body(false)
+			if body.Status != statusRunning {
+				// Terminal: one final event, then close the stream.
+				_ = writeSSE(w, "done", body)
+				flusher.Flush()
+				return
+			}
+			if err := writeSSE(w, "progress", body); err != nil {
+				return
+			}
+			flusher.Flush()
+			select {
+			case <-r.Context().Done():
+				return
+			case <-s.ctx.Done():
+				// Server shutdown: end the stream so the HTTP drain can
+				// complete; clients reconnect to the restarted server.
+				return
+			case <-ch:
+			}
+		}
+	}
+}
+
+// writeSSE writes one server-sent event with a JSON payload.
+// json.Marshal never emits raw newlines, so the payload is always a
+// single well-formed data line.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}

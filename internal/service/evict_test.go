@@ -22,12 +22,12 @@ func TestJobEviction(t *testing.T) {
 
 	// A running job submitted first must survive any amount of finished
 	// traffic after it.
-	pinned := srv.newJob(kindSweep, "pinned-running", 1, func() {})
+	pinned := srv.newJob(kindSweep, "pinned-running", 1)
 
 	const extra = 40
 	var oldest *job
 	for i := 0; i < maxRetainedJobs+extra; i++ {
-		j := srv.newJob(kindSweep, "churn", 1, func() {})
+		j := srv.newJob(kindSweep, "churn", 1)
 		if oldest == nil {
 			oldest = j
 		}
@@ -60,7 +60,7 @@ func TestEvictionSparesRunningJobs(t *testing.T) {
 
 	jobs := make([]*job, 0, maxRetainedJobs+10)
 	for i := 0; i < maxRetainedJobs+10; i++ {
-		jobs = append(jobs, srv.newJob(kindAdvise, "live", 1, func() {}))
+		jobs = append(jobs, srv.newJob(kindAdvise, "live", 1))
 	}
 	srv.mu.Lock()
 	n := len(srv.jobs)

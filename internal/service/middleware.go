@@ -20,6 +20,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (the SSE
+// endpoints) work through the instrumentation envelope.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.NewResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
 // instrument wraps a handler with the standard observability envelope:
 // a per-request ID on the context, request/latency/in-flight metrics
 // labeled by the route pattern (never the raw URL, which is unbounded),

@@ -6,24 +6,37 @@
 // canonical configuration — and a repeated or overlapping advisor query
 // evaluates nothing fresh.
 //
-//	POST   /v1/experiments  — run one experiment, return its point
-//	POST   /v1/sweeps       — submit a sweep spec, returns a job id
-//	GET    /v1/sweeps       — list sweep jobs
-//	GET    /v1/sweeps/{id}  — job status, progress and (when done) results
-//	DELETE /v1/sweeps/{id}  — cancel a running job, or forget a finished one
-//	POST   /v1/advise       — submit an advisor query, returns a job id
-//	GET    /v1/advise       — list advisor jobs
-//	GET    /v1/advise/{id}  — job status and (when done) frontier + recommendation
-//	DELETE /v1/advise/{id}  — cancel a running job, or forget a finished one
-//	GET    /v1/catalog      — available GPUs, systems, models, strategies,
-//	                          formats, advisor objectives
-//	GET    /healthz         — liveness
+//	POST   /v1/experiments         — run one experiment, return its point
+//	POST   /v1/sweeps              — submit a sweep spec, returns a job id
+//	GET    /v1/sweeps              — list sweep jobs
+//	GET    /v1/sweeps/{id}         — job status, progress and (when done) results
+//	GET    /v1/sweeps/{id}/events  — live progress stream (SSE)
+//	DELETE /v1/sweeps/{id}         — cancel a running job, or forget a finished one
+//	POST   /v1/advise              — submit an advisor query, returns a job id
+//	GET    /v1/advise              — list advisor jobs
+//	GET    /v1/advise/{id}         — job status and (when done) frontier + recommendation
+//	GET    /v1/advise/{id}/events  — live progress stream (SSE)
+//	DELETE /v1/advise/{id}         — cancel a running job, or forget a finished one
+//	GET    /v1/cache/{fingerprint} — peer cache protocol: fetch a result by content address
+//	PUT    /v1/cache/{fingerprint} — peer cache protocol: store a result
+//	GET    /v1/catalog             — available GPUs, systems, models, strategies,
+//	                                 formats, advisor objectives
+//	GET    /healthz                — liveness
+//
+// Deployments scale out by composing these: a store.Tiered cache whose
+// last tier is a store.HTTPCache over the peer replicas turns N
+// overlapds into a share-nothing cache mesh, a store.Journal makes jobs
+// survive restarts (interrupted jobs resume against the warm cache),
+// and the server-wide singleflight collapses a thundering herd of
+// identical experiments into one simulation.
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -36,6 +49,7 @@ import (
 	"overlapsim/internal/opt"
 	"overlapsim/internal/precision"
 	"overlapsim/internal/report"
+	"overlapsim/internal/store"
 	"overlapsim/internal/strategy"
 	"overlapsim/internal/sweep"
 	"overlapsim/internal/telemetry"
@@ -45,6 +59,15 @@ import (
 type Options struct {
 	// Cache is the shared result cache; nil creates a fresh MemCache.
 	Cache sweep.Cache
+	// LocalCache is what the peer cache protocol (/v1/cache/{fp})
+	// serves; nil means Cache. Meshed deployments pass the local tiers
+	// only, so a peer's lookup is answered from this replica's own
+	// storage and never recurses back into the mesh.
+	LocalCache sweep.Cache
+	// Journal, when set, makes jobs durable: submissions and terminal
+	// results are journaled, and a restarted server lists finished jobs
+	// and resumes interrupted ones against the warm cache.
+	Journal *store.Journal
 	// Workers bounds concurrent simulations per sweep (<= 0 means
 	// runtime.NumCPU()).
 	Workers int
@@ -65,6 +88,10 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	started time.Time
+	// flight coalesces concurrent identical cache misses across every
+	// runner this server builds — sweeps, advisor jobs and synchronous
+	// experiments alike.
+	flight *store.Flight
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -109,15 +136,23 @@ type job struct {
 	name    string
 	total   int
 	started time.Time
-	cancel  context.CancelFunc
+	// ctx governs the job's execution; cancel aborts it. Jobs recovered
+	// from the journal in a terminal state carry a no-op cancel.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	status    jobStatus
 	completed int
 	hits      int
+	coalesced int
 	ooms      int
 	failures  int
 	res       *sweep.Result
+	// subs are the progress subscribers (SSE streams): each channel has
+	// capacity 1 and receives a nudge on every job update; a slow
+	// subscriber misses intermediate nudges, never the latest state.
+	subs map[chan struct{}]struct{}
 	// aggregate is the precomputed summary of res; a finished job's
 	// result is immutable, so status polls never recompute it.
 	aggregate string
@@ -145,6 +180,7 @@ func New(opts Options) *Server {
 		mux:     http.NewServeMux(),
 		log:     opts.Logger,
 		started: time.Now(),
+		flight:  store.NewFlight(),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*job),
@@ -155,15 +191,24 @@ func New(opts Options) *Server {
 	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
 	s.handle("GET /v1/sweeps", s.handleList(kindSweep))
 	s.handle("GET /v1/sweeps/{id}", s.handleGet(kindSweep))
+	s.handle("GET /v1/sweeps/{id}/events", s.handleEvents(kindSweep))
 	s.handle("DELETE /v1/sweeps/{id}", s.handleCancel(kindSweep))
 	s.handle("POST /v1/advise", s.handleAdviseSubmit)
 	s.handle("GET /v1/advise", s.handleList(kindAdvise))
 	s.handle("GET /v1/advise/{id}", s.handleGet(kindAdvise))
+	s.handle("GET /v1/advise/{id}/events", s.handleEvents(kindAdvise))
 	s.handle("DELETE /v1/advise/{id}", s.handleCancel(kindAdvise))
+	// The peer cache protocol: replicas (and CLIs) fetch and store
+	// results by fingerprint, making this replica one shard of the mesh.
+	s.handle("GET "+store.CachePathPrefix+"{fp}", s.handleCacheGet)
+	s.handle("PUT "+store.CachePathPrefix+"{fp}", s.handleCachePut)
 	// The metrics endpoint is deliberately uninstrumented: scrapes should
 	// not inflate the request series they are reading.
 	s.mux.Handle("GET /metrics", telemetry.Default.Handler())
 	s.handle("GET /v1/stats", s.handleStats)
+	if opts.Journal != nil {
+		s.recoverJobs()
+	}
 	return s
 }
 
@@ -200,9 +245,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// runner builds the sweep runner every endpoint shares.
+// runner builds the sweep runner every endpoint shares. All runners
+// share the server's singleflight, so identical in-flight experiments
+// coalesce across sweeps, advisor jobs and synchronous requests.
 func (s *Server) runner(onPoint func(sweep.Point)) *sweep.Runner {
-	return &sweep.Runner{Workers: s.opts.Workers, Cache: s.opts.Cache, OnPoint: onPoint}
+	return &sweep.Runner{Workers: s.opts.Workers, Cache: s.opts.Cache, Flight: s.flight, OnPoint: onPoint}
 }
 
 // writeJSON writes v as a JSON response.
@@ -387,8 +434,23 @@ type submitBody struct {
 	Points int    `json:"points"`
 }
 
+// maxSubmitBytes bounds one submitted spec or query body.
+const maxSubmitBytes = 8 << 20
+
+// readBody drains the (bounded) request body; the raw bytes are kept
+// verbatim for the journal so a restart resumes exactly what the
+// client submitted.
+func readBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes))
+}
+
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := sweep.ParseSpec(r.Body)
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	spec, err := sweep.ParseSpec(bytes.NewReader(raw))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -406,28 +468,25 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithCancel(s.ctx)
-	j := s.newJob(kindSweep, spec.Name, len(cfgs), cancel)
+	j := s.newJob(kindSweep, spec.Name, len(cfgs))
+	s.journalSubmit(j, raw)
+	s.launchSweep(j, spec.Name, cfgs)
 
-	runner := s.runner(func(p sweep.Point) {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.completed++
-		switch {
-		case p.OOM != nil:
-			j.ooms++
-		case p.Err != nil:
-			j.failures++
-		case p.CacheHit:
-			j.hits++
-		}
-	})
+	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: spec.Name, Points: len(cfgs)})
+}
+
+// launchSweep runs a registered sweep job's grid on a background
+// worker. Shared by fresh submissions and journal-recovered resumes —
+// a resume re-runs the full grid, and every point that reached the
+// durable cache before the interruption comes back as a hit.
+func (s *Server) launchSweep(j *job, name string, cfgs []core.Config) {
+	runner := s.runner(j.onPoint)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		defer cancel()
-		res, err := runner.Run(ctx, cfgs)
-		res.Name = spec.Name
+		defer j.cancel()
+		res, err := runner.Run(j.ctx, cfgs)
+		res.Name = name
 		// Snapshot the final counters and aggregate once; the result is
 		// immutable from here on, so polls serve the snapshot.
 		aggregate := report.AggregateSweep(sweep.Rows(res)).String()
@@ -446,27 +505,57 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		j.aggregate = aggregate
 		j.completed = completed
 		j.hits = res.CacheHits
+		j.coalesced = res.Coalesced
 		j.ooms = res.OOMs
 		j.failures = res.Failures
 		j.status = status
+		j.notifyLocked()
 		j.mu.Unlock()
 		s.finishJob(j, status)
+		s.journalFinish(j, status, res, "")
 	}()
+}
 
-	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: spec.Name, Points: len(cfgs)})
+// onPoint folds one completed point into the job's progress counters
+// and nudges the progress subscribers. Called from runner worker
+// goroutines.
+func (j *job) onPoint(p sweep.Point) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completed++
+	switch {
+	case p.OOM != nil:
+		j.ooms++
+	case p.Err != nil:
+		j.failures++
+	case p.CacheHit:
+		j.hits++
+	}
+	if p.Coalesced {
+		j.coalesced++
+	}
+	j.notifyLocked()
 }
 
 // newJob registers a running job of the given kind.
-func (s *Server) newJob(kind jobKind, name string, total int, cancel context.CancelFunc) *job {
+func (s *Server) newJob(kind jobKind, name string, total int) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
+	return s.registerLocked(fmt.Sprintf("%s-%06d", kind, s.nextID), kind, name, total, time.Now())
+}
+
+// registerLocked registers a running job under an explicit id (fresh or
+// recovered from the journal). Callers must hold s.mu.
+func (s *Server) registerLocked(id string, kind jobKind, name string, total int, started time.Time) *job {
+	ctx, cancel := context.WithCancel(s.ctx)
 	j := &job{
-		id:      fmt.Sprintf("%s-%06d", kind, s.nextID),
+		id:      id,
 		kind:    kind,
 		name:    name,
 		total:   total,
-		started: time.Now(),
+		started: started,
+		ctx:     ctx,
 		cancel:  cancel,
 		status:  statusRunning,
 	}
@@ -501,11 +590,15 @@ type jobBody struct {
 	// CacheMisses counts completed points not served from the cache
 	// (fresh simulations, including failed ones) — with CacheHits, the
 	// job's cache provenance.
-	CacheMisses int     `json:"cache_misses"`
-	OOMs        int     `json:"ooms"`
-	Failures    int     `json:"failures"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	Error       string  `json:"error,omitempty"`
+	CacheMisses int `json:"cache_misses"`
+	// Coalesced counts points that neither hit the cache nor simulated
+	// themselves: their miss was coalesced onto an identical in-flight
+	// simulation (singleflight). Included in CacheMisses.
+	Coalesced int     `json:"coalesced"`
+	OOMs      int     `json:"ooms"`
+	Failures  int     `json:"failures"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
 
 	// Aggregate and Points are present once a sweep job has finished.
 	Aggregate string        `json:"aggregate,omitempty"`
@@ -527,7 +620,8 @@ func (j *job) body(includePoints bool) jobBody {
 		ID: j.id, Kind: j.kind, Name: j.name, Status: j.status,
 		Total: j.total, Completed: j.completed,
 		CacheHits: j.hits, CacheMisses: j.completed - j.hits,
-		OOMs: j.ooms, Failures: j.failures,
+		Coalesced: j.coalesced,
+		OOMs:      j.ooms, Failures: j.failures,
 		ElapsedMS: float64(time.Since(j.started)) / float64(time.Millisecond),
 		Error:     j.errMsg,
 	}
@@ -644,7 +738,12 @@ func (s *Server) handleCancel(kind jobKind) http.HandlerFunc {
 // advisor usually finishes well short of it, and entirely from cache
 // when an overlapping query ran before.
 func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
-	q, err := opt.ParseQuery(r.Body)
+	raw, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading query: %v", err)
+		return
+	}
+	q, err := opt.ParseQuery(bytes.NewReader(raw))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -663,37 +762,33 @@ func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	n := len(space.Cands)
 
-	ctx, cancel := context.WithCancel(s.ctx)
-	j := s.newJob(kindAdvise, q.Name, n, cancel)
+	j := s.newJob(kindAdvise, q.Name, n)
+	s.journalSubmit(j, raw)
+	s.launchAdvise(j, q, space)
 
-	advisor := &opt.Advisor{Runner: s.runner(func(p sweep.Point) {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.completed++
-		switch {
-		case p.OOM != nil:
-			j.ooms++
-		case p.Err != nil:
-			j.failures++
-		case p.CacheHit:
-			j.hits++
-		}
-	})}
+	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: q.Name, Points: n})
+}
+
+// launchAdvise runs a registered advisor job on a background worker.
+// Shared by fresh submissions and journal-recovered resumes.
+func (s *Server) launchAdvise(j *job, q *opt.Query, space *opt.Space) {
+	advisor := &opt.Advisor{Runner: s.runner(j.onPoint)}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		defer cancel()
-		adv, err := advisor.RunSpace(ctx, q, space)
+		defer j.cancel()
+		adv, err := advisor.RunSpace(j.ctx, q, space)
 		j.mu.Lock()
 		switch {
 		case err == nil:
 			j.advice = adv
 			j.completed = adv.Stats.Evaluated
 			j.hits = adv.Stats.CacheHits
+			j.coalesced = adv.Stats.Coalesced
 			j.ooms = adv.Stats.OOMs
 			j.failures = adv.Stats.Failures
 			j.status = statusDone
-		case ctx.Err() != nil:
+		case j.ctx.Err() != nil:
 			j.status = statusCancelled
 		default:
 			// Queries validate before the job starts, so this is an
@@ -702,9 +797,10 @@ func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
 			j.status = statusFailed
 		}
 		status := j.status
+		errMsg := j.errMsg
+		j.notifyLocked()
 		j.mu.Unlock()
 		s.finishJob(j, status)
+		s.journalFinish(j, status, adv, errMsg)
 	}()
-
-	writeJSON(w, http.StatusAccepted, submitBody{ID: j.id, Name: q.Name, Points: n})
 }

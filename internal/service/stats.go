@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"overlapsim/internal/store"
 	"overlapsim/internal/telemetry"
 )
 
@@ -11,16 +12,21 @@ import (
 // Prometheus exposition plus the server's own uptime and job ledger,
 // for clients that want numbers without a scrape pipeline.
 type statsBody struct {
-	UptimeS float64                    `json:"uptime_s"`
-	Jobs    map[string]map[string]int  `json:"jobs"`
-	Metrics []telemetry.FamilySnapshot `json:"metrics"`
+	UptimeS float64                   `json:"uptime_s"`
+	Jobs    map[string]map[string]int `json:"jobs"`
+	// CoalescedTotal counts the experiments this process answered by
+	// coalescing onto an identical in-flight simulation (singleflight)
+	// instead of simulating again — the thundering-herd savings.
+	CoalescedTotal uint64                     `json:"coalesced_total"`
+	Metrics        []telemetry.FamilySnapshot `json:"metrics"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	body := statsBody{
-		UptimeS: time.Since(s.started).Seconds(),
-		Jobs:    map[string]map[string]int{},
-		Metrics: telemetry.Default.Snapshot(),
+		UptimeS:        time.Since(s.started).Seconds(),
+		Jobs:           map[string]map[string]int{},
+		CoalescedTotal: store.CoalescedTotal(),
+		Metrics:        telemetry.Default.Snapshot(),
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {

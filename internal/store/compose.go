@@ -1,0 +1,31 @@
+package store
+
+import (
+	"strings"
+
+	"overlapsim/internal/sweep"
+)
+
+// Compose builds the standard lookup path the CLIs and overlapd share:
+// a memory tier, then the cache directory (when non-empty), then the
+// peer mesh (when peers, a comma-separated list of overlapd base URLs,
+// is non-empty). Reads promote toward memory; writes publish through
+// every tier, so a CLI run warms the mesh for everyone else.
+func Compose(cacheDir, peers string) (*Tiered, error) {
+	tiers := []sweep.Cache{sweep.NewMemCache()}
+	if cacheDir != "" {
+		dc, err := sweep.NewDirCache(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, dc)
+	}
+	if peers != "" {
+		hc, err := NewHTTPCache(strings.Split(peers, ","), nil)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, hc)
+	}
+	return NewTiered(tiers...), nil
+}

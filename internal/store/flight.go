@@ -1,0 +1,85 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"overlapsim/internal/core"
+)
+
+// Flight coalesces concurrent computations of the same canonical
+// fingerprint onto one leader. The cache layer already makes repeated
+// work free *after* the first result lands; Flight closes the window
+// while it is still being computed — within one sweep, across
+// concurrent sweeps, and across advisor jobs sharing a runner, N
+// identical in-flight experiments simulate exactly once.
+//
+// The zero value is not usable; call NewFlight.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one in-flight computation.
+type call struct {
+	done chan struct{} // closed when res/err are set
+	res  *core.Result
+	err  error
+}
+
+// NewFlight returns an empty singleflight group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*call)}
+}
+
+// Do returns the result of fn for the key, running fn at most once
+// across concurrent callers. The second return reports whether this
+// caller waited on another caller's computation instead of running its
+// own (it was coalesced).
+//
+// Cancellation stays per-caller: a waiter whose own ctx expires returns
+// its ctx error immediately, and a leader whose computation ends in a
+// context error does not poison the waiters — they re-enter and elect a
+// new leader, because the leader's cancellation says nothing about the
+// key.
+func (f *Flight) Do(ctx context.Context, key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
+	waited := false
+	for {
+		f.mu.Lock()
+		if c, ok := f.calls[key]; ok {
+			f.mu.Unlock()
+			mFlightWaiters.Inc()
+			waited = true
+			select {
+			case <-ctx.Done():
+				return nil, waited, ctx.Err()
+			case <-c.done:
+			}
+			// A leader that was cancelled produced no verdict about the
+			// key; retry (and possibly lead) rather than propagate its
+			// context error to callers that are still alive.
+			if isContextErr(c.err) && ctx.Err() == nil {
+				continue
+			}
+			return c.res, waited, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		f.calls[key] = c
+		f.mu.Unlock()
+		mFlightLeaders.Inc()
+
+		c.res, c.err = fn()
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+		return c.res, waited, c.err
+	}
+}
+
+// isContextErr reports whether err is (or wraps) a context
+// cancellation or deadline error.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}

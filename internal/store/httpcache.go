@@ -1,0 +1,165 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"overlapsim/internal/core"
+)
+
+// CachePathPrefix is the URL prefix of the peer cache protocol overlapd
+// serves: GET returns the cached result for a fingerprint (200) or a
+// miss (404); PUT stores one. Entries are immutable, so the protocol
+// needs no conditional requests, no invalidation and no versioning.
+const CachePathPrefix = "/v1/cache/"
+
+// DefaultPeerTimeout bounds one peer cache request. A peer that cannot
+// answer in this budget is slower than simulating small points locally,
+// so the lookup degrades to a miss.
+const DefaultPeerTimeout = 10 * time.Second
+
+// HTTPCache is a sweep.Cache backend backed by peer overlapd replicas.
+// Each fingerprint is owned by exactly one peer, chosen by rendezvous
+// hashing over the configured peer set, so replicas form a
+// share-nothing mesh sharded by content address: every replica fronts
+// the mesh with its local tiers and asks the owner for the rest.
+//
+// All failures — unreachable peer, timeout, corrupt body — degrade to a
+// cache miss; the mesh can only ever cost recomputation, never
+// correctness.
+type HTTPCache struct {
+	peers  []string // normalized base URLs, no trailing slash
+	client *http.Client
+}
+
+// NewHTTPCache builds a peer backend over the given base URLs
+// (e.g. "http://replica-2:8080"). client may be nil for a default with
+// DefaultPeerTimeout.
+func NewHTTPCache(peers []string, client *http.Client) (*HTTPCache, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("store: no cache peers given")
+	}
+	c := &HTTPCache{client: client}
+	if c.client == nil {
+		c.client = &http.Client{Timeout: DefaultPeerTimeout}
+	}
+	for _, p := range peers {
+		u, err := url.Parse(strings.TrimRight(p, "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("store: invalid cache peer %q (want e.g. http://host:port)", p)
+		}
+		c.peers = append(c.peers, u.String())
+	}
+	return c, nil
+}
+
+// Peers returns the configured peer base URLs.
+func (c *HTTPCache) Peers() []string {
+	return append([]string(nil), c.peers...)
+}
+
+// owner picks the peer owning a fingerprint by rendezvous (highest
+// random weight) hashing: every replica computes the same owner from
+// the same peer set, and removing a peer only remaps the keys it owned.
+func (c *HTTPCache) owner(key string) string {
+	best, bestScore := c.peers[0], uint64(0)
+	for i, p := range c.peers {
+		h := fnv.New64a()
+		io.WriteString(h, p)
+		io.WriteString(h, "\x00")
+		io.WriteString(h, key)
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// Get implements sweep.Cache by asking the owning peer.
+func (c *HTTPCache) Get(key string) (*core.Result, bool) {
+	if !ValidFingerprint(key) {
+		return nil, false
+	}
+	resp, err := c.client.Get(c.owner(key) + CachePathPrefix + key)
+	if err != nil {
+		notePeer(peerOpGet, peerOutcomeError)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		notePeer(peerOpGet, peerOutcomeMiss)
+		return nil, false
+	}
+	var res core.Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEntryBytes)).Decode(&res); err != nil {
+		notePeer(peerOpGet, peerOutcomeError)
+		return nil, false
+	}
+	notePeer(peerOpGet, peerOutcomeHit)
+	return &res, true
+}
+
+// Put implements sweep.Cache by storing the entry on the owning peer.
+func (c *HTTPCache) Put(key string, res *core.Result) error {
+	if !ValidFingerprint(key) {
+		return fmt.Errorf("store: invalid fingerprint %q", key)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("store: encoding cache entry: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.owner(key)+CachePathPrefix+key, bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("store: peer put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		notePeer(peerOpPut, peerOutcomeError)
+		return fmt.Errorf("store: peer put: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		notePeer(peerOpPut, peerOutcomeError)
+		return fmt.Errorf("store: peer put: %s from %s", resp.Status, c.owner(key))
+	}
+	notePeer(peerOpPut, peerOutcomeOK)
+	return nil
+}
+
+// Name labels the backend on cache metrics.
+func (c *HTTPCache) Name() string { return "peer" }
+
+// maxEntryBytes bounds one decoded cache entry; real results are a few
+// KB, so this only guards against a confused or hostile peer.
+const maxEntryBytes = 64 << 20
+
+// ValidFingerprint accepts the canonical content addresses the sweep
+// layer mints: non-empty lowercase hex. Anything else is refused before
+// it can become a URL path segment; servers refuse it before it can
+// name a cache entry.
+func ValidFingerprint(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= '0' && r <= '9':
+		case r >= 'a' && r <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}

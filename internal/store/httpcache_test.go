@@ -1,0 +1,160 @@
+package store
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"overlapsim/internal/core"
+)
+
+// peerServer is a minimal in-memory implementation of the peer cache
+// protocol, standing in for a remote overlapd.
+type peerServer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+}
+
+func newPeerServer() *peerServer {
+	return &peerServer{entries: make(map[string][]byte)}
+}
+
+func (p *peerServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+CachePathPrefix+"{fp}", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.gets++
+		b, ok := p.entries[r.PathValue("fp")]
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT "+CachePathPrefix+"{fp}", func(w http.ResponseWriter, r *http.Request) {
+		var res core.Result
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, _ := json.Marshal(&res)
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.puts++
+		p.entries[r.PathValue("fp")] = b
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func TestHTTPCacheRoundTrip(t *testing.T) {
+	peer := newPeerServer()
+	ts := httptest.NewServer(peer.handler())
+	defer ts.Close()
+
+	c, err := NewHTTPCache([]string{ts.URL}, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, res := testEntry(t, 8)
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on an empty peer")
+	}
+	if err := c.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Config.Batch != res.Config.Batch {
+		t.Errorf("round-tripped batch %d, want %d", got.Config.Batch, res.Config.Batch)
+	}
+	if peer.puts != 1 || peer.gets != 2 {
+		t.Errorf("peer saw %d puts / %d gets, want 1 / 2", peer.puts, peer.gets)
+	}
+}
+
+// Every failure mode degrades to a miss: the mesh can cost recomputation
+// but never an error surfaced to the sweep.
+func TestHTTPCacheFailuresDegradeToMiss(t *testing.T) {
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // refused connections from here on
+
+	key, res := testEntry(t, 8)
+	for name, url := range map[string]string{"corrupt body": garbage.URL, "unreachable": down.URL} {
+		c, err := NewHTTPCache([]string{url}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("%s: Get reported a hit", name)
+		}
+		if err := c.Put(key, res); err == nil && name == "unreachable" {
+			t.Errorf("%s: Put to a dead peer returned nil error", name)
+		}
+	}
+}
+
+func TestHTTPCacheRejectsInvalidPeers(t *testing.T) {
+	for _, peers := range [][]string{nil, {}, {"not-a-url"}, {"//missing-scheme"}, {"http://"}} {
+		if _, err := NewHTTPCache(peers, nil); err == nil {
+			t.Errorf("NewHTTPCache(%q) accepted an invalid peer set", peers)
+		}
+	}
+}
+
+// Rendezvous hashing: every replica computes the same owner for a key
+// regardless of peer-list order, and multiple peers share the keyspace.
+func TestHTTPCacheOwnerIsOrderInvariant(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	reversed := []string{"http://c:1", "http://b:1", "http://a:1"}
+	ca, err := NewHTTPCache(peers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewHTTPCache(reversed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		key, _ := testEntry(t, i+1)
+		a, b := ca.owner(key), cb.owner(key)
+		if a != b {
+			t.Fatalf("key %s: owner %s vs %s across peer-list orders", key, a, b)
+		}
+		owners[a] = true
+	}
+	if len(owners) < 2 {
+		t.Errorf("64 keys all mapped to one owner; rendezvous hashing is not spreading")
+	}
+}
+
+// Removing a peer only remaps the keys it owned; everything else stays
+// put. This is why a mesh survives replica churn without a reshuffle.
+func TestHTTPCacheOwnerStableUnderPeerLoss(t *testing.T) {
+	full, _ := NewHTTPCache([]string{"http://a:1", "http://b:1", "http://c:1"}, nil)
+	less, _ := NewHTTPCache([]string{"http://a:1", "http://b:1"}, nil)
+	for i := 0; i < 64; i++ {
+		key, _ := testEntry(t, i+1)
+		was := full.owner(key)
+		if was == "http://c:1" {
+			continue // orphaned keys may land anywhere
+		}
+		if now := less.owner(key); now != was {
+			t.Errorf("key %s moved %s -> %s though its owner never left", key, was, now)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package store is the distributed serving tier behind overlapd: the
+// pieces that turn one process's content-addressed result cache into a
+// cluster-wide, restart-surviving substrate.
+//
+// Everything here leans on the same invariant the sweep caches already
+// exploit: a simulation result is a pure function of its canonical
+// config fingerprint. That makes every layer trivial to distribute —
+// entries never invalidate, replicas never disagree, and any copy of a
+// result is as good as any other.
+//
+//   - Tiered composes sweep.Cache backends (Mem → Dir → peers) with
+//     write-back promotion, so hot entries migrate toward the fastest
+//     tier.
+//   - HTTPCache is a peer backend speaking the tiny GET/PUT-by-
+//     fingerprint protocol overlapd serves under /v1/cache/{fp},
+//     sharding ownership across replicas by rendezvous hashing — a
+//     share-nothing cache mesh with no coordinator.
+//   - Flight coalesces concurrent computations of the same fingerprint
+//     onto one leader; a thundering herd of identical experiments
+//     simulates exactly once per process.
+//   - Journal is an append-only, checksum-framed record log under a
+//     state directory; overlapd journals job submissions and terminal
+//     results through it so a restart can list finished jobs and resume
+//     interrupted ones against the warm cache.
+package store

@@ -98,7 +98,10 @@ func (c *DirCache) Get(key string) (*core.Result, bool) {
 	return &res, true
 }
 
-// Put implements Cache.
+// Put implements Cache. The write is crash-safe: the entry is staged in
+// a temp file in the cache directory, fsynced, and renamed into place,
+// so a killed process can leave an orphaned temp file but never a
+// truncated entry visible under its key.
 func (c *DirCache) Put(key string, res *core.Result) error {
 	p, err := c.path(key)
 	if err != nil {
@@ -114,6 +117,13 @@ func (c *DirCache) Put(key string, res *core.Result) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	// Flush to stable storage before the rename publishes the entry: a
+	// rename can survive a crash the data didn't, which would leave a
+	// valid-looking key with empty or truncated bytes behind it.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"overlapsim/internal/core"
+)
+
+// fakeFlight is a deterministic Flight: the first caller of a key runs
+// fn, every later caller is served the stored result as coalesced. It
+// lets the runner's singleflight plumbing be tested without real
+// concurrency races.
+type fakeFlight struct {
+	mu   sync.Mutex
+	done map[string]*core.Result
+	runs int
+}
+
+func (f *fakeFlight) Do(_ context.Context, key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if res, ok := f.done[key]; ok {
+		return res, true, nil
+	}
+	res, err := fn()
+	if err != nil {
+		return nil, false, err
+	}
+	if f.done == nil {
+		f.done = make(map[string]*core.Result)
+	}
+	f.done[key] = res
+	f.runs++
+	return res, false, nil
+}
+
+// Duplicate grid points flow through the runner's Flight: one simulates,
+// the rest are marked coalesced, and coalesced points stay inside the
+// CacheHits+CacheMisses == len(Points) invariant as misses.
+func TestRunnerCoalescesThroughFlight(t *testing.T) {
+	spec := testSpec()
+	spec.GPUs = []string{"H100"}
+	spec.Parallelisms = []string{"fsdp"}
+	_, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []core.Config{cfgs[0], cfgs[0], cfgs[0], cfgs[0]}
+
+	flight := &fakeFlight{}
+	// Workers: 1 makes the interleaving deterministic; no cache, so every
+	// point is a miss and must go through the flight.
+	res, err := (&Runner{Workers: 1, Flight: flight}).Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flight.runs != 1 {
+		t.Errorf("flight ran the simulation %d times for 4 identical points, want 1", flight.runs)
+	}
+	if res.Coalesced != 3 {
+		t.Errorf("Result.Coalesced = %d, want 3", res.Coalesced)
+	}
+	if res.CacheHits != 0 || res.CacheMisses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 0/4 (coalesced points count as misses)",
+			res.CacheHits, res.CacheMisses)
+	}
+	var flagged int
+	for _, p := range res.Points {
+		if p.Coalesced {
+			flagged++
+		}
+		if p.Res == nil {
+			t.Errorf("point %d has no result", p.Index)
+		}
+	}
+	if flagged != 3 {
+		t.Errorf("%d points flagged coalesced, want 3", flagged)
+	}
+}
+
+// Canonical strips execution provenance: a cold run and a warm re-run of
+// the same grid — whose raw results differ in hit counts and flags —
+// encode to byte-identical canonical results.
+func TestResultCanonicalIsCacheStateInvariant(t *testing.T) {
+	spec := testSpec()
+	_, cfgs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMemCache()
+	cold, err := (&Runner{Workers: 2, Cache: cache}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := (&Runner{Workers: 2, Cache: cache}).Run(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits == 0 {
+		t.Fatal("warm run hit nothing; cache is broken")
+	}
+
+	rawCold, err := json.Marshal(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawWarm, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rawCold) == string(rawWarm) {
+		t.Error("raw cold and warm results identical; provenance fields are not being recorded")
+	}
+
+	canonCold, err := json.Marshal(cold.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonWarm, err := json.Marshal(warm.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(canonCold) != string(canonWarm) {
+		t.Errorf("canonical results differ between cold and warm runs:\ncold: %s\nwarm: %s",
+			canonCold, canonWarm)
+	}
+}
+
+// DirCache.Put stages entries in a temp file and renames: a completed
+// Put leaves no droppings, and a stray half-written temp file (a crashed
+// writer) is invisible to Get and harmless to later Puts.
+func TestDirCachePutAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{Config: core.Config{Batch: 8}}
+	key, err := res.Config.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a writer killed mid-Put: a partial temp file in the dir.
+	tornPath := filepath.Join(dir, "put-1234torn")
+	if err := os.WriteFile(tornPath, []byte(`{"Config":{"Ba`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get served a hit from a torn temp file")
+	}
+
+	if err := c.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("miss after Put")
+	}
+
+	// The completed Put must not have left its own temp file behind; only
+	// the published entry and the pre-existing torn file may remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == key+".json" || e.Name() == filepath.Base(tornPath) {
+			continue
+		}
+		if strings.HasPrefix(e.Name(), "put-") {
+			t.Errorf("Put left temp file %s behind", e.Name())
+		} else {
+			t.Errorf("unexpected file %s in cache dir", e.Name())
+		}
+	}
+}

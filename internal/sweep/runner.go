@@ -25,6 +25,10 @@ type Point struct {
 	Res *core.Result `json:"result,omitempty"`
 	// CacheHit reports whether Res was served from the cache.
 	CacheHit bool `json:"cache_hit"`
+	// Coalesced reports that the point's cache miss was satisfied by
+	// waiting on an identical in-flight computation (singleflight)
+	// instead of simulating on its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// OOM is non-nil when the configuration did not fit in HBM — an
 	// expected outcome the paper reports as a skipped configuration.
 	OOM *model.ErrOOM `json:"oom,omitempty"`
@@ -53,6 +57,11 @@ type Result struct {
 	// len(Points) − OOMs − Failures.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Coalesced counts the misses that were satisfied by an identical
+	// in-flight computation rather than a fresh simulation of their own
+	// (always 0 without a Flight on the runner). Coalesced points are
+	// included in CacheMisses.
+	Coalesced int `json:"coalesced,omitempty"`
 	// OOMs counts infeasible configurations, Failures all other errors.
 	OOMs     int `json:"ooms"`
 	Failures int `json:"failures"`
@@ -78,6 +87,16 @@ func (r *Result) Err() error {
 	return fmt.Errorf("sweep: %d/%d points failed: %w", r.Failures, len(r.Points), errors.Join(errs...))
 }
 
+// Flight coalesces concurrent computations of the same fingerprint
+// onto one leader. Do runs fn at most once across concurrent callers of
+// the same key and reports (result, waited, error), where waited marks
+// callers served by another caller's computation. store.Flight is the
+// standard implementation; the interface lives here so the runner does
+// not depend on the serving tier.
+type Flight interface {
+	Do(ctx context.Context, key string, fn func() (*core.Result, error)) (*core.Result, bool, error)
+}
+
 // Runner executes grids on a bounded worker pool with content-addressed
 // memoization.
 type Runner struct {
@@ -85,6 +104,10 @@ type Runner struct {
 	Workers int
 	// Cache memoizes results by config fingerprint; nil disables caching.
 	Cache Cache
+	// Flight, when set, coalesces concurrent identical cache misses —
+	// within this runner and across every runner sharing the Flight —
+	// onto one simulation.
+	Flight Flight
 	// OnPoint, when set, is called from worker goroutines as each point
 	// completes (for progress reporting). It must be safe for concurrent
 	// use.
@@ -169,6 +192,9 @@ dispatch:
 		default:
 			res.CacheMisses++
 		}
+		if p.Coalesced {
+			res.Coalesced++
+		}
 		if p.Res != nil {
 			res.Engine.Add(p.Res.Overlapped.Engine)
 			res.Engine.Add(p.Res.Sequential.Engine)
@@ -201,29 +227,76 @@ func (r *Runner) runPoint(ctx context.Context, i int, cfg core.Config) Point {
 			return pt
 		}
 	}
-	simStart := time.Now()
-	res, err := core.Run(ctx, cfg)
-	if err != nil {
+	// simulate runs the point fresh and stores a successful result. When
+	// a Flight is set it runs at most once across concurrent identical
+	// points — only on the leader's goroutine, so the closure touching
+	// pt.Note is safe.
+	simulate := func() (*core.Result, error) {
+		simStart := time.Now()
+		res, err := core.Run(ctx, cfg)
+		if err != nil {
+			var oom *model.ErrOOM
+			if errors.As(err, &oom) {
+				noteSimulated(outcomeOOM, time.Since(simStart), nil)
+			} else {
+				noteSimulated(outcomeError, time.Since(simStart), nil)
+			}
+			return nil, err
+		}
+		noteSimulated(outcomeOK, time.Since(simStart), res)
+		if r.Cache != nil {
+			if err := r.Cache.Put(key, res); err != nil {
+				// A cache write failure costs recomputation later, not
+				// correctness now — the point stays successful.
+				pt.Note = fmt.Sprintf("cache put: %v", err)
+				mCachePutErrors.With(string(cacheName(r.Cache))).Inc()
+			}
+		}
+		return res, nil
+	}
+
+	var res *core.Result
+	var err2 error
+	if r.Flight != nil {
+		// The Flight implementation counts leaders and waiters in
+		// telemetry; per-job provenance rides on the point.
+		res, pt.Coalesced, err2 = r.Flight.Do(ctx, key, simulate)
+	} else {
+		res, err2 = simulate()
+	}
+	if err2 != nil {
 		var oom *model.ErrOOM
-		if errors.As(err, &oom) {
+		if errors.As(err2, &oom) {
 			pt.OOM = oom
-			noteSimulated(outcomeOOM, time.Since(simStart), nil)
 		} else {
-			pt.Err = err
-			pt.ErrString = err.Error()
-			noteSimulated(outcomeError, time.Since(simStart), nil)
+			pt.Err = err2
+			pt.ErrString = err2.Error()
 		}
 		return pt
 	}
-	noteSimulated(outcomeOK, time.Since(simStart), res)
 	pt.Res = res
-	if r.Cache != nil {
-		if err := r.Cache.Put(key, res); err != nil {
-			// A cache write failure costs recomputation later, not
-			// correctness now — the point stays successful.
-			pt.Note = fmt.Sprintf("cache put: %v", err)
-			mCachePutErrors.With(string(cacheName(r.Cache))).Inc()
-		}
-	}
 	return pt
+}
+
+// Canonical returns a deep copy of the result with execution provenance
+// — cache hits, coalescing, notes, wall-clock — normalized out, leaving
+// only content that is a pure function of the executed grid. Equal
+// grids therefore yield byte-identical canonical results regardless of
+// cache state, scheduling interleavings, or an interrupt-and-resume in
+// between (cached results replay the engine stats their simulation
+// recorded, so Engine survives normalization).
+func (r *Result) Canonical() *Result {
+	out := *r
+	out.CacheHits = 0
+	out.CacheMisses = 0
+	out.Coalesced = 0
+	out.Elapsed = 0
+	out.Points = make([]Point, len(r.Points))
+	for i, p := range r.Points {
+		p.CacheHit = false
+		p.Coalesced = false
+		p.Note = ""
+		out.Points[i] = p
+	}
+	return &out
 }
