@@ -315,14 +315,15 @@ func BenchmarkMultiNodeFSDP(b *testing.B) {
 }
 
 // BenchmarkEngineScale is the engine's scale trajectory: one overlapped
-// FSDP iteration of GPT-3 XL at 8, 32, 128 and 512 ranks (H100 nodes of
+// FSDP iteration of GPT-3 XL at 8 to 4096 ranks (H100 nodes of
 // 8, hierarchical NVLink+NIC fabric beyond one node). ns/op and
 // allocs/op at each rank count are the numbers BENCH.md tracks; a
 // scheduling or allocation regression shows up here before it shows up
 // in a paper grid. The per-GPU batch is fixed at 1 so the task graph —
-// and therefore simulation cost — grows linearly with ranks.
+// and therefore simulation cost — grows linearly with ranks, while the
+// rank-symmetry fast path keeps the simulated portion at O(classes).
 func BenchmarkEngineScale(b *testing.B) {
-	for _, ranks := range []int{8, 32, 128, 512} {
+	for _, ranks := range []int{8, 32, 128, 512, 4096} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
 			nodes := (ranks + 7) / 8
 			cfg := core.Config{

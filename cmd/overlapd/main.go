@@ -31,7 +31,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
@@ -92,8 +91,8 @@ func main() {
 	// peer protocol itself serves only the local tiers, so replicas
 	// pointing at each other never recurse.
 	var cache sweep.Cache = local
-	if *peers != "" {
-		hc, err := store.NewHTTPCache(strings.Split(*peers, ","), nil)
+	if list := store.SplitPeers(*peers); len(list) > 0 {
+		hc, err := store.NewHTTPCache(list, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@ package collective
 
 import (
 	"fmt"
+	"math"
 
 	"overlapsim/internal/hw"
 	"overlapsim/internal/topo"
@@ -141,6 +142,71 @@ func Prepare(d Desc, f topo.Fabric) (Desc, float64) {
 	d.wireBW = BW(d, f)
 	d.participants = d.Participants()
 	return d, EffWireBytes(d, f)
+}
+
+// Preparer memoizes Prepare against one fabric. Strategy builders emit
+// the same few descriptor shapes hundreds of times per plan (one gather
+// per layer per iteration, all with identical bytes), and the tier
+// decomposition behind Prepare is not free at cluster scale — the memo
+// turns plan construction's Prepare cost from O(collectives) fabric
+// walks into O(distinct shapes). Results are exact: a hit returns the
+// identical prepared constants, renamed for the caller.
+type Preparer struct {
+	fabric topo.Fabric
+	m      map[prepSig][]prepEntry
+}
+
+// prepSig is the comparable part of a descriptor's Prepare inputs;
+// Ranks/Group are verified exactly on the entry list.
+type prepSig struct {
+	op          Op
+	bytes       uint64
+	n, src, dst int
+	nRank, nGrp int
+}
+
+type prepEntry struct {
+	ranks, group []int
+	prepared     Desc
+	work         float64
+}
+
+// NewPreparer returns a memoizing Prepare bound to the fabric.
+func NewPreparer(f topo.Fabric) *Preparer {
+	return &Preparer{fabric: f, m: make(map[prepSig][]prepEntry)}
+}
+
+// Prepare is Prepare(d, fabric) with memoization. Gated descriptors are
+// never cached (a gate is runtime identity, not shape); set Gate after
+// preparing, as the builders do.
+func (p *Preparer) Prepare(d Desc) (Desc, float64) {
+	if d.Gate != nil {
+		return Prepare(d, p.fabric)
+	}
+	sig := prepSig{op: d.Op, bytes: math.Float64bits(d.Bytes),
+		n: d.N, src: d.Src, dst: d.Dst, nRank: len(d.Ranks), nGrp: len(d.Group)}
+	for _, e := range p.m[sig] {
+		if intsEqual(e.ranks, d.Ranks) && intsEqual(e.group, d.Group) {
+			out := e.prepared
+			out.Name = d.Name
+			return out, e.work
+		}
+	}
+	pd, w := Prepare(d, p.fabric)
+	p.m[sig] = append(p.m[sig], prepEntry{ranks: d.Ranks, group: d.Group, prepared: pd, work: w})
+	return pd, w
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // WireBW returns the per-rank wire bandwidth on the fabric, using the

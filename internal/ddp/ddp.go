@@ -96,7 +96,7 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local,
 		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup, Symmetry: exec.SymmetryRanks}
 	for it := 0; it < p.Warmup+p.Iterations; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -114,6 +114,7 @@ type builder struct {
 	computeS []*sim.Stream
 	commS    *sim.Stream
 	chain    *exec.Chain
+	prep     *collective.Preparer
 
 	prevIterEnd []*sim.Task
 }
@@ -146,7 +147,10 @@ func (b *builder) newCompute(name string, op exec.Op) []*sim.Task {
 
 func (b *builder) newAllReduce(name string, bytes float64) *sim.Task {
 	cd := collective.Desc{Name: name, Op: collective.AllReduce, Bytes: bytes, N: b.n}
-	cd, work := collective.Prepare(cd, b.cl.Fabric())
+	if b.prep == nil {
+		b.prep = collective.NewPreparer(b.cl.Fabric())
+	}
+	cd, work := b.prep.Prepare(cd)
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
 		t := b.batch.Task(name, sim.KindComm, work, cd, s)

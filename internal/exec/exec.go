@@ -55,8 +55,21 @@ type Plan struct {
 	// Warmup is the number of leading iterations excluded from
 	// measurement.
 	Warmup int
+	// Symmetry is the builder's rank-symmetry annotation. It only
+	// steers whether the runner probes for collapsible classes; the
+	// collapse itself is gated on structural proof (see symmetry.go).
+	Symmetry Symmetry
+	// NoCollapse disables the symmetry fast path even when detection
+	// would prove it (differential tests, reference benchmarks).
+	NoCollapse bool
+	// Parallel controls pooled epoch execution: 0 sizes a worker pool
+	// automatically from the live task count, 1 forces serial execution,
+	// n > 1 forces an n-worker pool.
+	Parallel int
 
-	ran bool
+	ran        bool
+	classes    []sim.Class
+	ghostTasks int
 }
 
 // Run executes the simulation.
@@ -67,13 +80,60 @@ func (p *Plan) Run() error {
 
 // RunContext executes the simulation, stopping early with ctx.Err() when
 // ctx is cancelled. A cancelled plan cannot be re-run.
+//
+// Before running, the plan applies the rank-symmetry fast path: it
+// detects structurally identical devices, simulates one representative
+// per class, and reconstructs the ghost ranks' timelines and telemetry
+// afterwards — bit-identical to the full simulation, O(classes) instead
+// of O(ranks). Wide plans additionally execute their per-epoch scans on
+// a worker pool (see Parallel). Collapse requires a deterministic rate
+// model; jittered clusters always run in full.
 func (p *Plan) RunContext(ctx context.Context) error {
 	if p.ran {
 		return fmt.Errorf("exec: plan already ran")
 	}
 	p.ran = true
-	return p.Engine.RunContext(ctx)
+	live := len(p.Engine.Tasks())
+	collapsible := !p.NoCollapse && p.Symmetry != SymmetryNone &&
+		(p.Cluster == nil || p.Cluster.Deterministic())
+	if collapsible {
+		classes := p.mergeableClasses(p.Engine.DetectClasses(PayloadEq))
+		if ghosts := p.Engine.Collapse(classes); ghosts > 0 {
+			p.classes = classes
+			p.ghostTasks = ghosts
+			live -= ghosts
+			if p.Cluster != nil {
+				p.Cluster.SetAliases(aliasVector(p.Cluster.N(), classes))
+			}
+		}
+	}
+	if pool := p.newPool(live); pool != nil {
+		p.Engine.SetPool(pool)
+		if p.Cluster != nil {
+			p.Cluster.SetPool(pool)
+		}
+		defer func() {
+			p.Engine.SetPool(nil)
+			if p.Cluster != nil {
+				p.Cluster.SetPool(nil)
+			}
+			pool.Close()
+		}()
+	}
+	err := p.Engine.RunContext(ctx)
+	if err == nil && p.ghostTasks > 0 && p.Cluster != nil {
+		p.Cluster.FinalizeAliases()
+	}
+	return err
 }
+
+// GhostTasks reports how many tasks the symmetry fast path reconstructed
+// instead of simulating (zero before the plan runs or when it ran in
+// full).
+func (p *Plan) GhostTasks() int { return p.ghostTasks }
+
+// CollapsedClasses returns the symmetry classes the run actually merged.
+func (p *Plan) CollapsedClasses() []sim.Class { return p.classes }
 
 // ErrNotRun is returned when a plan's measurements are requested before
 // the plan has executed.
@@ -95,11 +155,32 @@ func (p *Plan) MeasuredIterations() ([]metrics.Iteration, error) {
 	if !p.ran {
 		return nil, fmt.Errorf("MeasuredIterations: %w", ErrNotRun)
 	}
+	alias := p.measureAlias()
 	var out []metrics.Iteration
 	for i := p.Warmup; i < len(p.Iterations); i++ {
-		out = append(out, IterationMeasurement(p.Iterations[i]))
+		out = append(out, iterationMeasurement(p.Iterations[i], alias))
 	}
 	return out, nil
+}
+
+// measureAlias flattens the collapsed classes into a device→rep map for
+// measurement extraction, or nil when the plan ran in full.
+func (p *Plan) measureAlias() []int {
+	if len(p.classes) == 0 {
+		return nil
+	}
+	n := 0
+	for _, c := range p.classes {
+		for _, m := range c.Members {
+			if m >= n {
+				n = m + 1
+			}
+		}
+	}
+	if p.Cluster != nil && p.Cluster.N() > n {
+		n = p.Cluster.N()
+	}
+	return aliasVector(n, p.classes)
 }
 
 // MeasuredTimeline returns the merged kernel timeline of the measured
@@ -123,20 +204,59 @@ func (p *Plan) MeasuredTimeline() (*trace.Timeline, error) {
 // devices present so that Eq. 4's subtraction of the absolute compute
 // slowdown from the wall-clock E2E is dimensionally per-GPU.
 func IterationMeasurement(tasks []*sim.Task) metrics.Iteration {
-	tl := trace.FromTasks(tasks)
+	return iterationMeasurement(tasks, nil)
+}
+
+// iterationMeasurement is IterationMeasurement with an optional
+// device→representative alias map from a collapsed run. With aliases the
+// timeline is built over representative devices only and each ghost
+// device contributes its representative's cached per-device tuple — the
+// same additions in the same device order as the full extraction, since
+// a ghost's intervals are bitwise copies of its representative's. The
+// result is bit-identical either way.
+func iterationMeasurement(tasks []*sim.Task, alias []int) metrics.Iteration {
+	var keep func(device int) bool
+	if alias != nil {
+		keep = func(device int) bool {
+			return device >= len(alias) || alias[device] == device
+		}
+	}
+	tl := trace.FromTasksKept(tasks, keep)
 	var it metrics.Iteration
 	devs := tl.Devices()
 	if len(devs) == 0 {
 		return it
 	}
-	for _, d := range devs {
-		computeT, commT, computeOv, commOv := tl.DeviceOverlap(d)
-		it.ComputeKernelTime += computeT
-		it.CommKernelTime += commT
-		it.OverlappedComputeTime += computeOv
-		it.OverlappedCommTime += commOv
+	n := 0.0
+	if alias == nil {
+		for _, d := range devs {
+			computeT, commT, computeOv, commOv := tl.DeviceOverlap(d)
+			it.ComputeKernelTime += computeT
+			it.CommKernelTime += commT
+			it.OverlappedComputeTime += computeOv
+			it.OverlappedCommTime += commOv
+		}
+		n = float64(len(devs))
+	} else {
+		type overlap struct{ computeT, commT, computeOv, commOv float64 }
+		cache := make(map[int]overlap, len(devs))
+		for _, d := range devs {
+			var o overlap
+			o.computeT, o.commT, o.computeOv, o.commOv = tl.DeviceOverlap(d)
+			cache[d] = o
+		}
+		for d := 0; d < len(alias); d++ {
+			o, ok := cache[alias[d]]
+			if !ok {
+				continue // device without intervals in the full timeline either
+			}
+			it.ComputeKernelTime += o.computeT
+			it.CommKernelTime += o.commT
+			it.OverlappedComputeTime += o.computeOv
+			it.OverlappedCommTime += o.commOv
+			n++
+		}
 	}
-	n := float64(len(devs))
 	it.ComputeKernelTime /= n
 	it.CommKernelTime /= n
 	it.OverlappedComputeTime /= n

@@ -98,7 +98,7 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 	b := &builder{cfg: p, eng: eng, cl: cl, n: n, local: local,
 		batch: exec.NewBatch(eng, estimate)}
 	b.makeStreams()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup, Symmetry: exec.SymmetryRanks}
 	for it := 0; it < total; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -118,6 +118,7 @@ type builder struct {
 	agS      *sim.Stream // all-gather stream (parameter prefetch)
 	rsS      *sim.Stream // reduce-scatter stream (gradient sync)
 	chain    *exec.Chain
+	prep     *collective.Preparer
 
 	// prevIterEnd holds the last task per device of the previous
 	// iteration (the optimizer step) used as the iteration barrier.
@@ -159,7 +160,10 @@ func (b *builder) newCollective(name string, op collective.Op, bytes float64) *s
 		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
-	cd, work := collective.Prepare(cd, b.cl.Fabric())
+	if b.prep == nil {
+		b.prep = collective.NewPreparer(b.cl.Fabric())
+	}
+	cd, work := b.prep.Prepare(cd)
 	var t *sim.Task
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)

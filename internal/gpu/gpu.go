@@ -75,6 +75,16 @@ type Cluster struct {
 	// per-epoch device sweeps skip the fixed-point solve on quiet devices.
 	idleFreq float64
 	idleW    float64
+
+	// alias maps each device to its symmetry-class representative when a
+	// collapsed plan runs (see SetAliases); active lists the devices that
+	// are actually simulated. Both nil for a full simulation.
+	alias  []int
+	active []int
+
+	// pool, when set, splits the per-device rate and power loops across
+	// workers (deterministic configurations only).
+	pool *sim.Pool
 }
 
 var (
@@ -172,10 +182,21 @@ func (c *Cluster) jitterFor(t *sim.Task) float64 {
 }
 
 // partition groups the running tasks by device into compute and comm sets.
+// Aliased (collapsed) devices are excluded: their timelines come from the
+// class representative, so accumulating per-epoch comm sets for them would
+// re-introduce the O(ranks) cost the collapse removed.
 func (c *Cluster) partition(running []*sim.Task) {
-	for i := range c.compute {
-		c.compute[i] = c.compute[i][:0]
-		c.comms[i] = c.comms[i][:0]
+	alias := c.alias
+	if c.active != nil {
+		for _, i := range c.active {
+			c.compute[i] = c.compute[i][:0]
+			c.comms[i] = c.comms[i][:0]
+		}
+	} else {
+		for i := range c.compute {
+			c.compute[i] = c.compute[i][:0]
+			c.comms[i] = c.comms[i][:0]
+		}
 	}
 	for _, t := range running {
 		switch p := t.Payload().(type) {
@@ -187,10 +208,15 @@ func (c *Cluster) partition(running []*sim.Task) {
 				// A posted receive spins only on the destination; the
 				// sender's kernel does not launch until the producer is
 				// done.
-				c.comms[p.Dst] = append(c.comms[p.Dst], t)
+				if alias == nil || alias[p.Dst] == p.Dst {
+					c.comms[p.Dst] = append(c.comms[p.Dst], t)
+				}
 				continue
 			}
 			for _, r := range p.Participants() {
+				if alias != nil && alias[r] != r {
+					continue
+				}
 				c.comms[r] = append(c.comms[r], t)
 			}
 		default:
@@ -224,18 +250,18 @@ func (c *Cluster) Rates(now float64, running []*sim.Task) {
 		}
 	}
 
-	for dev := 0; dev < c.N(); dev++ {
+	c.eachDevice(func(dev int) {
 		nCompute := len(c.compute[dev])
 		if nCompute == 0 && len(c.comms[dev]) == 0 {
 			// Fully idle device: the cap solution is a constant,
 			// precomputed in New.
 			c.freq[dev] = c.idleFreq
-			continue
+			return
 		}
 		smStolen, hbmStolen, serialize := c.pressure(dev)
 		if nCompute == 0 {
 			c.freq[dev] = c.solveFreqIdleComm(dev)
-			continue
+			return
 		}
 
 		// Fixed-point iteration between rate and DVFS frequency: rates
@@ -265,6 +291,110 @@ func (c *Cluster) Rates(now float64, running []*sim.Task) {
 			}
 			t.SetRate(r * c.jitterFor(t))
 		}
+	})
+}
+
+// SetAliases installs the device→representative map of a collapsed plan
+// (alias[d] == d for simulated devices, the class representative for the
+// rest). A nil or identity map restores full simulation. The map must
+// cover every device. Callers must install aliases before the run and
+// call FinalizeAliases after it.
+func (c *Cluster) SetAliases(alias []int) {
+	c.alias, c.active = nil, nil
+	if alias == nil || len(alias) < c.n {
+		return
+	}
+	identity := true
+	for d := 0; d < c.n; d++ {
+		if alias[d] != d {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return
+	}
+	c.alias = alias
+	for d := 0; d < c.n; d++ {
+		// Clear ghost scratch once here: partition only resets active
+		// devices from now on.
+		c.compute[d] = c.compute[d][:0]
+		c.comms[d] = c.comms[d][:0]
+		if alias[d] == d {
+			c.active = append(c.active, d)
+		}
+	}
+}
+
+// FinalizeAliases back-fills aliased devices' telemetry from their class
+// representatives after a collapsed run. Sharing the sampler and trace
+// by reference is exact, not an approximation: class members of a
+// deterministic run would have produced bit-identical telemetry.
+func (c *Cluster) FinalizeAliases() {
+	if c.alias == nil {
+		return
+	}
+	for d := 0; d < c.n; d++ {
+		rep := c.alias[d]
+		if rep == d {
+			continue
+		}
+		c.freq[d] = c.freq[rep]
+		c.samplers[d] = c.samplers[rep]
+		if c.traces != nil {
+			c.traces[d] = c.traces[rep]
+		}
+	}
+}
+
+// Deterministic reports whether the rate model is free of run-to-run
+// jitter — the precondition for collapsing symmetry classes and for
+// pooled device loops.
+func (c *Cluster) Deterministic() bool { return c.cfg.JitterSigma <= 0 }
+
+// SetPool attaches a worker pool for the per-device rate and power
+// loops. Ignored when jitter is enabled: the jitter cache and its
+// generator are shared across devices and must stay single-threaded.
+func (c *Cluster) SetPool(p *sim.Pool) {
+	if !c.Deterministic() {
+		return
+	}
+	c.pool = p
+}
+
+// poolMinDevices is the simulated-device count below which the
+// per-device loops stay serial.
+const poolMinDevices = 64
+
+// eachDevice runs fn once per simulated device. Devices are independent
+// within an epoch (each owns its freq slot, sampler and task rates), so
+// wide loops split across the pool; order does not matter because no
+// cross-device state is written.
+func (c *Cluster) eachDevice(fn func(dev int)) {
+	if c.active != nil {
+		if c.pool != nil && len(c.active) >= poolMinDevices {
+			c.pool.RunRange(len(c.active), func(_, lo, hi int) {
+				for _, dev := range c.active[lo:hi] {
+					fn(dev)
+				}
+			})
+			return
+		}
+		for _, dev := range c.active {
+			fn(dev)
+		}
+		return
+	}
+	if c.pool != nil && c.n >= poolMinDevices {
+		c.pool.RunRange(c.n, func(_, lo, hi int) {
+			for dev := lo; dev < hi; dev++ {
+				fn(dev)
+			}
+		})
+		return
+	}
+	for dev := 0; dev < c.n; dev++ {
+		fn(dev)
 	}
 }
 
@@ -424,7 +554,7 @@ func (c *Cluster) Segment(t0, t1 float64, running []*sim.Task) {
 		c.partition(running)
 	}
 	c.partFresh = false
-	for dev := 0; dev < c.N(); dev++ {
+	c.eachDevice(func(dev int) {
 		var w float64
 		if len(c.compute[dev]) == 0 && len(c.comms[dev]) == 0 && c.freq[dev] == c.idleFreq {
 			w = c.idleW
@@ -435,7 +565,7 @@ func (c *Cluster) Segment(t0, t1 float64, running []*sim.Task) {
 		if c.traces != nil {
 			c.traces[dev].Add(t0, t1, w)
 		}
-	}
+	})
 }
 
 // segmentActivity reads activity directly from the rates the platform

@@ -195,7 +195,7 @@ func BuildSchedule(cl *gpu.Cluster, cfg strategy.Params, sched Schedule) (*exec.
 	b := &builder{cfg: cfg, sched: sched, eng: eng, cl: cl, n: n,
 		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup}
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: cfg.Warmup, Symmetry: exec.SymmetryNone}
 	for it := 0; it < total; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -214,6 +214,7 @@ type builder struct {
 	fwdLink  []*sim.Stream // fwdLink[s]: transfers stage s -> s+1
 	bwdLink  []*sim.Stream // bwdLink[s]: transfers stage s+1 -> s
 	chain    *exec.Chain
+	prep     *collective.Preparer
 
 	fwdOp    []exec.Op // per stage, pre-boxed fused kernels
 	bwdOp    []exec.Op
@@ -319,7 +320,10 @@ func (b *builder) buildIteration(it int) []*sim.Task {
 			name = fmt.Sprintf("it%d.send.bwd.s%d.mb%d", it, k.link, k.mb)
 		}
 		cd := collective.Desc{Name: name, Op: collective.SendRecv, Bytes: b.actBytes, N: 2, Src: src, Dst: dst}
-		cd, work := collective.Prepare(cd, b.cl.Fabric())
+		if b.prep == nil {
+			b.prep = collective.NewPreparer(b.cl.Fabric())
+		}
+		cd, work := b.prep.Prepare(cd)
 		var t *sim.Task
 		if b.sequential() {
 			s := b.eng.NewStream("seq."+name, src)

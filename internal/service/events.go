@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // SSE progress streaming: GET /v1/{sweeps,advise}/{id}/events replaces
@@ -66,6 +67,14 @@ func (s *Server) handleEvents(kind jobKind) http.HandlerFunc {
 
 		ch, unsubscribe := j.subscribe()
 		defer unsubscribe()
+		// Keepalive comments defeat intermediary idle timeouts: a sweep
+		// can legitimately go minutes between progress events, and a
+		// proxy that reaps the idle connection does so silently — the
+		// client never receives the terminal "done". Comment lines are
+		// invisible to EventSource consumers, so the event schema is
+		// unchanged.
+		keepalive := time.NewTicker(s.opts.KeepAlive)
+		defer keepalive.Stop()
 		for {
 			body := j.body(false)
 			if body.Status != statusRunning {
@@ -78,6 +87,7 @@ func (s *Server) handleEvents(kind jobKind) http.HandlerFunc {
 				return
 			}
 			flusher.Flush()
+		idle:
 			select {
 			case <-r.Context().Done():
 				return
@@ -85,6 +95,12 @@ func (s *Server) handleEvents(kind jobKind) http.HandlerFunc {
 				// Server shutdown: end the stream so the HTTP drain can
 				// complete; clients reconnect to the restarted server.
 				return
+			case <-keepalive.C:
+				if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+					return
+				}
+				flusher.Flush()
+				goto idle
 			case <-ch:
 			}
 		}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A long-running job can legitimately go minutes between progress
+// events; without traffic, proxy idle timeouts reap the connection and
+// the client silently loses the terminal "done". The stream therefore
+// emits SSE comment lines while idle — invisible to event parsers, but
+// keeping the connection warm — and the slow consumer still receives
+// the done event when the job finishes.
+func TestEventsKeepAlive(t *testing.T) {
+	srv := New(Options{KeepAlive: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	// A running job with no progress traffic: the stream sits idle after
+	// the first snapshot, exactly the window keepalives exist for.
+	srv.mu.Lock()
+	j := srv.registerLocked("sweep-keepalive", kindSweep, "idle", 3, time.Now())
+	srv.mu.Unlock()
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sweep-keepalive/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+
+	// Finish the job only after several keepalive intervals have passed
+	// with the consumer attached.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		j.mu.Lock()
+		j.status = statusDone
+		j.completed = j.total
+		j.notifyLocked()
+		j.mu.Unlock()
+		// Balance the running-jobs gauge, as the real run loop does.
+		srv.finishJob(j, statusDone)
+	}()
+
+	keepalives, done := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ":") {
+			keepalives++
+		}
+		if line == "event: done" {
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("stream ended without the terminal done event")
+	}
+	if keepalives == 0 {
+		t.Error("no keepalive comments on an idle stream")
+	}
+}
+
+// KeepAlive defaults when unset, so existing constructors keep their
+// behavior without opting in.
+func TestKeepAliveDefault(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	if srv.opts.KeepAlive != DefaultKeepAlive {
+		t.Fatalf("KeepAlive = %v, want %v", srv.opts.KeepAlive, DefaultKeepAlive)
+	}
+}

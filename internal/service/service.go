@@ -77,7 +77,16 @@ type Options struct {
 	// Logger receives one structured line per request and per job
 	// transition; nil discards logs.
 	Logger *slog.Logger
+	// KeepAlive is the idle interval after which an event stream emits
+	// an SSE comment line, so proxies and load balancers with idle
+	// timeouts do not silently reap a healthy connection between
+	// progress events (<= 0 means DefaultKeepAlive).
+	KeepAlive time.Duration
 }
+
+// DefaultKeepAlive is the event-stream keepalive interval: shorter than
+// the common 30–60 s proxy idle timeouts, long enough to stay noise.
+const DefaultKeepAlive = 15 * time.Second
 
 // DefaultMaxSweepPoints bounds the grid size one job may submit.
 const DefaultMaxSweepPoints = 4096
@@ -172,6 +181,9 @@ func New(opts Options) *Server {
 	}
 	if opts.Logger == nil {
 		opts.Logger = telemetry.NopLogger()
+	}
+	if opts.KeepAlive <= 0 {
+		opts.KeepAlive = DefaultKeepAlive
 	}
 	//overlaplint:allow ctxflow server-lifetime root context: jobs outlive the submitting request by design; Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())

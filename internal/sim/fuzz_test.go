@@ -157,3 +157,102 @@ func FuzzEngine(f *testing.F) {
 		}
 	})
 }
+
+// symFuzzDAG builds a rank-replicated DAG from fuzz bytes: byte 0 →
+// rank count (2..9), byte 1 → per-rank slot count (1..12), then per
+// slot two bytes (work selector, dependency selector). Every rank gets
+// the identical schedule hanging off one shared source, converging on
+// one shared sink — the strategy-builder shape — except that a high
+// dependency byte perturbs the work of one rank's slot, breaking that
+// rank out of the class. Payloads are template slot indices, so the
+// exported PayloadEq stand-in (plain int equality) pairs counterparts.
+func symFuzzDAG(data []byte) (*Engine, [][]*Task) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	ranks := int(data[0])%8 + 2
+	slots := int(data[1])%12 + 1
+	at := func(i int) byte {
+		if 2+i < len(data) {
+			return data[2+i]
+		}
+		return byte(i * 53)
+	}
+	e := NewEngine(PlatformFunc(func(now float64, running []*Task) {
+		for _, t := range running {
+			t.SetRate(float64(t.Payload().(int)%4) + 0.25)
+		}
+	}))
+	shared := e.NewStream("shared", ranks)
+	src := e.NewTask("src", KindCompute, 1, 1000, shared)
+	tasks := make([][]*Task, ranks)
+	for r := 0; r < ranks; r++ {
+		s := e.NewStream(name(r), r)
+		tasks[r] = make([]*Task, slots)
+		for i := 0; i < slots; i++ {
+			wb, db := at(2*i), at(2*i+1)
+			work := float64(wb%40)/8 + 0.25
+			if db >= 250 && r == ranks-1 {
+				work *= 2 // perturb the last rank out of the class
+			}
+			t := e.NewTask(name(i), Kind(int(wb)%3), work, i, s)
+			if i == 0 {
+				t.After(src)
+			} else {
+				t.After(tasks[r][int(db)%i])
+				t.After(tasks[r][i-1])
+			}
+			tasks[r][i] = t
+		}
+	}
+	sink := e.NewTask("sink", KindCompute, 1, 1001, shared)
+	for r := 0; r < ranks; r++ {
+		sink.After(tasks[r][slots-1])
+	}
+	return e, tasks
+}
+
+// FuzzEngineSymmetry is the collapse differential: whatever classes the
+// detector proves on a fuzzed rank-replicated DAG, the collapsed run
+// must reproduce the full run bit for bit — every task end, the ghosts'
+// reconstructed times included, and the terminal clock.
+func FuzzEngineSymmetry(f *testing.F) {
+	f.Add([]byte{4, 6, 0x10, 0x81, 0x05, 0x1f, 0x40, 0xd0})
+	f.Add([]byte{2, 1})
+	f.Add([]byte{7, 11, 9, 200, 210, 31, 129, 250, 17, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refTasks := symFuzzDAG(data)
+		if ref == nil {
+			return
+		}
+		errRef := ref.Run()
+
+		e, tasks := symFuzzDAG(data)
+		classes := e.DetectClasses(func(a, b any) bool { return a == b })
+		ghosts := e.Collapse(classes)
+		err := e.Run()
+
+		if (errRef == nil) != (err == nil) {
+			t.Fatalf("collapsed run disagrees on success: %v vs %v (ghosts=%d)", err, errRef, ghosts)
+		}
+		if errRef != nil {
+			return // deadlocked inputs carry no timeline to compare
+		}
+		for r := range tasks {
+			for i := range tasks[r] {
+				g, fl := tasks[r][i], refTasks[r][i]
+				if !g.Done() {
+					t.Fatalf("rank %d slot %d unfinished after collapsed run", r, i)
+				}
+				if math.Float64bits(g.Start()) != math.Float64bits(fl.Start()) ||
+					math.Float64bits(g.End()) != math.Float64bits(fl.End()) {
+					t.Fatalf("rank %d slot %d diverged: [%g,%g] vs [%g,%g] (ghosts=%d)",
+						r, i, g.Start(), g.End(), fl.Start(), fl.End(), ghosts)
+				}
+			}
+		}
+		if math.Float64bits(e.Now()) != math.Float64bits(ref.Now()) {
+			t.Fatalf("terminal time diverged: %g vs %g", e.Now(), ref.Now())
+		}
+	})
+}

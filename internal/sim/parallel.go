@@ -1,0 +1,104 @@
+package sim
+
+import "sync"
+
+// Pool runs sharded per-epoch work across persistent worker goroutines.
+//
+// The engine's epoch structure is a sequence of barriers: every epoch the
+// platform recomputes rates for all running tasks, the scheduler scans
+// them for the epoch length, decrements residual work, and retires the
+// finished. Each of those passes is embarrassingly parallel over tasks
+// (or devices), and the barrier between passes is the only
+// synchronization the fluid model needs. Pool provides exactly that
+// shape: Run/RunRange fan a function out over fixed contiguous shards
+// and return only when every shard finished, so the caller's view before
+// and after is identical to a serial pass. Shards are contiguous and
+// merge order is fixed (shard 0, 1, 2, ...), which keeps pooled runs
+// bit-identical to serial ones.
+//
+// Workers are persistent: a run at ranks=4096 executes hundreds of
+// thousands of epochs, so per-epoch goroutine spawning would dominate.
+// The calling goroutine always executes shard 0 itself, so a Pool of n
+// workers uses n-1 background goroutines.
+type Pool struct {
+	n    int
+	work []chan func()
+	wg   sync.WaitGroup
+}
+
+// NewPool returns a pool of n workers, or nil when n < 2 (a nil *Pool is
+// valid and executes everything serially on the caller). Close must be
+// called to release the background goroutines.
+func NewPool(n int) *Pool {
+	if n < 2 {
+		return nil
+	}
+	p := &Pool{n: n, work: make([]chan func(), n-1)}
+	for i := range p.work {
+		ch := make(chan func())
+		p.work[i] = ch
+		go func() {
+			for fn := range ch {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the number of shards Run and RunRange split into (1 for
+// a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// Run executes fn(shard) for every shard in [0, Workers()) concurrently
+// and returns when all have finished. The caller runs shard 0.
+func (p *Pool) Run(fn func(shard int)) {
+	if p == nil {
+		fn(0)
+		return
+	}
+	p.wg.Add(p.n - 1)
+	for i, ch := range p.work {
+		shard := i + 1
+		ch <- func() {
+			defer p.wg.Done()
+			fn(shard)
+		}
+	}
+	fn(0)
+	p.wg.Wait()
+}
+
+// RunRange splits [0, n) into Workers() contiguous shards and executes
+// fn(shard, lo, hi) for each. Shard boundaries depend only on n and the
+// worker count, so the same input always produces the same partition.
+func (p *Pool) RunRange(n int, fn func(shard, lo, hi int)) {
+	w := p.Workers()
+	if w == 1 || n < w {
+		fn(0, 0, n)
+		return
+	}
+	p.Run(func(shard int) {
+		lo := shard * n / w
+		hi := (shard + 1) * n / w
+		if lo < hi {
+			fn(shard, lo, hi)
+		}
+	})
+}
+
+// Close shuts the background workers down. The pool must not be used
+// after Close. Safe on a nil pool.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

@@ -41,6 +41,12 @@ type Stats struct {
 	Admissions int64 `json:"admissions"`
 	MaxRunning int   `json:"max_running"`
 
+	// CollapsedClasses counts multi-member symmetry classes merged by
+	// Collapse; GhostTasks the tasks whose timelines were reconstructed
+	// from a class representative instead of simulated.
+	CollapsedClasses int64 `json:"collapsed_classes,omitempty"`
+	GhostTasks       int   `json:"ghost_tasks,omitempty"`
+
 	// ArenaBytes is the total bytes of slab arenas allocated for tasks,
 	// successor chunks and stream sets; ArenaSlabs the number of slab
 	// allocations that provided them (fewer slabs per task = better
@@ -64,19 +70,21 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return Stats{
-		Tasks:          len(e.tasks),
-		TasksRetired:   retired,
-		Streams:        len(e.streams),
-		Epochs:         e.stEpochs,
-		InstantRounds:  e.stInstant,
-		StreamRechecks: e.stRechecks,
-		FullScanChecks: e.stAdmitPasses * int64(len(e.streams)),
-		Admissions:     e.stAdmissions,
-		MaxRunning:     e.stMaxRunning,
-		ArenaBytes:     e.stArenaBytes,
-		ArenaSlabs:     e.stSlabAllocs,
-		ReservedTasks:  e.stReserved,
-		SimTime:        e.now,
+		Tasks:            len(e.tasks),
+		TasksRetired:     retired,
+		Streams:          len(e.streams),
+		Epochs:           e.stEpochs,
+		InstantRounds:    e.stInstant,
+		StreamRechecks:   e.stRechecks,
+		FullScanChecks:   e.stAdmitPasses * int64(len(e.streams)),
+		Admissions:       e.stAdmissions,
+		MaxRunning:       e.stMaxRunning,
+		CollapsedClasses: e.stCollapsed,
+		GhostTasks:       e.stGhosts,
+		ArenaBytes:       e.stArenaBytes,
+		ArenaSlabs:       e.stSlabAllocs,
+		ReservedTasks:    e.stReserved,
+		SimTime:          e.now,
 	}
 }
 
@@ -92,6 +100,8 @@ func (s *Stats) Add(other Stats) {
 	s.StreamRechecks += other.StreamRechecks
 	s.FullScanChecks += other.FullScanChecks
 	s.Admissions += other.Admissions
+	s.CollapsedClasses += other.CollapsedClasses
+	s.GhostTasks += other.GhostTasks
 	if other.MaxRunning > s.MaxRunning {
 		s.MaxRunning = other.MaxRunning
 	}

@@ -20,12 +20,32 @@ func Compose(cacheDir, peers string) (*Tiered, error) {
 		}
 		tiers = append(tiers, dc)
 	}
-	if peers != "" {
-		hc, err := NewHTTPCache(strings.Split(peers, ","), nil)
+	if list := SplitPeers(peers); len(list) > 0 {
+		hc, err := NewHTTPCache(list, nil)
 		if err != nil {
 			return nil, err
 		}
 		tiers = append(tiers, hc)
 	}
 	return NewTiered(tiers...), nil
+}
+
+// SplitPeers parses a comma-separated peer list the way operators write
+// them: entries are whitespace-trimmed, empties (trailing commas,
+// doubled commas, a blank flag) are dropped, and duplicates collapse to
+// the first occurrence so one peer is never dialed twice per lookup.
+// Compose and the overlapd -peers flag share it, so the CLI and the
+// library accept the same grammar.
+func SplitPeers(peers string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
 }

@@ -49,8 +49,13 @@ func (f *Flight) Do(ctx context.Context, key string, fn func() (*core.Result, er
 		f.mu.Lock()
 		if c, ok := f.calls[key]; ok {
 			f.mu.Unlock()
-			mFlightWaiters.Inc()
-			waited = true
+			// Count each coalesced caller once, not once per retry: a
+			// waiter re-entering after a cancelled leader is still the
+			// same coalesced request.
+			if !waited {
+				mFlightWaiters.Inc()
+				waited = true
+			}
 			select {
 			case <-ctx.Done():
 				return nil, waited, ctx.Err()

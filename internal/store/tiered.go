@@ -44,10 +44,14 @@ func (t *Tiered) Get(key string) (*core.Result, bool) {
 			continue
 		}
 		// Promote into the faster tiers. Best effort: a failed promotion
-		// costs a slower lookup later, never correctness.
+		// costs a slower lookup later, never correctness — but it is not
+		// silent, either: each failure lands on the per-backend put-error
+		// series, where a persistently failing tier is visible.
 		for j := 0; j < i; j++ {
 			if err := t.tiers[j].Put(key, res); err == nil {
 				mTieredPromotions.Inc()
+			} else {
+				sweep.NotePutError(t.tiers[j])
 			}
 		}
 		return res, true

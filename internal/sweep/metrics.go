@@ -94,6 +94,22 @@ func cacheName(c Cache) cacheBackend {
 	}
 }
 
+// NotePutError records a failed cache write against the backend's
+// label on sweep_cache_put_errors_total. Composing caches (the store
+// package's tiered promotion path) use it to surface per-tier write
+// failures on the same series the sweep runner's write-through path
+// reports to.
+func NotePutError(c Cache) {
+	mCachePutErrors.With(string(cacheName(c))).Inc()
+}
+
+// PutErrors reads the cumulative failed-write count recorded against
+// the backend's label — the observability contract NotePutError writes
+// to, exported so composing packages can regression-test it.
+func PutErrors(c Cache) uint64 {
+	return mCachePutErrors.With(string(cacheName(c))).Value()
+}
+
 // noteFingerprint records a computed fingerprint and whether this
 // process has seen it before.
 func noteFingerprint(key string) {

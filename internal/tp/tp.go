@@ -124,7 +124,7 @@ func Build(cl *gpu.Cluster, p strategy.Params) (*exec.Plan, error) {
 	b := &builder{cfg: p, eng: eng, cl: cl, n: n, d: d, groups: groups, local: local,
 		batch: exec.NewBatch(eng, estimate)}
 	b.prepare()
-	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup}
+	plan := &exec.Plan{Engine: eng, Cluster: cl, Warmup: p.Warmup, Symmetry: exec.SymmetryRanks}
 	for it := 0; it < p.Warmup+p.Iterations; it++ {
 		plan.Iterations = append(plan.Iterations, b.buildIteration(it))
 	}
@@ -145,6 +145,7 @@ type builder struct {
 	tpS      []*sim.Stream // per-group tensor-parallel collective stream
 	dpS      *sim.Stream   // cross-group gradient all-reduce stream
 	chain    *exec.Chain
+	prep     *collective.Preparer
 
 	prevIterEnd []*sim.Task
 }
@@ -192,7 +193,10 @@ func (b *builder) newGroupColl(name string, gr int, op collective.Op, bytes floa
 		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
-	cd, work := collective.Prepare(cd, b.cl.Fabric())
+	if b.prep == nil {
+		b.prep = collective.NewPreparer(b.cl.Fabric())
+	}
+	cd, work := b.prep.Prepare(cd)
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, gr*b.d)
 		t := b.batch.Task(name, sim.KindComm, work, cd, s)
@@ -218,7 +222,10 @@ func (b *builder) newDPAllReduce(name string, bytes float64) *sim.Task {
 		//overlaplint:allow nopanic builder invariant: the descriptor is derived from an already-validated config, so Validate failing here is a bug
 		panic(err)
 	}
-	cd, work := collective.Prepare(cd, b.cl.Fabric())
+	if b.prep == nil {
+		b.prep = collective.NewPreparer(b.cl.Fabric())
+	}
+	cd, work := b.prep.Prepare(cd)
 	if b.sequential() {
 		s := b.eng.NewStream("seqcomm."+name, 0)
 		t := b.batch.Task(name, sim.KindComm, work, cd, s)

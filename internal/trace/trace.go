@@ -47,9 +47,18 @@ func New() *Timeline {
 // contribute an interval on every participant. Tasks that never ran are
 // skipped.
 func FromTasks(tasks []*sim.Task) *Timeline {
+	return FromTasksKept(tasks, nil)
+}
+
+// FromTasksKept builds a timeline restricted to the devices keep accepts
+// (nil keeps every device). The symmetry fast path uses it to extract
+// measurements from class representatives only: a collapsed device's
+// intervals are bitwise copies of its representative's, so skipping them
+// here loses no information and keeps measurement O(live devices).
+func FromTasksKept(tasks []*sim.Task, keep func(device int) bool) *Timeline {
 	tl := New()
 	for _, t := range tasks {
-		tl.AddTask(t)
+		tl.addTask(t, keep)
 	}
 	tl.sortAll()
 	return tl
@@ -57,15 +66,25 @@ func FromTasks(tasks []*sim.Task) *Timeline {
 
 // AddTask appends the intervals of one completed task.
 func (tl *Timeline) AddTask(t *sim.Task) {
+	tl.addTask(t, nil)
+}
+
+func (tl *Timeline) addTask(t *sim.Task, keep func(device int) bool) {
 	if !t.Done() {
 		return
 	}
 	switch p := t.Payload().(type) {
 	case kernels.Desc:
 		dev := t.Streams()[0].Device()
+		if keep != nil && !keep(dev) {
+			return
+		}
 		tl.add(Interval{Start: t.Start(), End: t.End(), Name: p.Name, Kind: sim.KindCompute, Device: dev})
 	case collective.Desc:
 		for _, r := range p.Participants() {
+			if keep != nil && !keep(r) {
+				continue
+			}
 			tl.add(Interval{Start: t.Start(), End: t.End(), Name: p.Name, Kind: sim.KindComm, Device: r})
 		}
 	}
