@@ -1,0 +1,254 @@
+// Command calibrate closes the simulated-vs-measured loop from the
+// command line. `calibrate fit` ingests a measured hardware profile
+// (matmul roofline sweep, collective bus-bandwidth sweep, step-time and
+// power breakdowns) and emits a hardware overlay JSON — an hw.Load
+// file whose calibrated GPU and system flow through every name-keyed
+// consumer (run, sweep, advise, overlapd) with no code changes.
+// `calibrate validate` replays the profiled workloads on both the stock
+// and the calibrated hardware and reports per-scenario and aggregate
+// error (MAPE on step time, energy and average power).
+//
+// -validate parses and resolves a profile — schema, measurement
+// sanity, registry names — without fitting anything; CI validates every
+// example profile this way. -hw-file loads user-defined hardware first,
+// so profiles can anchor to custom systems.
+//
+// Examples:
+//
+//	calibrate fit -profile examples/calibration/profile_h100x8.json -out overlay.json
+//	calibrate validate -profile examples/calibration/profile_h100x8.json
+//	calibrate -validate -profile examples/calibration/profile_h100x8.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"overlapsim/internal/calib"
+	"overlapsim/internal/hw"
+)
+
+func usage(out *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintf(out.Output(), `usage:
+  calibrate fit      -profile <profile.json> [-out overlay.json] [-override] [-suffix -cal] [-hw-file f]
+  calibrate validate -profile <profile.json> [-override] [-suffix -cal] [-hw-file f]
+                     [-csv f] [-json f] [-bench f] [-max-mape frac] [-require-improvement]
+  calibrate -validate -profile <profile.json> [-hw-file f]
+
+`)
+		out.PrintDefaults()
+		fmt.Fprintf(out.Output(), `
+example profiles:
+  examples/calibration/profile_h100x8.json  measured 8xH100 node (matmul, collective, step sweeps)
+`)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+
+	if len(os.Args) >= 2 {
+		switch os.Args[1] {
+		case "fit":
+			runFit(os.Args[2:])
+			return
+		case "validate":
+			runValidate(os.Args[2:])
+			return
+		}
+	}
+
+	// Top-level mode: the -validate spec check (and usage).
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	var (
+		profilePath = fs.String("profile", "", "measured profile JSON file")
+		hwFile      = fs.String("hw-file", "", "load custom GPUs/systems from this JSON file first")
+		validate    = fs.Bool("validate", false, "parse and validate the profile (schema, measurements, registry names) without fitting")
+	)
+	fs.Usage = usage(fs)
+	fs.Parse(os.Args[1:])
+	if !*validate {
+		fs.Usage()
+		log.Fatal("missing subcommand: fit or validate (or -validate for a spec check)")
+	}
+	loadHW(*hwFile)
+	p := parseProfile(*profilePath)
+	if _, err := resolveNames(p); err != nil {
+		log.Fatalf("invalid profile: %v", err)
+	}
+	fmt.Printf("profile %q ok: %d matmul, %d collective, %d step points on %s/%s\n",
+		p.Name, len(p.Matmuls), len(p.Collectives), len(p.Steps), p.GPU, p.System)
+}
+
+func runFit(args []string) {
+	fs := flag.NewFlagSet("calibrate fit", flag.ExitOnError)
+	var (
+		profilePath = fs.String("profile", "", `measured profile JSON file ("-" reads stdin)`)
+		outPath     = fs.String("out", "", `overlay output file (default stdout)`)
+		override    = fs.Bool("override", false, `emit "override": true entries that replace the stock hardware on load`)
+		suffix      = fs.String("suffix", calib.DefaultSuffix, "name suffix for the calibrated GPU/system (ignored with -override)")
+		hwFile      = fs.String("hw-file", "", "load custom GPUs/systems from this JSON file first")
+		quiet       = fs.Bool("q", false, "suppress the fit notes")
+	)
+	fs.Usage = usage(fs)
+	fs.Parse(args)
+	loadHW(*hwFile)
+	p := parseProfile(*profilePath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	f, err := calib.Fit(ctx, p, calib.FitOptions{Suffix: *suffix, Override: *override})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		for _, n := range f.Notes {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "fitted %s -> %s, %s -> %s\n", f.BaseGPU, f.GPU.Name, f.BaseSystem, f.System.Name)
+	}
+	overlay, err := f.Overlay()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outPath == "" || *outPath == "-" {
+		os.Stdout.Write(overlay)
+		return
+	}
+	if err := os.WriteFile(*outPath, overlay, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("calibrate validate", flag.ExitOnError)
+	var (
+		profilePath = fs.String("profile", "", `measured profile JSON file ("-" reads stdin)`)
+		override    = fs.Bool("override", false, "fit in override mode (calibrated hardware keeps the stock names)")
+		suffix      = fs.String("suffix", calib.DefaultSuffix, "name suffix for the calibrated GPU/system (ignored with -override)")
+		hwFile      = fs.String("hw-file", "", "load custom GPUs/systems from this JSON file first")
+		csvPath     = fs.String("csv", "", "also write the per-scenario table as CSV to this file")
+		jsonPath    = fs.String("json", "", `also write the report as JSON to this file ("-" writes stdout)`)
+		benchPath   = fs.String("bench", "", "append the report as Markdown table rows to this file (BENCH.md trajectory)")
+		maxMAPE     = fs.Float64("max-mape", 0, "exit nonzero if the calibrated aggregate MAPE exceeds this fraction (0 = no threshold)")
+		requireImp  = fs.Bool("require-improvement", false, "exit nonzero unless calibration lowers the aggregate MAPE")
+		quiet       = fs.Bool("q", false, "suppress the table (aggregate lines only)")
+	)
+	fs.Usage = usage(fs)
+	fs.Parse(args)
+	loadHW(*hwFile)
+	p := parseProfile(*profilePath)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	f, err := calib.Fit(ctx, p, calib.FitOptions{Suffix: *suffix, Override: *override})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := calib.Validate(ctx, p, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		if err := rep.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("stock MAPE %.2f%%, calibrated MAPE %.2f%%\n",
+			rep.StockError.MAPE*100, rep.CalibratedError.MAPE*100)
+	}
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *benchPath != "" {
+		out, err := os.OpenFile(*benchPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.BenchRows(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *requireImp && !rep.Improved {
+		log.Fatalf("calibration did not improve: stock MAPE %.2f%%, calibrated %.2f%%",
+			rep.StockError.MAPE*100, rep.CalibratedError.MAPE*100)
+	}
+	if *maxMAPE > 0 && rep.CalibratedError.MAPE > *maxMAPE {
+		log.Fatalf("calibrated aggregate MAPE %.2f%% exceeds the %.2f%% threshold",
+			rep.CalibratedError.MAPE*100, *maxMAPE*100)
+	}
+}
+
+func loadHW(path string) {
+	if path == "" {
+		return
+	}
+	if err := hw.LoadFile(path); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseProfile(path string) *calib.Profile {
+	if path == "" {
+		log.Fatal("missing -profile")
+	}
+	if path == "-" {
+		p, err := calib.Parse(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	p, err := calib.ParseFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// resolveNames checks the profile's hardware names against the
+// registry — the part of -validate that Profile.Validate leaves to fit
+// time.
+func resolveNames(p *calib.Profile) (hw.System, error) {
+	if g := hw.ByName(p.GPU); g == nil {
+		return hw.System{}, fmt.Errorf("profile GPU %q is not registered", p.GPU)
+	}
+	return hw.SystemByName(p.System)
+}

@@ -1,0 +1,176 @@
+//go:build ignore
+
+// Command gen regenerates profile_h100x8.json, the example measured
+// profile for the calibration walkthrough. It plays the role of the
+// profiling scripts you would run on a real machine: it perturbs the
+// stock H100 into a plausible "physical" device (lower GEMM ceiling,
+// later saturation knees, a less efficient NVLink ring, a hotter power
+// envelope) and then measures that device — matmul sweep, collective
+// bus-bandwidth sweep, end-to-end training steps — recording only the
+// numbers a profiler could observe. The calibration fit must then
+// recover the perturbations from the measurements alone.
+//
+// Usage (from the repository root):
+//
+//	go run examples/calibration/gen.go
+//	go run ./cmd/calibrate fit -profile examples/calibration/profile_h100x8.json \
+//	    -out examples/calibration/overlay_h100x8.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"overlapsim/internal/calib"
+	"overlapsim/internal/collective"
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/topo"
+)
+
+const out = "examples/calibration/profile_h100x8.json"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gen: ")
+
+	sys, err := hw.SystemByName("H100x8")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "real" machine: stock H100x8 with every calibration
+	// parameter deviating from the datasheet the way silicon does.
+	g := sys.GPU
+	g.MaxEff = 0.93
+	g.KHalfMatrix = 5200
+	g.KHalfMatrixTF32 = 3500
+	g.KHalfVector = 170
+	g.MemHeadroom = 0.88
+	g.AlgEff = 0.58
+	g.LinkLatency = 4.2e-6
+	g.Power.IdleW = 88
+	g.Power.VectorW *= 1.06
+	g.Power.MatrixW *= 1.06
+	g.Power.MemW *= 1.06
+	g.Power.CommW *= 1.06
+	g.Power.SurgeW = 330
+	sys.GPU = g
+
+	p := &calib.Profile{
+		Version: calib.SchemaVersion,
+		Name:    "example H100x8 node",
+		GPU:     "H100", System: "H100x8",
+		Power:       &calib.PowerProfile{IdleW: g.Power.IdleW},
+		Matmuls:     matmuls(g),
+		Collectives: collectives(sys),
+		Steps:       steps(sys),
+	}
+	if err := p.Validate(); err != nil {
+		log.Fatalf("generated profile invalid: %v", err)
+	}
+	raw, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d matmul, %d collective, %d step points\n",
+		out, len(p.Matmuls), len(p.Collectives), len(p.Steps))
+}
+
+// matmuls sweeps the GEMM inner dimension across the three datapaths
+// (FP16 matrix units, FP32-as-TF32, FP32 vector), plus one skinny
+// memory-bound shape that exposes the achievable HBM bandwidth.
+func matmuls(g *hw.GPUSpec) []calib.MatmulPoint {
+	var pts []calib.MatmulPoint
+	for _, k := range []int{512, 1024, 2048, 4096, 8192, 16384} {
+		for _, c := range []struct {
+			dtype string
+			mu    bool
+		}{
+			{"fp16", true},
+			{"fp32", true},
+			{"fp32", false},
+		} {
+			format, err := precision.Parse(c.dtype)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eff := precision.EffectiveGEMMFormat(format, c.mu)
+			path := precision.PathFor(eff, c.mu)
+			frac := g.GEMMEff(float64(k), path, eff)
+			pts = append(pts, calib.MatmulPoint{
+				M: 8192, N: 8192, K: k, Dtype: c.dtype, MatrixUnits: c.mu,
+				TFLOPs: frac * g.PeakFLOPS(path, eff) / 1e12,
+			})
+		}
+	}
+	const m, n, k = 64, 64, 65536
+	bytes := float64(m*k+k*n+m*n) * float64(precision.FP16.Bytes())
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	pts = append(pts, calib.MatmulPoint{
+		M: m, N: n, K: k, Dtype: "fp16", MatrixUnits: true,
+		TFLOPs: flops / (bytes / g.MemBW()) / 1e12,
+	})
+	return pts
+}
+
+// collectives sweeps op, rank count and payload, reporting each point
+// as the bus bandwidth an nccl-tests-style harness would print.
+func collectives(sys hw.System) []calib.CollectivePoint {
+	fabric := topo.ForSystem(sys)
+	var pts []calib.CollectivePoint
+	for _, op := range []collective.Op{collective.AllReduce, collective.AllGather, collective.Broadcast} {
+		for _, r := range []int{2, sys.N} {
+			for _, mb := range []float64{1, 16, 256} {
+				d := collective.Desc{Name: op.String(), Op: op, Bytes: mb * (1 << 20), N: r}
+				secs := collective.Time(d, fabric)
+				pts = append(pts, calib.CollectivePoint{
+					Op: op.String(), Bytes: d.Bytes, Ranks: r,
+					BusGBs: collective.BusBW(d, secs) / 1e9,
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// steps measures end-to-end training steps with their power envelope —
+// the numbers a per-step timer plus nvidia-smi would record.
+func steps(sys hw.System) []calib.StepPoint {
+	var pts []calib.StepPoint
+	for _, par := range []string{"fsdp", "ddp"} {
+		p, err := core.ParseParallelism(par)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.Config{
+			System: sys, Parallelism: p,
+			Batch: 8, Format: precision.FP16, MatrixUnits: true,
+		}
+		cfg.Model, err = model.ByName("GPT-3 XL")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(context.Background(), cfg)
+		if err != nil {
+			log.Fatalf("measuring %s step: %v", par, err)
+		}
+		ovl := res.Overlapped
+		pts = append(pts, calib.StepPoint{
+			Model: "GPT-3 XL", Parallelism: par, Batch: 8,
+			Format: "fp16", MatrixUnits: true,
+			StepMS:     ovl.Mean.E2E * 1e3,
+			AvgPowerW:  ovl.AvgTDP * sys.GPU.TDPW,
+			PeakPowerW: ovl.PeakTDP * sys.GPU.TDPW,
+		})
+	}
+	return pts
+}

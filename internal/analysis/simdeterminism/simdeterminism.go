@@ -31,6 +31,7 @@ var DefaultPackages = []string{
 	"overlapsim/internal/pipeline",
 	"overlapsim/internal/trace",
 	"overlapsim/internal/opt",
+	"overlapsim/internal/calib",
 }
 
 // Analyzer checks the repository's deterministic packages.

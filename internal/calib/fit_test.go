@@ -1,0 +1,215 @@
+package calib
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/topo"
+)
+
+// Regenerate the golden overlay after an intentional model change with:
+//
+//	go test ./internal/calib -run TestFitGoldenOverlay -update-golden
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden files with the current fit output")
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func checkClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if e := relErr(got, want); e > tol {
+		t.Errorf("%s: fitted %.6g, ground truth %.6g (rel err %.2g > %.2g)", name, got, want, e, tol)
+	}
+}
+
+// TestFitRecoversGroundTruth is the fit's accuracy contract: synthetic
+// measurements generated exactly from the model's closed forms must
+// recover the generating parameters to float precision, because every
+// fitter is an exact least-squares inversion of those forms.
+func TestFitRecoversGroundTruth(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, false)
+
+	f, err := Fit(context.Background(), p, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-6
+	checkClose(t, "MaxEff", f.GPU.MaxEff, gt.MaxEff, tol)
+	checkClose(t, "KHalfMatrix", f.GPU.KHalfMatrix, gt.KHalfMatrix, tol)
+	checkClose(t, "KHalfMatrixTF32", f.GPU.KHalfMatrixTF32, gt.KHalfMatrixTF32, tol)
+	checkClose(t, "KHalfVector", f.GPU.KHalfVector, gt.KHalfVector, tol)
+	checkClose(t, "MemHeadroom", f.GPU.MemHeadroom, gt.MemHeadroom, tol)
+	checkClose(t, "AlgEff", f.GPU.AlgEff, gt.AlgEff, tol)
+	checkClose(t, "LinkLatency", f.GPU.LinkLatency, gt.LinkLatency, tol)
+	checkClose(t, "IdleW", f.GPU.Power.IdleW, gt.Power.IdleW, tol)
+
+	if f.GPU.Name != "H100-cal" || f.System.Name != "H100x8-cal" {
+		t.Errorf("suffix naming: got %q / %q", f.GPU.Name, f.System.Name)
+	}
+	if f.System.GPU != f.GPU {
+		t.Error("fitted system does not carry the fitted GPU")
+	}
+}
+
+// TestFitRecoversNICTier runs the same contract on a 2-node pod: the
+// spanning collective points must land the NIC tier's efficiency and
+// latency, with the intra-node parameters untouched by the extra tier.
+func TestFitRecoversNICTier(t *testing.T) {
+	reg := podRegistry(t)
+	gt, gtSys := groundTruth(t, reg, "CalPod")
+	p := syntheticProfile(t, "H100", "CalPod", gt, gtSys, false)
+
+	f, err := Fit(context.Background(), p, FitOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-6
+	checkClose(t, "AlgEff", f.GPU.AlgEff, gt.AlgEff, tol)
+	checkClose(t, "LinkLatency", f.GPU.LinkLatency, gt.LinkLatency, tol)
+	if f.System.NIC == nil {
+		t.Fatal("multi-node fit produced no NIC spec")
+	}
+	checkClose(t, "NIC.AlgEff", f.System.NIC.AlgEff, gtSys.NIC.AlgEff, tol)
+	checkClose(t, "NIC.Latency", f.System.NIC.Latency, gtSys.NIC.Latency, tol)
+	checkClose(t, "NIC.BWGBs", f.System.NIC.BWGBs, gtSys.NIC.BWGBs, tol)
+}
+
+// TestNICDecomposeMirrorsCollective pins the fitter's two-tier
+// decomposition to the collective package's: for every op, rank count
+// and payload, reassembling nicDecompose's phases must reproduce
+// collective.Time exactly. This is what licenses the NIC fitter to
+// subtract the intra-node phase and regress on the residual.
+func TestNICDecomposeMirrorsCollective(t *testing.T) {
+	reg := podRegistry(t)
+	sys, err := reg.System("CalPod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := topo.ForSystem(sys)
+	nic := sys.NICSpec()
+	hop := hopFactor(sys)
+	ops := []collective.Op{
+		collective.AllReduce, collective.AllGather,
+		collective.ReduceScatter, collective.Broadcast, collective.AllToAll,
+	}
+	for _, op := range ops {
+		for ranks := 2; ranks <= sys.TotalGPUs(); ranks++ {
+			for _, mb := range []float64{0.25, 4, 64} {
+				d := collective.Desc{Name: op.String(), Op: op, Bytes: mb * (1 << 20), N: ranks}
+				intraT, nicWire, nicSteps := nicDecompose(d, sys, sys.GPU, hop)
+				got := intraT + nicWire/nic.BW() + nicSteps*nic.Latency
+				want := collective.Time(d, fabric)
+				if relErr(got, want) > 1e-12 {
+					t.Errorf("%s ranks=%d bytes=%g: mirror %.12g, collective.Time %.12g",
+						op, ranks, d.Bytes, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFitGoldenOverlay is the byte-determinism contract: equal profile
+// bytes produce byte-identical overlays, now and across revisions
+// (golden file). The profile includes step measurements, so the power
+// fitter's simulation replay is inside the determinism boundary.
+func TestFitGoldenOverlay(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, true)
+
+	overlay := func() []byte {
+		f, err := Fit(context.Background(), p, FitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Overlay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := overlay(), overlay()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two fits of the same profile produced different overlay bytes")
+	}
+
+	golden := filepath.Join("testdata", "overlay_h100x8.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(a))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden overlay (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Errorf("overlay drifted from golden file (regenerate with -update-golden if intended)\ngot:\n%s\nwant:\n%s", a, want)
+	}
+}
+
+// TestOverlayFixedPoint closes the loop: fitting in override mode,
+// loading the overlay, and re-fitting the same profile against the
+// calibrated hardware must reproduce the overlay byte for byte. The
+// fitters are exact inversions of the measurements, so a second pass
+// has nothing left to move.
+func TestOverlayFixedPoint(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, false)
+
+	f1, err := Fit(context.Background(), p, FitOptions{Override: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.GPU.Name != "H100" || f1.System.Name != "H100x8" {
+		t.Fatalf("override fit must keep stock names, got %q / %q", f1.GPU.Name, f1.System.Name)
+	}
+	o1, err := f1.Overlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := hw.NewRegistry()
+	if err := reg.Load(bytes.NewReader(o1)); err != nil {
+		t.Fatalf("overlay does not load: %v", err)
+	}
+	if g := reg.GPU("H100"); relErr(g.MaxEff, gt.MaxEff) > 1e-6 {
+		t.Errorf("loaded overlay lost the fitted MaxEff: %g", g.MaxEff)
+	}
+	loaded, err := reg.System("H100x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := loaded.Canonical(); c.Name != f1.System.Name || c.N != f1.System.N {
+		t.Errorf("loaded system shape drifted: %+v vs %+v", c, f1.System)
+	}
+
+	f2, err := Fit(context.Background(), p, FitOptions{Registry: reg, Override: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := f2.Overlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(o1, o2) {
+		t.Errorf("re-fit against the calibrated hardware moved the overlay\nfirst:\n%s\nsecond:\n%s", o1, o2)
+	}
+}

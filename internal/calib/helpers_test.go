@@ -1,0 +1,199 @@
+package calib
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/topo"
+)
+
+// groundTruth returns the "real machine" of the synthetic tests: the
+// stock spec with every calibration parameter perturbed the way a
+// physical H100 deviates from Table I. Tests generate measurements from
+// this spec and check the fit recovers it from the stock starting
+// point.
+func groundTruth(t *testing.T, reg *hw.Registry, system string) (*hw.GPUSpec, hw.System) {
+	t.Helper()
+	if reg == nil {
+		reg = hw.DefaultRegistry()
+	}
+	sys, err := reg.System(system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.GPU
+	g.MaxEff = 0.93
+	g.KHalfMatrix = 5200
+	g.KHalfMatrixTF32 = 3500
+	g.KHalfVector = 170
+	g.MemHeadroom = 0.88
+	g.AlgEff = 0.58
+	g.LinkLatency = 4.2e-6
+	g.Power.IdleW = 88
+	g.Power.VectorW *= 1.06
+	g.Power.MatrixW *= 1.06
+	g.Power.MemW *= 1.06
+	g.Power.CommW *= 1.06
+	g.Power.SurgeW = 330
+	if sys.NodeCount() > 1 {
+		nic := sys.NICSpec()
+		nic.AlgEff = 0.7
+		nic.Latency = 8e-6
+		sys.NIC = &nic
+	}
+	return g, sys
+}
+
+// syntheticMatmuls generates roofline sweep points from the ground
+// truth with the exact model forms, so the closed-form fitters recover
+// the parameters to float precision.
+func syntheticMatmuls(g *hw.GPUSpec) []MatmulPoint {
+	var pts []MatmulPoint
+	for _, k := range []int{512, 1024, 2048, 4096, 8192, 16384} {
+		for _, c := range []struct {
+			dtype string
+			mu    bool
+		}{
+			{"fp16", true},  // matrix half bucket
+			{"fp32", true},  // TF32 bucket
+			{"fp32", false}, // vector bucket
+		} {
+			format, _ := precision.Parse(c.dtype)
+			eff := precision.EffectiveGEMMFormat(format, c.mu)
+			path := precision.PathFor(eff, c.mu)
+			frac := g.GEMMEff(float64(k), path, eff)
+			pts = append(pts, MatmulPoint{
+				M: 8192, N: 8192, K: k, Dtype: c.dtype, MatrixUnits: c.mu,
+				TFLOPs: frac * g.PeakFLOPS(path, eff) / 1e12,
+			})
+		}
+	}
+	// One memory-bound point: a skinny GEMM whose time is the measured
+	// HBM stream at the ground truth's achievable bandwidth.
+	const m, n, k = 64, 64, 65536
+	format := precision.FP16
+	bytes := float64(m*k+k*n+m*n) * float64(format.Bytes())
+	tMem := bytes / g.MemBW()
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	pts = append(pts, MatmulPoint{
+		M: m, N: n, K: k, Dtype: "fp16", MatrixUnits: true,
+		TFLOPs: flops / tMem / 1e12,
+	})
+	return pts
+}
+
+// syntheticCollectives generates bus-bandwidth sweep points by running
+// the real collective cost model on the ground-truth fabric.
+func syntheticCollectives(g *hw.GPUSpec, sys hw.System) []CollectivePoint {
+	gtSys := sys
+	gtSys.GPU = g
+	fabric := topo.ForSystem(gtSys)
+	var pts []CollectivePoint
+	ops := []collective.Op{collective.AllReduce, collective.AllGather, collective.Broadcast}
+	ranks := []int{2, sys.N}
+	if sys.NodeCount() > 1 {
+		ranks = append(ranks, sys.TotalGPUs())
+	}
+	for _, op := range ops {
+		for _, r := range ranks {
+			for _, mb := range []float64{1, 16, 256} {
+				d := collective.Desc{Name: op.String(), Op: op, Bytes: mb * (1 << 20), N: r}
+				secs := collective.Time(d, fabric)
+				pts = append(pts, CollectivePoint{
+					Op: op.String(), Bytes: d.Bytes, Ranks: r,
+					BusGBs: collective.BusBW(d, secs) / 1e9,
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// syntheticSteps measures end-to-end steps by simulating the
+// ground-truth system — the stand-in for profiling a real machine.
+func syntheticSteps(t *testing.T, g *hw.GPUSpec, sys hw.System) []StepPoint {
+	t.Helper()
+	gtSys := sys
+	gtSys.GPU = g
+	var pts []StepPoint
+	for _, par := range []string{"fsdp", "ddp"} {
+		cfg := core.Config{
+			System: gtSys, Parallelism: mustParallelism(t, par),
+			Batch: 8, Format: precision.FP16, MatrixUnits: true,
+		}
+		cfg.Model = mustModel(t, "GPT-3 XL")
+		res, err := core.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("simulating ground-truth %s step: %v", par, err)
+		}
+		ovl := res.Overlapped
+		pts = append(pts, StepPoint{
+			Model: "GPT-3 XL", Parallelism: par, Batch: 8,
+			Format: "fp16", MatrixUnits: true,
+			StepMS:     ovl.Mean.E2E * 1e3,
+			AvgPowerW:  ovl.AvgTDP * g.TDPW,
+			PeakPowerW: ovl.PeakTDP * g.TDPW,
+		})
+	}
+	return pts
+}
+
+// syntheticProfile assembles the full measured profile of the
+// ground-truth machine.
+func syntheticProfile(t *testing.T, gpu, system string, g *hw.GPUSpec, sys hw.System, withSteps bool) *Profile {
+	t.Helper()
+	p := &Profile{
+		Version: SchemaVersion,
+		Name:    "synthetic " + system,
+		GPU:     gpu, System: system,
+		Power:       &PowerProfile{IdleW: g.Power.IdleW},
+		Matmuls:     syntheticMatmuls(g),
+		Collectives: syntheticCollectives(g, sys),
+	}
+	if withSteps {
+		p.Steps = syntheticSteps(t, g, sys)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("synthetic profile invalid: %v", err)
+	}
+	return p
+}
+
+// podRegistry returns an isolated registry holding a 2-node x 4-GPU
+// H100 system named CalPod — the multi-node anchor for NIC-tier tests.
+func podRegistry(t *testing.T) *hw.Registry {
+	t.Helper()
+	reg := hw.NewRegistry()
+	err := reg.Load(strings.NewReader(`{"systems": [{
+		"name": "CalPod", "gpu": "H100", "gpus_per_node": 4, "nodes": 2,
+		"nic": {"bw_gbs": 50, "latency_s": 1e-5, "alg_eff": 0.8}
+	}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func mustParallelism(t *testing.T, name string) core.Parallelism {
+	t.Helper()
+	p, err := core.ParseParallelism(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustModel(t *testing.T, name string) model.Config {
+	t.Helper()
+	m, err := model.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

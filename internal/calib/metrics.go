@@ -1,0 +1,26 @@
+package calib
+
+import "overlapsim/internal/telemetry"
+
+// Process-wide calibration instrumentation, registered on the default
+// telemetry registry. Counters are cumulative over the process; per-run
+// provenance stays in Fitted.Notes and Report.
+var (
+	mFits = telemetry.Default.CounterVec("calib_fits_total",
+		"Calibration fits attempted, by outcome: ok or error.",
+		"outcome")
+	mValidations = telemetry.Default.CounterVec("calib_validations_total",
+		"Calibration validation runs, by outcome: ok or error.",
+		"outcome")
+)
+
+// fitOutcome is the closed vocabulary of one fit or validation's fate.
+type fitOutcome string
+
+const (
+	outcomeOK    fitOutcome = "ok"
+	outcomeError fitOutcome = "error"
+)
+
+func recordFit(outcome fitOutcome)      { mFits.With(string(outcome)).Inc() }
+func recordValidate(outcome fitOutcome) { mValidations.With(string(outcome)).Inc() }

@@ -1,0 +1,271 @@
+// Package calib closes the measurement loop: it ingests measured
+// hardware profiles (matmul roofline sweeps, collective bus-bandwidth
+// sweeps, end-to-end training-step breakdowns), fits the simulator's
+// calibration parameters to them with deterministic closed-form
+// least-squares fitters, and scores the simulator against the same
+// measurements. The fitted parameters leave the package as an
+// hw.Load-compatible JSON overlay, so calibrated hardware flows through
+// every name-keyed consumer — core configs, sweep grids, the advisor,
+// the service catalog — with zero core edits.
+//
+// The package is part of the deterministic core: equal profile bytes
+// produce byte-identical overlays and validation reports (enforced by
+// overlaplint's simdeterminism analyzer and golden tests), so
+// calibration artifacts can be committed, diffed and cached like any
+// other content-addressed result.
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"overlapsim/internal/collective"
+	"overlapsim/internal/core"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+)
+
+// SchemaVersion is the profile schema this package reads. Version
+// mismatches are errors, not best-effort parses: a measured profile is
+// the ground truth of the whole loop and must not be reinterpreted
+// silently.
+const SchemaVersion = 1
+
+// Profile is one measured hardware profile: what a benchmark run on a
+// real machine produced. The GPU and System fields name registered
+// hardware (built-in or hw.Load-ed) whose datasheet constants anchor
+// the fit; the three point lists are the measurements. Every section is
+// optional, but an empty profile is invalid.
+type Profile struct {
+	// Version must equal SchemaVersion.
+	Version int `json:"version"`
+	// Name labels the profile in reports.
+	Name string `json:"name,omitempty"`
+	// GPU is the registry name of the device the measurements ran on.
+	GPU string `json:"gpu"`
+	// System is the registry name of the system (node/cluster) the
+	// collective and step measurements ran on.
+	System string `json:"system"`
+	// Power holds directly measured power points.
+	Power *PowerProfile `json:"power,omitempty"`
+	// Matmuls are GEMM roofline sweep points (the matmul overlap
+	// benchmark scripts' output shape).
+	Matmuls []MatmulPoint `json:"matmuls,omitempty"`
+	// Collectives are nccl-tests style bus-bandwidth sweep points.
+	Collectives []CollectivePoint `json:"collectives,omitempty"`
+	// Steps are end-to-end training-step breakdowns (ddp_analysis style).
+	Steps []StepPoint `json:"steps,omitempty"`
+}
+
+// PowerProfile holds directly measured power constants.
+type PowerProfile struct {
+	// IdleW is the measured per-GPU idle board power in watts.
+	IdleW float64 `json:"idle_w"`
+}
+
+// MatmulPoint is one measured GEMM: its shape, arithmetic format, and
+// the achieved dense throughput.
+type MatmulPoint struct {
+	// M, N, K are the GEMM dimensions (C[M,N] = A[M,K] x B[K,N]).
+	M int `json:"m"`
+	N int `json:"n"`
+	K int `json:"k"`
+	// Dtype is the storage format ("fp32", "tf32", "fp16", "bf16").
+	Dtype string `json:"dtype"`
+	// MatrixUnits reports whether Tensor/Matrix cores were enabled.
+	MatrixUnits bool `json:"matrix_units,omitempty"`
+	// TFLOPs is the achieved dense throughput in TFLOP/s.
+	TFLOPs float64 `json:"tflops"`
+}
+
+// CollectivePoint is one measured collective: operation, payload, rank
+// count, and the achieved nccl-tests "bus bandwidth".
+type CollectivePoint struct {
+	// Op names the operation ("all-reduce", "all-gather",
+	// "reduce-scatter", "broadcast", "all-to-all").
+	Op string `json:"op"`
+	// Bytes is the logical payload size.
+	Bytes float64 `json:"bytes"`
+	// Ranks is the number of participating GPUs.
+	Ranks int `json:"ranks"`
+	// BusGBs is the achieved bus bandwidth in GB/s (collective.BusBW's
+	// convention, the number nccl-tests prints).
+	BusGBs float64 `json:"bus_bw_gbs"`
+}
+
+// StepPoint is one measured end-to-end training step: the workload
+// configuration (in the sweep-spec vocabulary) plus its measured time
+// and power breakdown.
+type StepPoint struct {
+	// Model is a model-zoo name ("GPT-3 XL", ...).
+	Model string `json:"model"`
+	// Parallelism is a strategy registry name ("fsdp", "ddp", ...).
+	Parallelism string `json:"parallelism"`
+	// Batch is the batch size.
+	Batch int `json:"batch"`
+	// MicroBatch is the pipeline microbatch size (pipeline only).
+	MicroBatch int `json:"micro_batch,omitempty"`
+	// TPDegree is the tensor-parallel group size (tp only).
+	TPDegree int `json:"tp_degree,omitempty"`
+	// Format is the training precision ("fp16", ...).
+	Format string `json:"format"`
+	// MatrixUnits reports whether Tensor/Matrix cores were enabled.
+	MatrixUnits bool `json:"matrix_units,omitempty"`
+
+	// ForwardMS, BackwardMS, SyncMS and OptimizerMS break the step down
+	// (informational; validation scores the wall-clock step time).
+	ForwardMS   float64 `json:"forward_ms,omitempty"`
+	BackwardMS  float64 `json:"backward_ms,omitempty"`
+	SyncMS      float64 `json:"sync_ms,omitempty"`
+	OptimizerMS float64 `json:"optimizer_ms,omitempty"`
+	// StepMS is the measured wall-clock step time in milliseconds.
+	StepMS float64 `json:"step_ms"`
+
+	// AvgPowerW is the mean per-GPU board power over the step; PeakPowerW
+	// is the highest sampled reading on any GPU.
+	AvgPowerW  float64 `json:"avg_power_w"`
+	PeakPowerW float64 `json:"peak_power_w,omitempty"`
+	// EnergyJ is the measured per-step energy across all GPUs; 0 derives
+	// it as AvgPowerW x GPUs x step time.
+	EnergyJ float64 `json:"energy_j,omitempty"`
+}
+
+// Parse reads and validates a profile. Unknown fields are rejected —
+// a misspelled key in a measurement file must fail loudly, not be
+// silently dropped from the fit.
+func Parse(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("calib: parsing profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ParseFile is Parse over the named file.
+func ParseFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// parseOp resolves a profile op name onto a collective.Op. SendRecv is
+// deliberately absent: bus-bandwidth sweeps measure algorithm
+// collectives, and a point-to-point sweep carries no fittable ring
+// parameters.
+func parseOp(name string) (collective.Op, error) {
+	ops := []collective.Op{
+		collective.AllReduce, collective.AllGather,
+		collective.ReduceScatter, collective.Broadcast, collective.AllToAll,
+	}
+	for _, op := range ops {
+		if name == op.String() {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("calib: unknown collective op %q (have all-reduce, all-gather, reduce-scatter, broadcast, all-to-all)", name)
+}
+
+// Validate reports whether the profile is structurally sound: versioned,
+// anchored to named hardware, and with every measurement point positive
+// and parseable. Registry resolution of the GPU/system names happens at
+// Fit time (a profile file is valid independently of which hardware
+// files are loaded); workload names resolve here because the model zoo
+// and strategy registry are compile-time vocabularies.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return fmt.Errorf("calib: nil profile")
+	}
+	if p.Version != SchemaVersion {
+		return fmt.Errorf("calib: profile version %d, this build reads %d", p.Version, SchemaVersion)
+	}
+	if p.GPU == "" {
+		return fmt.Errorf("calib: profile names no GPU")
+	}
+	if p.System == "" {
+		return fmt.Errorf("calib: profile names no system")
+	}
+	if len(p.Matmuls) == 0 && len(p.Collectives) == 0 && len(p.Steps) == 0 && p.Power == nil {
+		return fmt.Errorf("calib: profile has no measurements")
+	}
+	if p.Power != nil {
+		if p.Power.IdleW <= 0 || !isFinite(p.Power.IdleW) {
+			return fmt.Errorf("calib: measured idle power %g must be positive", p.Power.IdleW)
+		}
+	}
+	for i, m := range p.Matmuls {
+		if m.M < 1 || m.N < 1 || m.K < 1 {
+			return fmt.Errorf("calib: matmul %d: shape %dx%dx%d must be positive", i, m.M, m.N, m.K)
+		}
+		if _, err := precision.Parse(m.Dtype); err != nil {
+			return fmt.Errorf("calib: matmul %d: %w", i, err)
+		}
+		if m.TFLOPs <= 0 || !isFinite(m.TFLOPs) {
+			return fmt.Errorf("calib: matmul %d: achieved %g TFLOP/s must be positive", i, m.TFLOPs)
+		}
+	}
+	for i, c := range p.Collectives {
+		if _, err := parseOp(c.Op); err != nil {
+			return fmt.Errorf("collective %d: %w", i, err)
+		}
+		if c.Bytes <= 0 || !isFinite(c.Bytes) {
+			return fmt.Errorf("calib: collective %d: payload %g bytes must be positive", i, c.Bytes)
+		}
+		if c.Ranks < 2 {
+			return fmt.Errorf("calib: collective %d: %d ranks, need at least 2", i, c.Ranks)
+		}
+		if c.BusGBs <= 0 || !isFinite(c.BusGBs) {
+			return fmt.Errorf("calib: collective %d: bus bandwidth %g GB/s must be positive", i, c.BusGBs)
+		}
+	}
+	for i, s := range p.Steps {
+		if _, err := model.ByName(s.Model); err != nil {
+			return fmt.Errorf("calib: step %d: %w", i, err)
+		}
+		if _, err := core.ParseParallelism(s.Parallelism); err != nil {
+			return fmt.Errorf("calib: step %d: %w", i, err)
+		}
+		if _, err := precision.Parse(s.Format); err != nil {
+			return fmt.Errorf("calib: step %d: %w", i, err)
+		}
+		if s.Batch < 1 {
+			return fmt.Errorf("calib: step %d: batch %d must be positive", i, s.Batch)
+		}
+		if s.MicroBatch < 0 || s.TPDegree < 0 {
+			return fmt.Errorf("calib: step %d: negative micro-batch or TP degree", i)
+		}
+		if s.StepMS <= 0 || !isFinite(s.StepMS) {
+			return fmt.Errorf("calib: step %d: step time %g ms must be positive", i, s.StepMS)
+		}
+		for _, v := range []float64{s.ForwardMS, s.BackwardMS, s.SyncMS, s.OptimizerMS, s.EnergyJ} {
+			if v < 0 || !isFinite(v) {
+				return fmt.Errorf("calib: step %d: negative or non-finite breakdown component", i)
+			}
+		}
+		if s.AvgPowerW <= 0 || !isFinite(s.AvgPowerW) {
+			return fmt.Errorf("calib: step %d: average power %g W must be positive", i, s.AvgPowerW)
+		}
+		if s.PeakPowerW != 0 && (s.PeakPowerW < s.AvgPowerW || !isFinite(s.PeakPowerW)) {
+			return fmt.Errorf("calib: step %d: peak power %g W below average %g W", i, s.PeakPowerW, s.AvgPowerW)
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

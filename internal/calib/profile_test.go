@@ -1,0 +1,105 @@
+package calib
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validProfileJSON is a minimal profile exercising every section.
+const validProfileJSON = `{
+	"version": 1,
+	"name": "unit",
+	"gpu": "H100",
+	"system": "H100x8",
+	"power": {"idle_w": 85},
+	"matmuls": [{"m": 4096, "n": 4096, "k": 4096, "dtype": "fp16", "matrix_units": true, "tflops": 650}],
+	"collectives": [{"op": "all-reduce", "bytes": 1048576, "ranks": 8, "bus_bw_gbs": 200}],
+	"steps": [{"model": "GPT-3 XL", "parallelism": "fsdp", "batch": 8, "format": "fp16",
+		"matrix_units": true, "step_ms": 95.2, "avg_power_w": 520, "peak_power_w": 610}]
+}`
+
+func TestParseValidProfile(t *testing.T) {
+	p, err := Parse(strings.NewReader(validProfileJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GPU != "H100" || p.System != "H100x8" {
+		t.Errorf("hardware names lost: %q / %q", p.GPU, p.System)
+	}
+	if len(p.Matmuls) != 1 || len(p.Collectives) != 1 || len(p.Steps) != 1 {
+		t.Errorf("sections lost: %d/%d/%d", len(p.Matmuls), len(p.Collectives), len(p.Steps))
+	}
+}
+
+func TestParseRejectsBadProfiles(t *testing.T) {
+	mutate := func(from, to string) string {
+		s := strings.Replace(validProfileJSON, from, to, 1)
+		if s == validProfileJSON {
+			t.Fatalf("mutation %q not applied", from)
+		}
+		return s
+	}
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown field", mutate(`"name": "unit"`, `"nam": "unit"`), "unknown field"},
+		{"bad version", mutate(`"version": 1`, `"version": 2`), "version"},
+		{"no gpu", mutate(`"gpu": "H100"`, `"gpu": ""`), "no GPU"},
+		{"no system", mutate(`"system": "H100x8"`, `"system": ""`), "no system"},
+		{"empty", `{"version": 1, "gpu": "H100", "system": "H100x8"}`, "no measurements"},
+		{"bad dtype", mutate(`"dtype": "fp16"`, `"dtype": "fp12"`), "fp12"},
+		{"bad shape", mutate(`"m": 4096`, `"m": 0`), "shape"},
+		{"bad tflops", mutate(`"tflops": 650`, `"tflops": -1`), "positive"},
+		{"bad op", mutate(`"op": "all-reduce"`, `"op": "send-recv"`), "unknown collective op"},
+		{"one rank", mutate(`"ranks": 8`, `"ranks": 1`), "at least 2"},
+		{"bad bus", mutate(`"bus_bw_gbs": 200`, `"bus_bw_gbs": 0`), "positive"},
+		{"bad model", mutate(`"model": "GPT-3 XL"`, `"model": "GPT-9"`), "GPT-9"},
+		{"bad parallelism", mutate(`"parallelism": "fsdp"`, `"parallelism": "magic"`), "magic"},
+		{"bad batch", mutate(`"batch": 8`, `"batch": 0`), "batch"},
+		{"bad step time", mutate(`"step_ms": 95.2`, `"step_ms": 0`), "positive"},
+		{"bad idle", mutate(`"idle_w": 85`, `"idle_w": -3`), "idle"},
+		{"peak below avg", mutate(`"peak_power_w": 610`, `"peak_power_w": 400`), "below average"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzProfile enforces the ingestion contract: any byte input either
+// fails Parse with an error or yields a profile that re-validates and
+// round-trips through JSON to an equally valid profile — mirroring
+// hw.FuzzLoad's error-or-valid contract for hardware files.
+func FuzzProfile(f *testing.F) {
+	f.Add([]byte(validProfileJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": 1, "gpu": "H100", "system": "H100x8", "power": {"idle_w": 80}}`))
+	f.Add([]byte(`{"version": 1, "gpu": "H100", "system": "H100x8",
+		"matmuls": [{"m": 1, "n": 1, "k": 1, "dtype": "fp32", "tflops": 1e308}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version": 1e99}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(strings.NewReader(string(data)))
+		if err != nil {
+			return // rejected cleanly: exactly the contract
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed profile fails re-validation: %v", err)
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("valid profile does not re-encode: %v", err)
+		}
+		if _, err := Parse(strings.NewReader(string(out))); err != nil {
+			t.Fatalf("re-encoded profile does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package calib
+
+import (
+	"fmt"
+	"io"
+
+	"overlapsim/internal/report"
+)
+
+// reportHeaders are the per-scenario error table columns.
+var reportHeaders = []string{
+	"scenario", "measured ms",
+	"stock ms", "stock err",
+	"cal ms", "cal err",
+	"stock W err", "cal W err",
+	"stock J err", "cal J err",
+}
+
+func scenarioCells(scs []Scenario) [][]string {
+	rows := make([][]string, 0, len(scs))
+	for _, sc := range scs {
+		rows = append(rows, []string{
+			sc.Label, report.Ms(sc.MeasuredStepS),
+			report.Ms(sc.Stock.StepS), report.Pct(sc.Stock.StepErr),
+			report.Ms(sc.Calibrated.StepS), report.Pct(sc.Calibrated.StepErr),
+			report.Pct(sc.Stock.PowerErr), report.Pct(sc.Calibrated.PowerErr),
+			report.Pct(sc.Stock.EnergyErr), report.Pct(sc.Calibrated.EnergyErr),
+		})
+	}
+	return rows
+}
+
+// WriteTable renders the validation report as an aligned text table
+// followed by the aggregate error lines.
+func (r *Report) WriteTable(w io.Writer) error {
+	if err := report.Table(w, reportHeaders, scenarioCells(r.Scenarios)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nstock      MAPE %s (step %s, energy %s, power %s)\n",
+		report.Pct(r.StockError.MAPE), report.Pct(r.StockError.StepMAPE),
+		report.Pct(r.StockError.EnergyMAPE), report.Pct(r.StockError.PowerMAPE)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "calibrated MAPE %s (step %s, energy %s, power %s)\n",
+		report.Pct(r.CalibratedError.MAPE), report.Pct(r.CalibratedError.StepMAPE),
+		report.Pct(r.CalibratedError.EnergyMAPE), report.Pct(r.CalibratedError.PowerMAPE)); err != nil {
+		return err
+	}
+	verdict := "calibration improved the aggregate error"
+	if !r.Improved {
+		verdict = "calibration did NOT improve the aggregate error"
+	}
+	_, err := fmt.Fprintf(w, "%s\n", verdict)
+	return err
+}
+
+// WriteCSV renders the per-scenario table as CSV with the same columns.
+func (r *Report) WriteCSV(w io.Writer) error {
+	return report.CSV(w, reportHeaders, scenarioCells(r.Scenarios))
+}
+
+// BenchRows renders the report as Markdown table rows for BENCH.md's
+// accuracy trajectory: one row per scenario plus an aggregate row.
+func (r *Report) BenchRows(w io.Writer) error {
+	for _, sc := range r.Scenarios {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			sc.Label, report.Ms(sc.MeasuredStepS),
+			report.Pct(sc.Stock.StepErr), report.Pct(sc.Calibrated.StepErr),
+			report.Pct(sc.Stock.PowerErr), report.Pct(sc.Calibrated.PowerErr)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "| **aggregate MAPE** | — | %s | %s | %s | %s |\n",
+		report.Pct(r.StockError.MAPE), report.Pct(r.CalibratedError.MAPE),
+		report.Pct(r.StockError.PowerMAPE), report.Pct(r.CalibratedError.PowerMAPE))
+	return err
+}

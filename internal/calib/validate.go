@@ -1,0 +1,179 @@
+package calib
+
+import (
+	"context"
+	"fmt"
+
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+)
+
+// Scenario is one step profile scored against the simulator: the
+// measured numbers next to the stock and calibrated predictions, with
+// fractional absolute errors.
+type Scenario struct {
+	// Label identifies the workload (core.Config.Label form).
+	Label string `json:"label"`
+
+	// Measured ground truth: step time (s), per-step energy across all
+	// GPUs (J), mean per-GPU board power (W).
+	MeasuredStepS  float64 `json:"measured_step_s"`
+	MeasuredEnergy float64 `json:"measured_energy_j"`
+	MeasuredAvgW   float64 `json:"measured_avg_w"`
+
+	Stock      Prediction `json:"stock"`
+	Calibrated Prediction `json:"calibrated"`
+}
+
+// Prediction is one system's simulated numbers for a scenario and their
+// errors against the measurement.
+type Prediction struct {
+	StepS   float64 `json:"step_s"`
+	EnergyJ float64 `json:"energy_j"`
+	AvgW    float64 `json:"avg_w"`
+
+	// StepErr, EnergyErr and PowerErr are fractional absolute errors
+	// (|sim - measured| / measured).
+	StepErr   float64 `json:"step_err"`
+	EnergyErr float64 `json:"energy_err"`
+	PowerErr  float64 `json:"power_err"`
+}
+
+// Aggregate summarizes one system's error over every scenario: the mean
+// absolute percentage error per metric, and their mean as the single
+// headline number.
+type Aggregate struct {
+	StepMAPE   float64 `json:"step_mape"`
+	EnergyMAPE float64 `json:"energy_mape"`
+	PowerMAPE  float64 `json:"power_mape"`
+	// MAPE is the mean of the three per-metric MAPEs.
+	MAPE float64 `json:"mape"`
+}
+
+// Report is the outcome of a validation run. It carries no timestamps
+// or wall-clock fields (matching opt.Advice's conventions), so equal
+// inputs render byte-identical JSON run to run.
+type Report struct {
+	Profile string `json:"profile,omitempty"`
+	// GPU and System are the stock names; CalibratedGPU and
+	// CalibratedSystem the fitted ones (equal to the stock names in
+	// override mode).
+	GPU              string `json:"gpu"`
+	System           string `json:"system"`
+	CalibratedGPU    string `json:"calibrated_gpu"`
+	CalibratedSystem string `json:"calibrated_system"`
+
+	Scenarios []Scenario `json:"scenarios"`
+
+	StockError      Aggregate `json:"stock_error"`
+	CalibratedError Aggregate `json:"calibrated_error"`
+	// Improved reports whether calibration lowered the aggregate MAPE.
+	Improved bool `json:"improved"`
+	// Notes echo the fit's notes for provenance.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Validate replays every step profile through the simulator twice — on
+// the stock system and on the fitted one — and scores both against the
+// measurements. It is the closing arc of the calibration loop: the same
+// numbers that drove the fit judge it, and the calibrated system must
+// beat stock on them or the fit is not earning its overlay.
+func Validate(ctx context.Context, p *Profile, f *Fitted) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		recordValidate(outcomeError)
+		return nil, err
+	}
+	if f == nil || f.GPU == nil {
+		recordValidate(outcomeError)
+		return nil, fmt.Errorf("calib: validating a nil fit")
+	}
+	if len(p.Steps) == 0 {
+		recordValidate(outcomeError)
+		return nil, fmt.Errorf("calib: profile has no step measurements to validate against")
+	}
+	rep := &Report{
+		Profile: p.Name,
+		GPU:     f.BaseGPU, System: f.BaseSystem,
+		CalibratedGPU: f.GPU.Name, CalibratedSystem: f.System.Name,
+		Notes: f.Notes,
+	}
+	for i, st := range p.Steps {
+		cfg, err := stepConfig(f.Base, st)
+		if err != nil {
+			recordValidate(outcomeError)
+			return nil, fmt.Errorf("calib: step %d: %w", i, err)
+		}
+		sc := Scenario{
+			Label:         cfg.Label(),
+			MeasuredStepS: st.StepMS / 1e3,
+			MeasuredAvgW:  st.AvgPowerW,
+		}
+		sc.MeasuredEnergy = st.EnergyJ
+		if sc.MeasuredEnergy == 0 {
+			sc.MeasuredEnergy = st.AvgPowerW * float64(f.Base.TotalGPUs()) * sc.MeasuredStepS
+		}
+		if sc.Stock, err = predict(ctx, cfg, f.Base, sc); err != nil {
+			recordValidate(outcomeError)
+			return nil, fmt.Errorf("calib: step %d on stock %s: %w", i, f.Base.Name, err)
+		}
+		cfg.System = f.System
+		if sc.Calibrated, err = predict(ctx, cfg, f.System, sc); err != nil {
+			recordValidate(outcomeError)
+			return nil, fmt.Errorf("calib: step %d on calibrated %s: %w", i, f.System.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	rep.StockError = aggregate(rep.Scenarios, func(s Scenario) Prediction { return s.Stock })
+	rep.CalibratedError = aggregate(rep.Scenarios, func(s Scenario) Prediction { return s.Calibrated })
+	rep.Improved = rep.CalibratedError.MAPE < rep.StockError.MAPE
+	recordValidate(outcomeOK)
+	return rep, nil
+}
+
+// predict runs one scenario on one system and scores it against the
+// measured columns already filled in sc. Simulated energy follows the
+// sweep package's convention: board power times overlapped step time,
+// summed over the GPUs.
+func predict(ctx context.Context, cfg core.Config, sys hw.System, sc Scenario) (Prediction, error) {
+	res, err := core.Run(ctx, cfg)
+	if err != nil {
+		return Prediction{}, err
+	}
+	ovl := res.Overlapped
+	pr := Prediction{
+		StepS: ovl.Mean.E2E,
+		AvgW:  ovl.AvgTDP * sys.GPU.TDPW,
+	}
+	pr.EnergyJ = pr.AvgW * float64(sys.TotalGPUs()) * pr.StepS
+	pr.StepErr = fracErr(pr.StepS, sc.MeasuredStepS)
+	pr.EnergyErr = fracErr(pr.EnergyJ, sc.MeasuredEnergy)
+	pr.PowerErr = fracErr(pr.AvgW, sc.MeasuredAvgW)
+	return pr, nil
+}
+
+func fracErr(sim, measured float64) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	d := sim - measured
+	if d < 0 {
+		d = -d
+	}
+	return d / measured
+}
+
+func aggregate(scs []Scenario, pick func(Scenario) Prediction) Aggregate {
+	var a Aggregate
+	for _, sc := range scs {
+		p := pick(sc)
+		a.StepMAPE += p.StepErr
+		a.EnergyMAPE += p.EnergyErr
+		a.PowerMAPE += p.PowerErr
+	}
+	n := float64(len(scs))
+	a.StepMAPE /= n
+	a.EnergyMAPE /= n
+	a.PowerMAPE /= n
+	a.MAPE = (a.StepMAPE + a.EnergyMAPE + a.PowerMAPE) / 3
+	return a
+}

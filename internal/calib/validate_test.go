@@ -1,0 +1,128 @@
+package calib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestValidateImprovesOnSyntheticProfile is the subsystem's acceptance
+// contract in miniature: on measurements from a machine that deviates
+// from Table I, the calibrated system must track the measurements
+// strictly better than the stock one.
+func TestValidateImprovesOnSyntheticProfile(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, true)
+
+	f, err := Fit(context.Background(), p, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(context.Background(), p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != len(p.Steps) {
+		t.Fatalf("%d scenarios for %d steps", len(rep.Scenarios), len(p.Steps))
+	}
+	if !rep.Improved {
+		t.Errorf("calibration did not improve: stock MAPE %.4g, calibrated %.4g",
+			rep.StockError.MAPE, rep.CalibratedError.MAPE)
+	}
+	if rep.CalibratedError.MAPE >= rep.StockError.MAPE {
+		t.Errorf("aggregate MAPE did not drop: %.4g -> %.4g",
+			rep.StockError.MAPE, rep.CalibratedError.MAPE)
+	}
+	if rep.CalibratedGPU != "H100-cal" || rep.GPU != "H100" {
+		t.Errorf("report names: %q / %q", rep.GPU, rep.CalibratedGPU)
+	}
+	for i, sc := range rep.Scenarios {
+		if sc.MeasuredStepS <= 0 || sc.MeasuredEnergy <= 0 {
+			t.Errorf("scenario %d missing measured columns: %+v", i, sc)
+		}
+		if sc.Stock.StepS <= 0 || sc.Calibrated.StepS <= 0 {
+			t.Errorf("scenario %d missing predictions: %+v", i, sc)
+		}
+	}
+}
+
+// TestValidateReportDeterministic: equal inputs produce byte-identical
+// report JSON — the report carries no timestamps or wall-clock fields,
+// matching the advisor's conventions.
+func TestValidateReportDeterministic(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, true)
+	f, err := Fit(context.Background(), p, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		rep, err := Validate(context.Background(), p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two validation runs of the same fit produced different report bytes")
+	}
+}
+
+func TestValidateRequiresSteps(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, false)
+	f, err := Fit(context.Background(), p, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(context.Background(), p, f); err == nil {
+		t.Fatal("validating a profile without step measurements must error")
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	gt, gtSys := groundTruth(t, nil, "H100x8")
+	p := syntheticProfile(t, "H100", "H100x8", gt, gtSys, true)
+	f, err := Fit(context.Background(), p, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(context.Background(), p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tbl bytes.Buffer
+	if err := rep.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "stock", "calibrated", "MAPE"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, tbl.String())
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(rep.Scenarios) {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+len(rep.Scenarios))
+	}
+
+	var md bytes.Buffer
+	if err := rep.BenchRows(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "aggregate MAPE") {
+		t.Errorf("bench rows missing aggregate row:\n%s", md.String())
+	}
+}

@@ -24,7 +24,13 @@ type File struct {
 // default to values typical of the named vendor's catalog entries, so a
 // minimal definition needs only the marketing page.
 type GPUJSON struct {
-	Name     string `json:"name"`
+	Name string `json:"name"`
+	// Override allows this entry to replace an already-registered GPU of
+	// the same name (a previous Load, or a built-in). Without it a name
+	// collision is an error, so a typo cannot silently retarget existing
+	// hardware. Calibration overlays (internal/calib) set it to swap a
+	// fitted spec in for the stock Table I one.
+	Override bool   `json:"override,omitempty"`
 	Vendor   string `json:"vendor"` // "NVIDIA" or "AMD"
 	Year     int    `json:"year,omitempty"`
 	SMs      int    `json:"sms"`
@@ -81,6 +87,9 @@ type ContentionJSON struct {
 // SystemJSON is one user-defined system.
 type SystemJSON struct {
 	Name string `json:"name"`
+	// Override allows this entry to replace an already-registered system
+	// of the same name; see GPUJSON.Override.
+	Override bool `json:"override,omitempty"`
 	// GPU names a GPU defined in the same file or already registered.
 	GPU string `json:"gpu"`
 	// GPUsPerNode is the node size (required).
@@ -130,7 +139,7 @@ func (reg *Registry) Load(r io.Reader) error {
 		}
 		// Capture a private template; builders hand out fresh copies.
 		tmpl := *spec
-		if err := reg.register(func() *GPUSpec { s := tmpl; return cloneGPU(&s) }); err != nil {
+		if err := reg.registerGPU(func() *GPUSpec { s := tmpl; return cloneGPU(&s) }, f.GPUs[i].Override); err != nil {
 			return err
 		}
 	}
@@ -140,7 +149,7 @@ func (reg *Registry) Load(r io.Reader) error {
 			return err
 		}
 		tmpl := sys
-		if err := reg.registerSystem(func() System {
+		if err := reg.registerSys(func() System {
 			s := tmpl
 			s.GPU = cloneGPU(tmpl.GPU)
 			if tmpl.NIC != nil {
@@ -148,7 +157,7 @@ func (reg *Registry) Load(r io.Reader) error {
 				s.NIC = &nic
 			}
 			return s
-		}); err != nil {
+		}, f.Systems[i].Override); err != nil {
 			return err
 		}
 	}

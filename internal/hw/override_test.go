@@ -1,0 +1,138 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+// overrideGPUJSON returns a minimal valid GPU definition named like the
+// built-in H100 but with a recognizably different memory size, with or
+// without the override marker.
+func overrideGPUJSON(override bool) string {
+	ov := ""
+	if override {
+		ov = `"override": true,`
+	}
+	return `{"gpus": [{
+		"name": "H100", ` + ov + `
+		"vendor": "NVIDIA", "sms": 132, "boost_mhz": 1980,
+		"mem_gb": 141, "mem_bw_gbs": 3350,
+		"link_bw_gbs": 900, "tdp_w": 700,
+		"vector_tflops": {"fp32": 66.9, "fp16": 133.8, "bf16": 133.8},
+		"matrix_tflops": {"tf32": 494.7, "fp32": 494.7, "fp16": 989.4, "bf16": 989.4}
+	}]}`
+}
+
+func TestLoadDuplicateGPUWithoutOverrideErrors(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.Load(strings.NewReader(overrideGPUJSON(false)))
+	if err == nil {
+		t.Fatal("loading a GPU named like a built-in without override must error")
+	}
+	if !strings.Contains(err.Error(), "override") {
+		t.Errorf("error should point at the override escape hatch, got: %v", err)
+	}
+	// The failed load must not have shadowed the built-in.
+	if g := reg.GPU("H100"); g == nil || g.MemGB != 80 {
+		t.Fatalf("built-in H100 corrupted after rejected load: %+v", g)
+	}
+}
+
+func TestLoadDuplicateGPUWithOverrideReplaces(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Load(strings.NewReader(overrideGPUJSON(true))); err != nil {
+		t.Fatalf("override load: %v", err)
+	}
+	g := reg.GPU("H100")
+	if g == nil || g.MemGB != 141 {
+		t.Fatalf("override did not replace the built-in: %+v", g)
+	}
+	// The default registry must be untouched: override shadows, never
+	// writes through.
+	if g := ByName("H100"); g == nil || g.MemGB != 80 {
+		t.Fatalf("override leaked into the default registry: %+v", g)
+	}
+	// The shadowing entry must not duplicate the name in listings.
+	count := 0
+	for _, n := range reg.GPUNames() {
+		if n == "H100" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("H100 listed %d times after override, want 1", count)
+	}
+}
+
+func TestLoadLocalDuplicateGPUOverride(t *testing.T) {
+	reg := NewRegistry()
+	first := `{"gpus": [{
+		"name": "CalGPU", "vendor": "NVIDIA", "sms": 100, "boost_mhz": 1500,
+		"mem_gb": 40, "mem_bw_gbs": 2000, "link_bw_gbs": 600, "tdp_w": 400,
+		"vector_tflops": {"fp32": 20}
+	}]}`
+	if err := reg.Load(strings.NewReader(first)); err != nil {
+		t.Fatalf("first load: %v", err)
+	}
+	second := strings.Replace(first, `"mem_gb": 40`, `"mem_gb": 80`, 1)
+	if err := reg.Load(strings.NewReader(second)); err == nil {
+		t.Fatal("re-loading the same local name without override must error")
+	}
+	second = strings.Replace(second, `"name": "CalGPU",`, `"name": "CalGPU", "override": true,`, 1)
+	if err := reg.Load(strings.NewReader(second)); err != nil {
+		t.Fatalf("override re-load: %v", err)
+	}
+	if g := reg.GPU("CalGPU"); g == nil || g.MemGB != 80 {
+		t.Fatalf("local override did not replace: %+v", g)
+	}
+	count := 0
+	for _, n := range reg.GPUNames() {
+		if n == "CalGPU" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("CalGPU listed %d times after local override, want 1", count)
+	}
+}
+
+func TestLoadDuplicateSystemOverride(t *testing.T) {
+	reg := NewRegistry()
+	without := `{"systems": [{"name": "H100x8", "gpu": "H100", "gpus_per_node": 4}]}`
+	err := reg.Load(strings.NewReader(without))
+	if err == nil {
+		t.Fatal("loading a system named like a built-in without override must error")
+	}
+	if !strings.Contains(err.Error(), "override") {
+		t.Errorf("error should point at the override escape hatch, got: %v", err)
+	}
+
+	with := `{"systems": [{"name": "H100x8", "override": true, "gpu": "H100", "gpus_per_node": 4}]}`
+	if err := reg.Load(strings.NewReader(with)); err != nil {
+		t.Fatalf("override load: %v", err)
+	}
+	sys, err := reg.System("H100x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N != 4 {
+		t.Fatalf("override did not replace the built-in system: N=%d", sys.N)
+	}
+	// Default registry untouched.
+	if sys, err := SystemByName("H100x8"); err != nil || sys.N != 8 {
+		t.Fatalf("override leaked into the default registry: %+v, %v", sys, err)
+	}
+	count := 0
+	for _, n := range reg.SystemNames() {
+		if n == "H100x8" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("H100x8 listed %d times after override, want 1", count)
+	}
+	// Systems() must resolve every listed name, including the shadowed one.
+	if got := len(reg.Systems()); got != len(reg.SystemNames()) {
+		t.Errorf("Systems() returned %d entries for %d names", got, len(reg.SystemNames()))
+	}
+}

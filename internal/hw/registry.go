@@ -67,22 +67,39 @@ func Register(build func() *GPUSpec) {
 }
 
 func (reg *Registry) register(build func() *GPUSpec) error {
+	return reg.registerGPU(build, false)
+}
+
+// registerGPU adds or — with override — replaces a GPU builder. Without
+// override a name collision (a local duplicate, or shadowing a parent
+// entry from a child registry) is an error: hardware files replace an
+// existing name only when they say so explicitly ("override": true),
+// so a typo cannot silently retarget a built-in. With override the new
+// builder wins: a local duplicate is replaced in place (keeping its
+// position in GPUNames), and a child registry may shadow a parent
+// entry — the calibration overlay path, where a fitted "H100" must
+// take over from the Table I one.
+func (reg *Registry) registerGPU(build func() *GPUSpec, override bool) error {
 	g := build()
 	if err := g.Validate(); err != nil {
 		return err
 	}
 	key := regKey(g.Name)
-	if reg.parent != nil {
+	if !override && reg.parent != nil {
 		// A child registry must not shadow a built-in: the same file must
 		// load (or fail) identically against any registry.
 		if _, shadow := reg.parent.gpuBuilder(g.Name); shadow {
-			return fmt.Errorf("hw: duplicate GPU registration of %q", g.Name)
+			return fmt.Errorf("hw: duplicate GPU registration of %q (set \"override\": true to replace it)", g.Name)
 		}
 	}
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if _, dup := reg.gpusByName[key]; dup {
-		return fmt.Errorf("hw: duplicate GPU registration of %q", g.Name)
+		if !override {
+			return fmt.Errorf("hw: duplicate GPU registration of %q (set \"override\": true to replace it)", g.Name)
+		}
+		reg.gpusByName[key] = build // replace in place; listing order unchanged
+		return nil
 	}
 	reg.gpusByName[key] = build
 	reg.gpuOrder = append(reg.gpuOrder, g.Name)
@@ -100,20 +117,30 @@ func RegisterSystem(build func() System) {
 }
 
 func (reg *Registry) registerSystem(build func() System) error {
+	return reg.registerSys(build, false)
+}
+
+// registerSys is registerGPU's system counterpart; see there for the
+// override semantics.
+func (reg *Registry) registerSys(build func() System, override bool) error {
 	s := build()
 	if err := s.Validate(); err != nil {
 		return err
 	}
 	key := regKey(s.Name)
-	if reg.parent != nil {
+	if !override && reg.parent != nil {
 		if _, shadow := reg.parent.sysBuilder(s.Name); shadow {
-			return fmt.Errorf("hw: duplicate system registration of %q", s.Name)
+			return fmt.Errorf("hw: duplicate system registration of %q (set \"override\": true to replace it)", s.Name)
 		}
 	}
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if _, dup := reg.sysByName[key]; dup {
-		return fmt.Errorf("hw: duplicate system registration of %q", s.Name)
+		if !override {
+			return fmt.Errorf("hw: duplicate system registration of %q (set \"override\": true to replace it)", s.Name)
+		}
+		reg.sysByName[key] = build
+		return nil
 	}
 	reg.sysByName[key] = build
 	reg.sysOrder = append(reg.sysOrder, s.Name)
@@ -182,15 +209,25 @@ func Names() []string { return defaultReg.GPUNames() }
 
 // GPUNames returns the GPU names visible from this registry: parent
 // entries first (the built-ins, in their registration order), then local
-// registrations.
+// registrations. A local entry overriding a parent name keeps the
+// parent's position and appears once.
 func (reg *Registry) GPUNames() []string {
 	var out []string
 	if reg.parent != nil {
 		out = reg.parent.GPUNames()
 	}
+	seen := make(map[string]bool, len(out))
+	for _, n := range out {
+		seen[regKey(n)] = true
+	}
 	reg.mu.RLock()
 	defer reg.mu.RUnlock()
-	return append(out, reg.gpuOrder...)
+	for _, n := range reg.gpuOrder {
+		if !seen[regKey(n)] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // All returns a fresh copy of every registered GPU, in Names order.
@@ -226,14 +263,22 @@ func (reg *Registry) System(name string) (System, error) {
 func SystemNames() []string { return defaultReg.SystemNames() }
 
 // SystemNames returns the system names visible from this registry,
-// sorted.
+// sorted. A local entry overriding a parent name appears once.
 func (reg *Registry) SystemNames() []string {
 	var out []string
 	if reg.parent != nil {
 		out = reg.parent.SystemNames()
 	}
+	seen := make(map[string]bool, len(out))
+	for _, n := range out {
+		seen[regKey(n)] = true
+	}
 	reg.mu.RLock()
-	out = append(out, reg.sysOrder...)
+	for _, n := range reg.sysOrder {
+		if !seen[regKey(n)] {
+			out = append(out, n)
+		}
+	}
 	reg.mu.RUnlock()
 	sort.Strings(out)
 	return out

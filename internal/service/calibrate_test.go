@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"overlapsim/internal/calib"
+	"overlapsim/internal/collective"
+	"overlapsim/internal/core"
+	"overlapsim/internal/hw"
+	"overlapsim/internal/model"
+	"overlapsim/internal/precision"
+	"overlapsim/internal/topo"
+)
+
+// calibProfile builds a small valid profile by measuring the stock
+// H100x8 through the simulator itself — the cheapest source of
+// internally consistent matmul, collective and step numbers.
+func calibProfile(t *testing.T) *calib.Profile {
+	t.Helper()
+	sys, err := hw.SystemByName("H100x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sys.GPU
+
+	var mats []calib.MatmulPoint
+	eff := precision.EffectiveGEMMFormat(precision.FP16, true)
+	path := precision.PathFor(eff, true)
+	for _, k := range []int{1024, 4096, 16384} {
+		frac := g.GEMMEff(float64(k), path, eff)
+		mats = append(mats, calib.MatmulPoint{
+			M: 8192, N: 8192, K: k, Dtype: "fp16", MatrixUnits: true,
+			TFLOPs: frac * g.PeakFLOPS(path, eff) / 1e12,
+		})
+	}
+
+	fabric := topo.ForSystem(sys)
+	var colls []calib.CollectivePoint
+	for _, mb := range []float64{1, 16, 256} {
+		d := collective.Desc{Name: collective.AllReduce.String(), Op: collective.AllReduce, Bytes: mb * (1 << 20), N: sys.N}
+		secs := collective.Time(d, fabric)
+		colls = append(colls, calib.CollectivePoint{
+			Op: collective.AllReduce.String(), Bytes: d.Bytes, Ranks: sys.N,
+			BusGBs: collective.BusBW(d, secs) / 1e9,
+		})
+	}
+
+	par, err := core.ParseParallelism("ddp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		System: sys, Parallelism: par,
+		Batch: 8, Format: precision.FP16, MatrixUnits: true,
+	}
+	cfg.Model, err = model.ByName("GPT-3 XL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovl := res.Overlapped
+
+	p := &calib.Profile{
+		Version: calib.SchemaVersion,
+		Name:    "service test profile",
+		GPU:     "H100", System: "H100x8",
+		Power:       &calib.PowerProfile{IdleW: g.Power.IdleW},
+		Matmuls:     mats,
+		Collectives: colls,
+		Steps: []calib.StepPoint{{
+			Model: "GPT-3 XL", Parallelism: "ddp", Batch: 8,
+			Format: "fp16", MatrixUnits: true,
+			StepMS:     ovl.Mean.E2E * 1e3,
+			AvgPowerW:  ovl.AvgTDP * g.TDPW,
+			PeakPowerW: ovl.PeakTDP * g.TDPW,
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test profile invalid: %v", err)
+	}
+	return p
+}
+
+func TestCalibrateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	raw, err := json.Marshal(calibProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/calibrate", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[calibrateBody](t, resp, http.StatusOK)
+
+	if len(body.Overlay) == 0 {
+		t.Fatal("calibrate returned an empty overlay")
+	}
+	reg := hw.NewRegistry()
+	if err := reg.Load(bytes.NewReader(body.Overlay)); err != nil {
+		t.Fatalf("returned overlay does not load: %v", err)
+	}
+	if _, err := reg.System("H100x8" + calib.DefaultSuffix); err != nil {
+		t.Errorf("overlay missing calibrated system: %v", err)
+	}
+
+	if body.Report == nil {
+		t.Fatal("profile with step measurements returned no validation report")
+	}
+	if body.Report.CalibratedSystem != "H100x8"+calib.DefaultSuffix {
+		t.Errorf("report calibrated system %q", body.Report.CalibratedSystem)
+	}
+	if len(body.Report.Scenarios) != 1 {
+		t.Fatalf("report has %d scenarios, want 1", len(body.Report.Scenarios))
+	}
+}
+
+func TestCalibrateOverrideQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	p := calibProfile(t)
+	p.Steps = nil // overlay only — no validation replay
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/calibrate?override=true", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[calibrateBody](t, resp, http.StatusOK)
+	if body.Report != nil {
+		t.Error("profile without steps still produced a report")
+	}
+	var file struct {
+		Systems []struct {
+			Name     string `json:"name"`
+			Override bool   `json:"override"`
+		} `json:"systems"`
+	}
+	if err := json.Unmarshal(body.Overlay, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Systems) != 1 || file.Systems[0].Name != "H100x8" || !file.Systems[0].Override {
+		t.Errorf("override overlay systems: %+v", file.Systems)
+	}
+}
+
+func TestCalibrateRejectsBadProfile(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{"version": 99, "name": "x", "gpu": "H100", "system": "H100x8"}`,
+		`{"unknown_field": true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/calibrate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode[errorBody](t, resp, http.StatusBadRequest)
+	}
+}
+
+func TestCatalogAdvertisesCalibration(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[catalogBody](t, resp, http.StatusOK)
+	info := body.Calibration
+	if info.ProfileVersion != calib.SchemaVersion || info.Endpoint != "/v1/calibrate" || info.DefaultSuffix != calib.DefaultSuffix {
+		t.Errorf("catalog calibration metadata: %+v", info)
+	}
+}

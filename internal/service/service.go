@@ -7,6 +7,8 @@
 // evaluates nothing fresh.
 //
 //	POST   /v1/experiments         — run one experiment, return its point
+//	POST   /v1/calibrate           — fit a measured profile, return the hardware
+//	                                 overlay and (with step data) a validation report
 //	POST   /v1/sweeps              — submit a sweep spec, returns a job id
 //	GET    /v1/sweeps              — list sweep jobs
 //	GET    /v1/sweeps/{id}         — job status, progress and (when done) results
@@ -43,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"overlapsim/internal/calib"
 	"overlapsim/internal/core"
 	"overlapsim/internal/hw"
 	"overlapsim/internal/model"
@@ -200,6 +203,7 @@ func New(opts Options) *Server {
 	s.handle("GET /healthz", s.handleHealth)
 	s.handle("GET /v1/catalog", s.handleCatalog)
 	s.handle("POST /v1/experiments", s.handleExperiment)
+	s.handle("POST /v1/calibrate", s.handleCalibrate)
 	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
 	s.handle("GET /v1/sweeps", s.handleList(kindSweep))
 	s.handle("GET /v1/sweeps/{id}", s.handleGet(kindSweep))
@@ -350,6 +354,9 @@ type catalogBody struct {
 	// Objectives are the advisor objective names POST /v1/advise
 	// queries may trade off.
 	Objectives []string `json:"objectives"`
+	// Calibration advertises the measured-profile schema version the
+	// POST /v1/calibrate endpoint accepts.
+	Calibration calibrationInfo `json:"calibration"`
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
@@ -391,6 +398,11 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		body.Formats = append(body.Formats, f.String())
 	}
 	body.Objectives = opt.Names()
+	body.Calibration = calibrationInfo{
+		ProfileVersion: calib.SchemaVersion,
+		Endpoint:       "/v1/calibrate",
+		DefaultSuffix:  calib.DefaultSuffix,
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
